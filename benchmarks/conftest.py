@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure. They run the full
+experiment exactly once per benchmark round (the measured quantity of
+interest is the experiment's *task counts*, which are printed; wall-clock
+is what pytest-benchmark records).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the callable through pytest-benchmark with a single round.
+
+    Experiment runners are deterministic under their seeds, so repeated
+    rounds only re-measure identical work; one round keeps the whole
+    harness fast enough to regenerate every figure in minutes.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

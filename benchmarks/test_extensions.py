@@ -1,0 +1,121 @@
+"""Benches A4/A5 — the extension modules (paper §8 future work + pruned
+MUP search).
+
+A4: cost-aware set-size choice under size-dependent pricing — sweep the
+per-image price slope and show the dollar-optimal ``n`` migrating from
+the paper's flat-pricing regime (big sets) down to point-query-sized
+sets, with realized spending tracking the analytic bound.
+
+A5: level-wise MUP search pruning — on schemas with large uncovered
+regions, the pruned traversal counts a fraction of the pattern graph
+while returning exactly the exhaustive reference's MUPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_aware import cost_aware_group_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.pricing import SizeDependentPricing
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.synthetic import binary_dataset, intersectional_dataset
+from repro.experiments.reporting import render_table
+from repro.patterns.graph import PatternGraph
+from repro.patterns.search import find_mups_levelwise
+from repro.patterns.tabular import assess_tabular_coverage
+
+FEMALE = group(gender="female")
+
+
+def test_cost_aware_pricing_sweep(once):
+    def run():
+        rows = []
+        rng = np.random.default_rng(71)
+        dataset = binary_dataset(20_000, 50, rng=rng)
+        for slope in (0.0, 0.0005, 0.002, 0.01, 0.05):
+            pricing = SizeDependentPricing(base_price=0.02, per_image=slope)
+            outcome = cost_aware_group_coverage(
+                GroundTruthOracle(dataset), FEMALE, 50, pricing,
+                dataset_size=len(dataset),
+            )
+            rows.append(
+                [
+                    f"{slope:.4f}",
+                    outcome.chosen_n,
+                    f"${outcome.dollars_spent:.2f}",
+                    f"${outcome.predicted_cost_bound:.2f}",
+                    "covered" if outcome.result.covered else "uncovered",
+                ]
+            )
+        return rows
+
+    rows = once(run)
+    print()
+    print(render_table(
+        ["$/image slope", "chosen n", "spent", "worst-case bound", "verdict"],
+        rows,
+        title="Ablation A4 — dollar-optimal set size vs pricing slope "
+        "(N=20K, f=tau=50)",
+    ))
+    chosen = [int(row[1]) for row in rows]
+    # Flat-ish pricing -> large sets; steep pricing -> small sets.
+    assert chosen[0] >= 50
+    assert chosen[-1] <= 10
+    assert all(a >= b for a, b in zip(chosen, chosen[1:]))
+    # Spending never exceeds the analytic worst case.
+    for row in rows:
+        assert float(row[2][1:]) <= float(row[3][1:])
+
+
+def test_mup_search_pruning(once):
+    def run():
+        rows = []
+        rng = np.random.default_rng(73)
+        # Three attributes, one dominant combination: most of the graph is
+        # uncovered and should never be counted.
+        schema = Schema.from_dict(
+            {
+                "x1": ["a", "b", "c"],
+                "x2": ["d", "e", "f"],
+                "x3": ["g", "h"],
+            }
+        )
+        graph = PatternGraph(schema)
+        for majority_share in (0.5, 0.9, 0.99):
+            n_total = 20_000
+            majority = int(n_total * majority_share)
+            leaves = graph.leaves()
+            counts = {tuple(leaves[0].values): majority}
+            remainder = n_total - majority
+            for leaf in leaves[1:]:
+                counts[tuple(leaf.values)] = remainder // (len(leaves) - 1)
+            dataset = intersectional_dataset(schema, counts, rng=rng)
+            result = find_mups_levelwise(dataset, tau=50, graph=graph)
+            reference = assess_tabular_coverage(dataset, tau=50, graph=graph)
+            assert set(result.mups) == set(reference.mups)
+            rows.append(
+                [
+                    f"{majority_share:.0%}",
+                    graph.n_patterns,
+                    result.n_patterns_counted,
+                    f"{result.n_patterns_counted / graph.n_patterns:.0%}",
+                    len(result.mups),
+                ]
+            )
+        return rows
+
+    rows = once(run)
+    print()
+    print(render_table(
+        ["majority share", "graph size", "patterns counted", "fraction", "#MUPs"],
+        rows,
+        title="Ablation A5 — level-wise MUP search pruning (3x3x2 schema)",
+    ))
+    # Pruning kicks in once an uncovered region exists, and grows with it.
+    counted = [int(row[2]) for row in rows]
+    graph_size = int(rows[0][1])
+    assert all(c <= graph_size for c in counted)
+    assert counted[-1] < graph_size  # the 99% case prunes for real
+    assert all(a >= b for a, b in zip(counted, counted[1:]))

@@ -1,0 +1,38 @@
+"""Bench F6 — regenerate Figure 6 (downstream disparity vs re-added samples).
+
+Runs the drowsiness (6a) and gender (6b) protocols and asserts the
+paper's qualitative claims:
+
+* with the group uncovered (0 added) there is a real accuracy and loss
+  disparity against that group,
+* re-adding uncovered samples shrinks the disparity monotonically from
+  first to last point.
+
+Scale note: this bench uses the "fast" configuration (3 repeats, capped
+training sets). Pass ``REPRO_FIG6_SCALE=paper`` via the environment to run
+the paper-scale protocol (10 repeats, full 26 K training sets).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.figure6 import render_figure6, run_figure6
+
+
+def test_figure6(once):
+    scale = os.environ.get("REPRO_FIG6_SCALE", "fast")
+    result = once(run_figure6, scale=scale)
+    print()
+    print(render_figure6(result))
+
+    for curve in (result.drowsiness, result.gender):
+        first, last = curve.points[0], curve.points[-1]
+        assert first.accuracy_disparity > 0.01, (
+            f"{curve.experiment}: expected a visible base disparity, "
+            f"got {first.accuracy_disparity:.4f}"
+        )
+        assert first.loss_disparity > 0.0
+        assert last.accuracy_disparity < first.accuracy_disparity
+        assert last.loss_disparity < first.loss_disparity
+        assert curve.is_monotonically_improving(slack=0.005)

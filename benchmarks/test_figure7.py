@@ -1,0 +1,84 @@
+"""Bench F7a–F7d — regenerate the Group-Coverage performance sweeps.
+
+Each bench prints the figure's three series (Group-Coverage,
+Base-Coverage, UpperBound) and asserts the paper's qualitative shape:
+
+* 7a — tasks peak near ``f = tau`` and fall off on both sides; the
+  baseline needs orders of magnitude more tasks around the peak.
+* 7b — cost grows ~linearly in ``tau`` and stays near (below) the bound.
+* 7c — cost collapses as ``n`` grows away from point queries, then
+  flattens (the logarithmic regime).
+* 7d — cost grows linearly with ``N`` but stays below 6 % of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure7 import (
+    render_sweep,
+    run_figure7a,
+    run_figure7b,
+    run_figure7c,
+    run_figure7d,
+)
+
+
+def test_figure7a(once):
+    result = once(run_figure7a, n_trials=3)
+    print()
+    print(render_sweep(result))
+    tasks = np.array(result.group_coverage_tasks)
+    x = np.array(result.x_values)
+    tau = 50
+    peak_region = tasks[(x >= tau - 10) & (x <= tau + 10)].max()
+    # Peak near f = tau dominates the extremes on both sides.
+    assert peak_region >= tasks[x == 0][0]
+    assert peak_region >= tasks[x == 2 * tau][0]
+    # Base-Coverage needs ~N tasks around the peak; Group-Coverage wins
+    # by a wide margin everywhere.
+    base = np.array(result.base_coverage_tasks)
+    assert (tasks[1:] < base[1:]).all()
+    assert base[x == tau - 10][0] > 20 * peak_region
+
+
+def test_figure7b(once):
+    result = once(run_figure7b, n_trials=3)
+    print()
+    print(render_sweep(result))
+    tasks = np.array(result.group_coverage_tasks)
+    # Monotone-ish growth in tau: the last point clearly exceeds the first.
+    assert tasks[-1] > tasks[0]
+    # The baseline effectively labels the whole dataset in this worst case
+    # (tau = 1 stops at the first member, ~N/2 in expectation; from tau=10
+    # on, nearly all N objects get labeled).
+    base = np.array(result.base_coverage_tasks)
+    x = np.array(result.x_values)
+    assert (base[x >= 10] > 0.9 * 100_000).all()
+
+
+def test_figure7c(once):
+    result = once(run_figure7c, n_trials=3)
+    print()
+    print(render_sweep(result))
+    x = list(result.x_values)
+    tasks = list(result.group_coverage_tasks)
+    # Sharp drop from point-query-sized sets to n >= 20...
+    assert tasks[x.index(1.0)] > 10 * tasks[x.index(20.0)]
+    # ...then a flat logarithmic regime: n=50 vs n=400 within 3x.
+    assert tasks[x.index(400.0)] < 3 * tasks[x.index(50.0)]
+
+
+def test_figure7d(once):
+    result = once(run_figure7d, n_trials=3)
+    print()
+    print(render_sweep(result))
+    for N, tasks in zip(result.x_values, result.group_coverage_tasks):
+        assert tasks <= 0.06 * N or N <= 1_000, (
+            f"N={N}: {tasks} tasks exceeds the paper's 6% envelope"
+        )
+    # Linear growth: doubling N should not much more than double the cost.
+    tasks = np.array(result.group_coverage_tasks)
+    x = np.array(result.x_values)
+    big = tasks[x == 1_000_000][0] / tasks[x == 100_000][0]
+    assert 4 <= big <= 20  # 10x more data -> ~10x more tasks

@@ -1,0 +1,46 @@
+"""Bench F7f/F7h — Intersectional-Coverage vs brute force.
+
+Asserts:
+
+* 7f — effective settings beat (or match) per-leaf brute force, the
+  adversarial setting loses, verdicts agree, and the expected MUPs appear.
+* 7h — (2,2,2) and (2,4) have the same number of fully-specified
+  subgroups (8) and hence similar costs: "the only important feature is
+  the cardinality of the attributes rather than the number of attributes".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure7_intersectional import (
+    render_intersectional_comparisons,
+    run_figure7f,
+    run_figure7h,
+)
+
+
+def test_figure7f(once):
+    comparisons = once(run_figure7f, n_trials=5)
+    print()
+    print(render_intersectional_comparisons(
+        comparisons, title="Figure 7f — intersectional groups (2x2x2)"
+    ))
+    by_name = {c.label: c for c in comparisons}
+    assert all(c.verdicts_agree for c in comparisons)
+    assert by_name["effective 1"].speedup > 1.0
+    assert by_name["adversarial"].speedup < 1.05
+    # Uncovered minorities must surface as MUPs.
+    assert by_name["effective 1"].mean_n_mups >= 1
+    assert by_name["effective 2"].mean_n_mups == 0
+
+
+def test_figure7h(once):
+    comparisons = once(run_figure7h, n_trials=5)
+    print()
+    print(render_intersectional_comparisons(
+        comparisons, title="Figure 7h — intersectional schemas (2x2x2) vs (2x4)"
+    ))
+    assert all(c.verdicts_agree for c in comparisons)
+    a, b = comparisons
+    # Equal leaf counts -> similar costs (within 40% of each other).
+    ratio = a.intersectional_tasks / b.intersectional_tasks
+    assert 0.6 <= ratio <= 1.6

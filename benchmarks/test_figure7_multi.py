@@ -1,0 +1,50 @@
+"""Bench F7e/F7g — Multiple-Coverage vs brute force.
+
+Asserts the paper's qualitative findings:
+
+* 7e — the heuristic clearly wins on "effective 1", is competitive on
+  "effective 2"/"ineffective", and *loses* on the adversarial setting
+  (the super-group penalty) — "we can expect that our method works very
+  well ... in some cases while failing in others".
+* 7g — on effective compositions the gap over brute force widens as the
+  attribute cardinality grows from 3 to 6.
+* Verdicts always agree with the brute-force ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure7_multi import (
+    render_multi_comparisons,
+    run_figure7e,
+    run_figure7g,
+)
+
+
+def test_figure7e(once):
+    comparisons = once(run_figure7e, n_trials=5)
+    print()
+    print(render_multi_comparisons(
+        comparisons, title="Figure 7e — multiple non-intersectional groups (sigma=4)"
+    ))
+    by_name = {c.label: c for c in comparisons}
+    assert all(c.verdicts_agree for c in comparisons)
+    # Effective 1: aggregation certifies three minorities in one run.
+    assert by_name["effective 1"].speedup > 1.2
+    # Adversarial: the covered super-group forces per-member re-runs.
+    assert by_name["adversarial"].speedup < 1.0
+    # The other two settings stay within a modest band of brute force.
+    for name in ("effective 2", "ineffective"):
+        assert 0.6 <= by_name[name].speedup <= 1.8
+
+
+def test_figure7g(once):
+    comparisons = once(run_figure7g, n_trials=5)
+    print()
+    print(render_multi_comparisons(
+        comparisons, title="Figure 7g — multiple groups across cardinalities"
+    ))
+    assert all(c.verdicts_agree for c in comparisons)
+    speedups = [c.speedup for c in comparisons]
+    # The gap widens with cardinality: sigma=6 clearly beats sigma=3.
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.5

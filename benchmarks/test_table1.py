@@ -1,0 +1,32 @@
+"""Bench T1 — regenerate Table 1 (MTurk female-coverage, 3 QC settings).
+
+Prints the measured HIT counts next to the paper's, and asserts the
+reproduction's qualitative claims:
+
+* Group-Coverage lands within the paper's HIT range and far below both
+  the baseline and the ``N/n + tau*log10(n)`` bound,
+* every verdict is correct despite noisy workers,
+* majority vote keeps the aggregated error negligible.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import PAPER_TABLE1, render_table1, run_table1
+
+
+def test_table1(once):
+    rows = once(run_table1)
+    print()
+    print(render_table1(rows))
+
+    for row in rows:
+        paper_group, paper_base, paper_bound = PAPER_TABLE1[row.qc_label]
+        assert row.verdict_correct, f"{row.qc_label}: wrong coverage verdict"
+        assert row.upper_bound_hits == paper_bound
+        # Group-Coverage must stay well below both baseline and bound, and
+        # in the paper's ballpark (paper: 71-75 HITs).
+        assert row.group_coverage_hits < row.base_coverage_hits
+        assert row.group_coverage_hits < row.upper_bound_hits
+        assert 0.7 * paper_group <= row.group_coverage_hits <= 1.3 * paper_group
+        # Base-Coverage: expected ~tau * N / (#females) point queries.
+        assert 0.6 * paper_base <= row.base_coverage_hits <= 1.6 * paper_base

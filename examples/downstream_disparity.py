@@ -1,0 +1,52 @@
+"""Why coverage matters: uncovered groups hurt downstream models (§6.4).
+
+Trains a small from-scratch neural network for drowsiness detection
+(open/closed eyes) on a corpus that *excludes* spectacled subjects, shows
+the resulting accuracy gap on spectacled test images, then re-adds a few
+uncovered samples per class and watches the gap close — the paper's
+Figure 6a at demonstration scale.
+
+Run:  python examples/downstream_disparity.py
+"""
+
+import numpy as np
+
+from repro.data import group, mrl_eye_pool
+from repro.downstream import run_disparity_experiment
+
+SPECTACLED = group(spectacled="yes")
+
+
+def main() -> None:
+    rng = np.random.default_rng(6)
+    print("=== downstream consequences of a coverage gap ===")
+    print("building the MRL-eye-style pool (spectacled subjects rare) ...")
+    pool = mrl_eye_pool(rng)
+
+    curve = run_disparity_experiment(
+        pool,
+        target_attribute="eye_state",
+        uncovered_group=SPECTACLED,
+        additions=(0, 20, 40, 60, 80, 100),
+        n_repeats=3,
+        rng=rng,
+        max_train_size=4_000,  # demonstration scale; drop for paper scale
+        experiment_name="drowsiness detection",
+    )
+
+    print()
+    print(curve.describe())
+    base, final = curve.points[0], curve.points[-1]
+    print(
+        f"\nwith spectacled subjects uncovered: "
+        f"{base.random_test_accuracy:.1%} accuracy overall vs "
+        f"{base.uncovered_test_accuracy:.1%} on spectacled subjects"
+    )
+    print(
+        f"after re-adding {final.n_added} spectacled samples per class: "
+        f"disparity {base.accuracy_disparity:.3f} -> {final.accuracy_disparity:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

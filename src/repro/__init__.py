@@ -1,0 +1,119 @@
+"""repro — crowdsourced data-coverage auditing for image datasets.
+
+A from-scratch reproduction of *"Data Coverage for Detecting
+Representation Bias in Image Datasets: A Crowdsourcing Approach"*
+(Mousavi, Shahbazi, Asudeh; EDBT 2024).
+
+Quick tour
+----------
+>>> import numpy as np
+>>> from repro import (binary_dataset, group, GroundTruthOracle,
+...                    group_coverage)
+>>> ds = binary_dataset(10_000, 30, rng=np.random.default_rng(0))
+>>> result = group_coverage(GroundTruthOracle(ds), group(gender="female"),
+...                         tau=50, n=50, dataset_size=len(ds))
+>>> result.covered, result.count
+(False, 30)
+
+Packages
+--------
+* :mod:`repro.core` — the paper's algorithms (Group-Coverage and friends).
+* :mod:`repro.crowd` — the crowdsourcing platform simulator and oracles.
+* :mod:`repro.data` — schemas, group predicates, datasets, generators.
+* :mod:`repro.patterns` — pattern graph, Pattern-Combiner, MUPs.
+* :mod:`repro.classifiers` — simulated pre-trained predictors + numpy MLP.
+* :mod:`repro.downstream` — the §6.4 disparity experiments.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.core import (
+    ClassifierCoverageResult,
+    GroupCoverageResult,
+    GroupEntry,
+    IntersectionalCoverageReport,
+    MultipleCoverageReport,
+    TaskUsage,
+    base_coverage,
+    classifier_coverage,
+    group_coverage,
+    intersectional_coverage,
+    lower_bound_tasks,
+    multiple_coverage,
+    upper_bound_tasks,
+)
+from repro.crowd import (
+    CrowdOracle,
+    CrowdPlatform,
+    FlakyOracle,
+    GroundTruthOracle,
+    Oracle,
+    make_worker_pool,
+)
+from repro.data import (
+    Attribute,
+    Group,
+    LabeledDataset,
+    Negation,
+    Schema,
+    SuperGroup,
+    binary_dataset,
+    group,
+    intersectional_dataset,
+    single_attribute_dataset,
+)
+from repro.errors import (
+    BudgetExceededError,
+    InvalidParameterError,
+    ReproError,
+    SchemaError,
+    UnknownGroupError,
+)
+from repro.patterns import Pattern, PatternGraph, assess_tabular_coverage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "group_coverage",
+    "base_coverage",
+    "multiple_coverage",
+    "intersectional_coverage",
+    "classifier_coverage",
+    "upper_bound_tasks",
+    "lower_bound_tasks",
+    "TaskUsage",
+    "GroupCoverageResult",
+    "GroupEntry",
+    "MultipleCoverageReport",
+    "IntersectionalCoverageReport",
+    "ClassifierCoverageResult",
+    # crowd
+    "Oracle",
+    "GroundTruthOracle",
+    "CrowdOracle",
+    "FlakyOracle",
+    "CrowdPlatform",
+    "make_worker_pool",
+    # data
+    "Attribute",
+    "Schema",
+    "Group",
+    "SuperGroup",
+    "Negation",
+    "group",
+    "LabeledDataset",
+    "binary_dataset",
+    "single_attribute_dataset",
+    "intersectional_dataset",
+    # patterns
+    "Pattern",
+    "PatternGraph",
+    "assess_tabular_coverage",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "SchemaError",
+    "UnknownGroupError",
+    "BudgetExceededError",
+]

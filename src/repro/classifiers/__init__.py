@@ -1,0 +1,28 @@
+"""Pre-trained predictor substrate: profile-matched simulations + numpy MLP."""
+
+from repro.classifiers.metrics import (
+    BinaryConfusion,
+    binary_confusion,
+    multiclass_accuracy,
+)
+from repro.classifiers.nn import MLPClassifier
+from repro.classifiers.pretrained import (
+    FEMALE,
+    PAPER_PROFILES,
+    PaperProfile,
+    table2_rows,
+)
+from repro.classifiers.simulated import ProfileClassifier, solve_confusion
+
+__all__ = [
+    "BinaryConfusion",
+    "binary_confusion",
+    "multiclass_accuracy",
+    "MLPClassifier",
+    "ProfileClassifier",
+    "solve_confusion",
+    "PaperProfile",
+    "PAPER_PROFILES",
+    "table2_rows",
+    "FEMALE",
+]

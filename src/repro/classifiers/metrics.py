@@ -1,0 +1,107 @@
+"""Classification metrics used throughout the evaluation.
+
+Binary-confusion utilities for group predictors (Table 2 reports accuracy
+and the *precision on the female group*, which is what drives Algorithm
+4's strategy choice), plus small multiclass helpers for the numpy MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["BinaryConfusion", "binary_confusion", "multiclass_accuracy"]
+
+
+@dataclass(frozen=True)
+class BinaryConfusion:
+    """Confusion counts for a binary "member of group g?" prediction."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    def __post_init__(self) -> None:
+        if min(self.tp, self.fp, self.fn, self.tn) < 0:
+            raise InvalidParameterError("confusion counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def n_positive(self) -> int:
+        """Ground-truth members of the group."""
+        return self.tp + self.fn
+
+    @property
+    def n_predicted_positive(self) -> int:
+        """Size of the classifier's predicted set ``G``."""
+        return self.tp + self.fp
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Precision on the positive group — Table 2's second metric.
+        Defined as 0 when nothing is predicted positive."""
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def false_positive_rate_in_predicted(self) -> float:
+        """Fraction of the predicted set that is wrong (= 1 - precision);
+        Algorithm 4's 25 % decision statistic."""
+        return 1.0 - self.precision if (self.tp + self.fp) else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"acc={self.accuracy:.2%} precision={self.precision:.2%} "
+            f"recall={self.recall:.2%} "
+            f"(TP={self.tp} FP={self.fp} FN={self.fn} TN={self.tn})"
+        )
+
+
+def binary_confusion(true_mask: np.ndarray, predicted_mask: np.ndarray) -> BinaryConfusion:
+    """Confusion counts from boolean membership masks.
+
+    >>> import numpy as np
+    >>> c = binary_confusion(np.array([1, 1, 0, 0], bool),
+    ...                      np.array([1, 0, 1, 0], bool))
+    >>> (c.tp, c.fp, c.fn, c.tn)
+    (1, 1, 1, 1)
+    """
+    true_mask = np.asarray(true_mask, dtype=bool)
+    predicted_mask = np.asarray(predicted_mask, dtype=bool)
+    if true_mask.shape != predicted_mask.shape:
+        raise InvalidParameterError(
+            f"mask shapes differ: {true_mask.shape} vs {predicted_mask.shape}"
+        )
+    return BinaryConfusion(
+        tp=int(np.sum(true_mask & predicted_mask)),
+        fp=int(np.sum(~true_mask & predicted_mask)),
+        fn=int(np.sum(true_mask & ~predicted_mask)),
+        tn=int(np.sum(~true_mask & ~predicted_mask)),
+    )
+
+
+def multiclass_accuracy(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Plain accuracy over integer label vectors."""
+    true_labels = np.asarray(true_labels)
+    predicted_labels = np.asarray(predicted_labels)
+    if true_labels.shape != predicted_labels.shape:
+        raise InvalidParameterError("label vectors must have the same shape")
+    if true_labels.size == 0:
+        return 0.0
+    return float(np.mean(true_labels == predicted_labels))

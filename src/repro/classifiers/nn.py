@@ -1,0 +1,149 @@
+"""A small feed-forward neural network, from scratch on numpy.
+
+Stands in for the paper's CNNs — the "BaseCNN" gender predictor of §6.3.2
+and the downstream models of §6.4 — which we cannot run without the
+original images or a deep-learning stack. A one-hidden-layer MLP over the
+synthetic images of :mod:`repro.data.images` exhibits the property the
+experiments need: it learns group-conditional structure from data and
+*fails to generalize to groups absent from training*.
+
+Implementation: dense -> ReLU -> dense -> softmax, cross-entropy loss,
+minibatch SGD with momentum, He initialization, all seeded through a
+caller-supplied generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MLPClassifier"]
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """One-hidden-layer softmax classifier.
+
+    Parameters
+    ----------
+    n_features / n_classes:
+        Input and output dimensions.
+    n_hidden:
+        Hidden width (default 32 — plenty for 16×16 synthetic images).
+    learning_rate, momentum, batch_size, n_epochs:
+        SGD hyperparameters.
+    rng:
+        Generator for weight init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        *,
+        n_hidden: int = 32,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        n_epochs: int = 8,
+        rng: np.random.Generator,
+    ) -> None:
+        if min(n_features, n_classes, n_hidden) < 1:
+            raise InvalidParameterError("dimensions must be positive")
+        if n_classes < 2:
+            raise InvalidParameterError("need at least two classes")
+        if batch_size < 1 or n_epochs < 1:
+            raise InvalidParameterError("batch_size and n_epochs must be >= 1")
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.n_hidden = n_hidden
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.n_epochs = n_epochs
+        self.rng = rng
+
+        self.w1 = rng.normal(0.0, np.sqrt(2.0 / n_features), (n_features, n_hidden))
+        self.b1 = np.zeros(n_hidden)
+        self.w2 = rng.normal(0.0, np.sqrt(2.0 / n_hidden), (n_hidden, n_classes))
+        self.b2 = np.zeros(n_classes)
+        self._velocity = [np.zeros_like(p) for p in (self.w1, self.b1, self.w2, self.b2)]
+        self.training_losses_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.maximum(X @ self.w1 + self.b1, 0.0)
+        probabilities = _softmax(hidden @ self.w2 + self.b2)
+        return hidden, probabilities
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train on features ``X`` (n, n_features) and integer labels ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise InvalidParameterError(
+                f"X must be (n, {self.n_features}), got {X.shape}"
+            )
+        if len(X) != len(y):
+            raise InvalidParameterError("X and y lengths differ")
+        if len(X) == 0:
+            raise InvalidParameterError("cannot fit on an empty training set")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise InvalidParameterError("labels out of range")
+
+        n = len(X)
+        for _ in range(self.n_epochs):
+            order = self.rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = X[batch], y[batch]
+                hidden, probabilities = self._forward(xb)
+
+                # Cross-entropy gradient through softmax.
+                delta_out = probabilities.copy()
+                delta_out[np.arange(len(yb)), yb] -= 1.0
+                delta_out /= len(yb)
+                grad_w2 = hidden.T @ delta_out
+                grad_b2 = delta_out.sum(axis=0)
+                delta_hidden = (delta_out @ self.w2.T) * (hidden > 0)
+                grad_w1 = xb.T @ delta_hidden
+                grad_b1 = delta_hidden.sum(axis=0)
+
+                parameters = (self.w1, self.b1, self.w2, self.b2)
+                gradients = (grad_w1, grad_b1, grad_w2, grad_b2)
+                for i, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+                    self._velocity[i] = (
+                        self.momentum * self._velocity[i] - self.learning_rate * gradient
+                    )
+                    parameter += self._velocity[i]
+
+                batch_probabilities = probabilities[np.arange(len(yb)), yb]
+                epoch_loss += -np.log(batch_probabilities + 1e-12).sum()
+            self.training_losses_.append(epoch_loss / n)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        _, probabilities = self._forward(X)
+        return probabilities
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def log_loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean cross-entropy on a labeled set (Fig 6's loss disparity)."""
+        probabilities = self.predict_proba(X)
+        y = np.asarray(y, dtype=np.int64)
+        picked = np.clip(probabilities[np.arange(len(y)), y], 1e-12, 1.0)
+        return float(max(-np.log(picked).mean(), 0.0))

@@ -1,0 +1,142 @@
+"""Simulated pre-trained predictors with exact metric profiles.
+
+Table 2 evaluates Classifier-Coverage under nine real classifier/dataset
+combinations (DeepFace with two detectors, a baseline CNN — each on three
+dataset slices), characterized by their measured *accuracy* and *precision
+on the female group*. Classifier-Coverage consumes nothing but the
+predicted-positive set, so any predictor with the same confusion matrix
+induces identically distributed algorithm behavior — which lets us
+substitute the GPU face stacks with :class:`ProfileClassifier`:
+
+given a dataset's positive/negative composition and a target
+(accuracy, precision), it solves for the unique non-negative integer
+confusion matrix realizing the profile and emits a random prediction
+vector with exactly those error counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classifiers.metrics import BinaryConfusion
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import Group
+from repro.errors import InfeasibleProfileError, InvalidParameterError
+
+__all__ = ["solve_confusion", "ProfileClassifier"]
+
+
+def solve_confusion(
+    n_positive: int,
+    n_negative: int,
+    accuracy: float,
+    precision: float,
+    *,
+    tolerance: float = 0.005,
+) -> BinaryConfusion:
+    """Find the integer confusion matrix matching a metric profile.
+
+    Scans every feasible true-positive count and keeps the confusion whose
+    (accuracy, precision) is closest to the target; raises if even the
+    best is off by more than ``tolerance`` on either metric. The paper
+    reports metrics rounded to two decimals, so small slack is expected.
+
+    >>> c = solve_confusion(403, 591, accuracy=0.7957, precision=0.995)
+    >>> (c.tp, c.fp)
+    (201, 1)
+    """
+    if n_positive < 0 or n_negative < 0:
+        raise InvalidParameterError("group sizes must be non-negative")
+    if not 0.0 <= accuracy <= 1.0 or not 0.0 <= precision <= 1.0:
+        raise InvalidParameterError("accuracy and precision must be in [0, 1]")
+    total = n_positive + n_negative
+    if total == 0:
+        raise InvalidParameterError("empty dataset")
+
+    best: BinaryConfusion | None = None
+    best_distance = float("inf")
+    for tp in range(n_positive + 1):
+        if precision > 0:
+            fp = int(round(tp * (1.0 - precision) / precision))
+        else:
+            # precision == 0 means tp must be 0; fp is then free — pick it
+            # to match accuracy.
+            if tp != 0:
+                continue
+            fp = int(round(n_negative - (accuracy * total - tp)))
+        if fp < 0 or fp > n_negative:
+            continue
+        confusion = BinaryConfusion(
+            tp=tp, fp=fp, fn=n_positive - tp, tn=n_negative - fp
+        )
+        distance = abs(confusion.accuracy - accuracy) + abs(
+            confusion.precision - precision
+        )
+        if distance < best_distance:
+            best, best_distance = confusion, distance
+
+    if best is None or (
+        abs(best.accuracy - accuracy) > tolerance
+        or abs(best.precision - precision) > tolerance
+    ):
+        achieved = (
+            f" (closest: acc={best.accuracy:.4f}, prec={best.precision:.4f})"
+            if best
+            else ""
+        )
+        raise InfeasibleProfileError(
+            f"no confusion matrix on ({n_positive} positive, {n_negative} "
+            f"negative) achieves accuracy={accuracy}, precision={precision}"
+            f"{achieved}"
+        )
+    return best
+
+
+@dataclass(frozen=True)
+class ProfileClassifier:
+    """A predictor that reproduces a published (accuracy, precision) profile.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"DeepFace (opencv)"``.
+    target_group:
+        The positive class (e.g. ``group(gender="female")``).
+    accuracy / precision:
+        The profile to realize, as fractions in [0, 1].
+    """
+
+    name: str
+    target_group: Group
+    accuracy: float
+    precision: float
+
+    def confusion_for(self, dataset: LabeledDataset) -> BinaryConfusion:
+        """The confusion matrix this classifier realizes on ``dataset``."""
+        n_positive = dataset.count(self.target_group)
+        return solve_confusion(
+            n_positive, len(dataset) - n_positive, self.accuracy, self.precision
+        )
+
+    def predict(self, dataset: LabeledDataset, rng: np.random.Generator) -> np.ndarray:
+        """A boolean predicted-membership vector with the profile's exact
+        error counts; *which* objects are misclassified is uniform random.
+        """
+        confusion = self.confusion_for(dataset)
+        true_mask = dataset.mask(self.target_group)
+        positives = np.flatnonzero(true_mask)
+        negatives = np.flatnonzero(~true_mask)
+        predicted = np.zeros(len(dataset), dtype=bool)
+        if confusion.tp:
+            predicted[rng.choice(positives, size=confusion.tp, replace=False)] = True
+        if confusion.fp:
+            predicted[rng.choice(negatives, size=confusion.fp, replace=False)] = True
+        return predicted
+
+    def predicted_positive_indices(
+        self, dataset: LabeledDataset, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The predicted set ``G`` Algorithm 4 consumes."""
+        return np.flatnonzero(self.predict(dataset, rng))

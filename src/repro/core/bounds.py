@@ -1,0 +1,84 @@
+"""Theoretical task-count bounds (§3.2 of the paper).
+
+* **Upper bound** (Lemma 3.3): Group-Coverage issues at most
+  ``Θ(N/n + τ·log n)`` set queries — ``N/n`` level-1 chunks plus, for each
+  of at most ``τ`` "yes" leaves, a root-to-leaf path of length ``log n``.
+* **Lower bound**: any algorithm needs ``N/n`` set queries to certify an
+  *uncovered* group (every object must appear in some query).
+* **Tightness** (Theorem 3.2): with ``τ - 1`` members spread uniformly the
+  tree degenerates into ``τ - 1`` isolation paths of depth ``log(n/τ)``.
+
+Log base
+--------
+The asymptotic statements use ``log₂`` (binary splitting), but the
+concrete "upper-bound #HITs" the paper reports (Table 1: 115 for
+``N=1522, n=τ=50``; the UpperBound series of Figure 7) is only consistent
+with ``N/n + τ·log₁₀ n``. We default to base 10 so our tables line up with
+the paper's, and expose the base for callers who want the binary version.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "upper_bound_tasks",
+    "lower_bound_tasks",
+    "single_tree_upper_bound",
+    "adversarial_tree_size",
+]
+
+
+def _validate(N: int, n: int, tau: int) -> None:
+    if N < 0:
+        raise InvalidParameterError(f"N must be >= 0, got {N}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+
+
+def upper_bound_tasks(N: int, n: int, tau: int, *, log_base: float = 10.0) -> float:
+    """The paper's reported bound ``N/n + τ·log(n)`` (Lemma 3.3).
+
+    >>> round(upper_bound_tasks(1522, 50, 50))   # Table 1's 115
+    115
+    """
+    _validate(N, n, tau)
+    if log_base <= 1.0:
+        raise InvalidParameterError(f"log_base must exceed 1, got {log_base}")
+    log_term = math.log(n, log_base) if n > 1 else 0.0
+    return N / n + tau * log_term
+
+
+def lower_bound_tasks(N: int, n: int) -> int:
+    """``⌈N/n⌉``: tasks any algorithm needs to touch every object once."""
+    _validate(N, n, 0)
+    return math.ceil(N / n) if N else 0
+
+
+def single_tree_upper_bound(n: int, tau: int) -> int:
+    """Exact worst-case node count of one execution tree (``N = n``).
+
+    Case I of §3.2: when every set query answers "yes" the tree is binary
+    with at most ``τ`` leaves → ``2τ - 1`` nodes; each leaf additionally
+    pays at most ``⌈log₂ n⌉`` isolation levels with ≤2 nodes per level.
+    This is the concrete (not asymptotic) form used by property tests as a
+    hard ceiling.
+    """
+    _validate(n, n, tau)
+    if tau == 0:
+        return 1
+    depth = math.ceil(math.log2(n)) if n > 1 else 0
+    return 2 * tau - 1 + 2 * tau * depth
+
+
+def adversarial_tree_size(n: int, tau: int) -> float:
+    """The tightness construction's node count ``Θ(τ·log(n/τ))``
+    (Theorem 3.2's adversarial example, used by the tightness bench)."""
+    _validate(n, n, tau)
+    if tau <= 1 or n <= tau:
+        return float(max(2 * tau - 1, 1))
+    return (2 * tau - 3) + (tau - 1) * 2 * math.log2(n / tau)

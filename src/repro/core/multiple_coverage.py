@@ -1,0 +1,174 @@
+"""Multiple-Coverage (Algorithm 2): many non-intersectional groups at once.
+
+For an attribute with cardinality ``c`` the naive plan runs Group-Coverage
+``c`` times. Algorithm 2 spends ``c·tau`` point queries on a sampling
+phase first and uses the estimates to (a) pre-credit every group's
+threshold with its already-labeled members and (b) merge expected-minority
+groups into super-groups (Algorithm 6), so that a *single* Group-Coverage
+run can certify several groups uncovered together.
+
+The known failure mode (§6.5.2, the "adversarial" setting) is faithfully
+reproduced: when a super-group turns out to be *covered*, nothing is
+learned about its individual members and the algorithm must re-run
+Group-Coverage for each of them — the aggregation penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregate import aggregate_groups
+from repro.core.group_coverage import group_coverage
+from repro.core.results import GroupEntry, MultipleCoverageReport, TaskUsage
+from repro.core.sampling import LabeledPool, label_samples
+from repro.crowd.oracle import Oracle
+from repro.data.groups import Group, SuperGroup
+from repro.errors import InvalidParameterError
+
+__all__ = ["multiple_coverage"]
+
+
+def multiple_coverage(
+    oracle: Oracle,
+    groups: Sequence[Group],
+    tau: int,
+    *,
+    n: int = 50,
+    c: float = 2.0,
+    rng: np.random.Generator,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+    multi: bool = False,
+    attribute_supergroup_members: bool = False,
+) -> MultipleCoverageReport:
+    """Run Algorithm 2.
+
+    Parameters
+    ----------
+    oracle:
+        Answer source (ledger-charged).
+    groups:
+        The target groups (an attribute's values, or fully-specified
+        subgroups when called from Intersectional-Coverage).
+    tau:
+        Coverage threshold.
+    n:
+        Set-query size bound for the inner Group-Coverage runs.
+    c:
+        Sampling budget multiplier; the sampling phase labels ``c·tau``
+        random objects (``c=2`` is the paper's default; ``c=0`` disables
+        sampling and aggregation degrades to singletons).
+    view / dataset_size:
+        The search space, as in :func:`~repro.core.group_coverage.group_coverage`.
+    multi:
+        Enforce the sibling constraint during aggregation (set by
+        Intersectional-Coverage).
+    attribute_supergroup_members:
+        When a super-group is certified *uncovered*, spend one point query
+        per isolated member to attribute it to its individual group, making
+        every per-group count exact. This is our documented extension used
+        by Intersectional-Coverage, whose pattern roll-up needs exact leaf
+        counts (DESIGN.md §4); costs at most ``tau - 1`` extra point
+        queries per uncovered super-group.
+
+    Returns
+    -------
+    MultipleCoverageReport
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be positive, got {tau}")
+    if not groups:
+        raise InvalidParameterError("multiple_coverage needs at least one group")
+    if view is None:
+        if dataset_size is None:
+            raise InvalidParameterError("provide either view or dataset_size")
+        view = np.arange(dataset_size, dtype=np.int64)
+    else:
+        view = np.asarray(view, dtype=np.int64)
+
+    ledger = oracle.ledger
+    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+
+    # Phase 1: sampling. Labeled objects leave the unlabeled pool for good.
+    remaining_view, pool = label_samples(oracle, view, tau, c=c, rng=rng)
+
+    # Phase 2: super-group formation from the sampled estimates. N in the
+    # expectation formula is the full (pre-sampling) search-space size, as
+    # in the pseudo-code.
+    super_groups = aggregate_groups(
+        pool, len(view), tau, list(groups), multi=multi
+    )
+
+    # Phase 3: one Group-Coverage run per super-group, plus per-member
+    # re-runs when a genuine super-group comes back covered.
+    entries: dict[Group, GroupEntry] = {}
+    for super_group in super_groups:
+        labeled_credit = sum(pool.count(member) for member in super_group)
+        tau_prime = tau - labeled_credit
+        run = group_coverage(
+            oracle,
+            super_group if len(super_group) > 1 else super_group.members[0],
+            max(tau_prime, 0),
+            n=n,
+            view=remaining_view,
+        )
+        if len(super_group) == 1:
+            member = super_group.members[0]
+            entries[member] = GroupEntry(
+                group=member,
+                covered=run.covered,
+                count=pool.count(member) + run.count,
+                count_is_exact=not run.covered,
+                via_supergroup=super_group,
+            )
+            continue
+        if run.covered:
+            # Penalty path: the merged minorities are jointly covered, so
+            # each member must be examined individually (sample credits
+            # still apply).
+            for member in super_group:
+                member_tau = tau - pool.count(member)
+                member_run = group_coverage(
+                    oracle, member, max(member_tau, 0), n=n, view=remaining_view
+                )
+                entries[member] = GroupEntry(
+                    group=member,
+                    covered=member_run.covered,
+                    count=pool.count(member) + member_run.count,
+                    count_is_exact=not member_run.covered,
+                    via_supergroup=super_group,
+                )
+        else:
+            member_counts = {member: pool.count(member) for member in super_group}
+            exact = False
+            if attribute_supergroup_members:
+                # Attribute every isolated member to its group with one
+                # point query each; counts become exact.
+                for index in run.discovered_indices:
+                    labels = oracle.ask_point(index)
+                    for member in super_group:
+                        if member.matches_row(labels):
+                            member_counts[member] += 1
+                            break
+                exact = True
+            for member in super_group:
+                entries[member] = GroupEntry(
+                    group=member,
+                    covered=False,
+                    count=member_counts[member],
+                    count_is_exact=exact,
+                    via_supergroup=super_group,
+                )
+
+    tasks = TaskUsage(
+        ledger.n_set_queries - start_sets,
+        ledger.n_point_queries - start_points,
+    )
+    return MultipleCoverageReport(
+        entries=tuple(entries[g] for g in groups),
+        super_groups=super_groups,
+        sampled_counts={g: pool.count(g) for g in groups},
+        tasks=tasks,
+    )

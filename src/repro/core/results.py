@@ -1,0 +1,212 @@
+"""Result types returned by the coverage algorithms.
+
+Every algorithm reports, alongside its verdicts, the number of crowd tasks
+it consumed — the paper's cost measure (fixed pricing makes #tasks the
+cost). Task counts are measured by snapshotting the oracle's ledger around
+the run, so nested algorithm calls attribute consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+from repro.data.groups import Group, GroupPredicate, SuperGroup
+from repro.patterns.combiner import PatternCoverageReport
+
+__all__ = [
+    "TaskUsage",
+    "GroupCoverageResult",
+    "GroupEntry",
+    "MultipleCoverageReport",
+    "IntersectionalCoverageReport",
+    "ClassifierCoverageResult",
+]
+
+
+@dataclass(frozen=True)
+class TaskUsage:
+    """Tasks consumed by one algorithm run, by query type."""
+
+    n_set_queries: int = 0
+    n_point_queries: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.n_set_queries + self.n_point_queries
+
+    def __add__(self, other: "TaskUsage") -> "TaskUsage":
+        return TaskUsage(
+            self.n_set_queries + other.n_set_queries,
+            self.n_point_queries + other.n_point_queries,
+        )
+
+
+@dataclass(frozen=True)
+class GroupCoverageResult:
+    """Outcome of one Group-Coverage (or Base-Coverage) run.
+
+    Attributes
+    ----------
+    predicate:
+        The group (or super-group) that was tested.
+    covered:
+        ``True`` iff at least ``tau`` members were certified.
+    count:
+        The count lower bound at stop time. For an *uncovered* group this
+        is the **exact** member count (Lemma 3.1 / §3.3.2); for a covered
+        group it equals the threshold the run was started with.
+    tau:
+        The threshold the run used (callers may have reduced the global
+        threshold by already-labeled members).
+    tasks:
+        Tasks consumed by this run.
+    discovered_indices:
+        Dataset indices of members this run *individually isolated*
+        (size-1 "yes" nodes). For uncovered groups this is every member in
+        the searched view; for covered groups it is whatever had been
+        isolated before early stop.
+    """
+
+    predicate: GroupPredicate
+    covered: bool
+    count: int
+    tau: int
+    tasks: TaskUsage
+    discovered_indices: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        status = "covered" if self.covered else "UNCOVERED"
+        return (
+            f"{self.predicate.describe()}: {status} "
+            f"(count {'≥' if self.covered else '='} {self.count}, "
+            f"tau={self.tau}, tasks={self.tasks.total})"
+        )
+
+
+@dataclass(frozen=True)
+class GroupEntry:
+    """Per-group verdict inside a multi-group report.
+
+    ``count`` is exact when ``count_is_exact``; otherwise it is a lower
+    bound (e.g. a member of an uncovered super-group whose individual
+    members were not attributed).
+    """
+
+    group: Group
+    covered: bool
+    count: int
+    count_is_exact: bool
+    via_supergroup: SuperGroup | None = None
+
+    def describe(self) -> str:
+        status = "covered" if self.covered else "UNCOVERED"
+        bound = "=" if self.count_is_exact else ">="
+        via = (
+            f" [via super-group {self.via_supergroup.describe()}]"
+            if self.via_supergroup is not None and len(self.via_supergroup) > 1
+            else ""
+        )
+        return f"{self.group.describe()}: {status} (count {bound} {self.count}){via}"
+
+
+@dataclass(frozen=True)
+class MultipleCoverageReport:
+    """Outcome of Multiple-Coverage (Algorithm 2).
+
+    Attributes
+    ----------
+    entries:
+        One verdict per requested group, in input order.
+    super_groups:
+        The aggregation Algorithm 6 chose (singletons included).
+    sampled_counts:
+        Per-group counts observed in the sampling phase.
+    tasks:
+        Total tasks including the sampling phase.
+    """
+
+    entries: tuple[GroupEntry, ...]
+    super_groups: tuple[SuperGroup, ...]
+    sampled_counts: Mapping[Group, int]
+    tasks: TaskUsage
+
+    def entry_for(self, group: Group) -> GroupEntry:
+        for entry in self.entries:
+            if entry.group == group:
+                return entry
+        raise KeyError(f"no entry for group {group.describe()}")
+
+    @property
+    def uncovered_groups(self) -> tuple[Group, ...]:
+        return tuple(entry.group for entry in self.entries if not entry.covered)
+
+    def describe(self) -> str:
+        lines = [f"multiple-coverage report ({self.tasks.total} tasks):"]
+        lines.extend(f"  {entry.describe()}" for entry in self.entries)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IntersectionalCoverageReport:
+    """Outcome of Intersectional-Coverage (Algorithm 3).
+
+    Combines the leaf-level report (fully-specified subgroups) with the
+    pattern-graph roll-up, including the MUPs.
+    """
+
+    leaf_report: MultipleCoverageReport
+    pattern_report: PatternCoverageReport
+    tasks: TaskUsage
+
+    @property
+    def mups(self):
+        return self.pattern_report.mups
+
+    def describe(self) -> str:
+        mups = ", ".join(p.describe() for p in self.mups) or "(none)"
+        return (
+            f"intersectional-coverage report ({self.tasks.total} tasks)\n"
+            f"MUPs: {mups}\n" + self.pattern_report.describe()
+        )
+
+
+@dataclass(frozen=True)
+class ClassifierCoverageResult:
+    """Outcome of Classifier-Coverage (Algorithm 4).
+
+    Attributes
+    ----------
+    strategy:
+        Which false-positive elimination strategy the precision estimate
+        selected: ``"partition"`` (reverse set queries) or ``"label"``
+        (point queries). ``"none"`` when the classifier predicted nothing
+        positive and the algorithm fell straight through to Group-Coverage.
+    precision_estimate:
+        Estimated precision of the classifier on the target group, from
+        the 10 % sample.
+    verified_count:
+        Members of the target group certified inside the predicted set.
+    fallback:
+        The Group-Coverage run over the complement (``None`` when the
+        predicted set alone certified coverage).
+    """
+
+    group: Group
+    covered: bool
+    count: int
+    tau: int
+    strategy: Literal["partition", "label", "none"]
+    precision_estimate: float
+    verified_count: int
+    tasks: TaskUsage
+    fallback: GroupCoverageResult | None = None
+    sample_size: int = 0
+
+    def describe(self) -> str:
+        status = "covered" if self.covered else "UNCOVERED"
+        return (
+            f"{self.group.describe()}: {status} via classifier-coverage "
+            f"(strategy={self.strategy}, est. precision "
+            f"{self.precision_estimate:.1%}, tasks={self.tasks.total})"
+        )

@@ -1,0 +1,106 @@
+"""LabelSamples (Algorithm 6, part 1): the sampling phase of §4.
+
+Multiple-Coverage starts by point-labeling ``c·tau`` random objects
+(``c = 2`` by default — "we found c = 2 as a good choice"). The labels
+serve two purposes at once:
+
+* they estimate group frequencies, from which Algorithm 6's ``Aggregate``
+  forms super-groups, and
+* they are *reused*: labeled objects move from the unlabeled pool ``D`` to
+  the labeled pool ``L``, their group memberships pre-credit the per-group
+  thresholds, and they are never asked about again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.crowd.oracle import Oracle
+from repro.data.groups import GroupPredicate
+from repro.errors import InvalidParameterError
+
+__all__ = ["LabeledPool", "label_samples"]
+
+
+@dataclass
+class LabeledPool:
+    """Objects whose labels the crowd has already provided.
+
+    Maps dataset index to the ``{attribute: value}`` labeling the crowd
+    returned (which, under a noisy oracle, may differ from ground truth —
+    downstream logic treats it as truth, exactly like the paper does).
+    """
+
+    rows: dict[int, dict[str, str]] = field(default_factory=dict)
+
+    def add(self, index: int, labels: Mapping[str, str]) -> None:
+        self.rows[int(index)] = dict(labels)
+
+    def count(self, predicate: GroupPredicate) -> int:
+        """``L.count(g)``: labeled objects satisfying ``predicate``."""
+        return sum(1 for labels in self.rows.values() if predicate.matches_row(labels))
+
+    def members(self, predicate: GroupPredicate) -> tuple[int, ...]:
+        """Indices of labeled objects satisfying ``predicate``."""
+        return tuple(
+            index
+            for index, labels in self.rows.items()
+            if predicate.matches_row(labels)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, index: object) -> bool:
+        return index in self.rows
+
+
+def label_samples(
+    oracle: Oracle,
+    view: np.ndarray,
+    tau: int,
+    *,
+    c: float = 2.0,
+    rng: np.random.Generator,
+    pool: LabeledPool | None = None,
+) -> tuple[np.ndarray, LabeledPool]:
+    """Label ``min(c·tau, |view|)`` random objects of ``view``.
+
+    Returns the reduced view (labeled objects removed, original order
+    preserved — Algorithm 6 line 4: ``D.remove(t)``) and the labeled pool.
+
+    Parameters
+    ----------
+    pool:
+        An existing pool to extend; a fresh one is created when omitted.
+
+    >>> import numpy as np
+    >>> from repro.crowd import GroundTruthOracle
+    >>> from repro.data import binary_dataset
+    >>> rng = np.random.default_rng(0)
+    >>> ds = binary_dataset(100, 10, rng=rng)
+    >>> view, pool = label_samples(
+    ...     GroundTruthOracle(ds), np.arange(100), tau=5, rng=rng)
+    >>> (len(view), len(pool))
+    (90, 10)
+    """
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+    if c < 0:
+        raise InvalidParameterError(f"sample-size parameter c must be >= 0, got {c}")
+    view = np.asarray(view, dtype=np.int64)
+    pool = pool if pool is not None else LabeledPool()
+
+    sample_size = min(int(round(c * tau)), len(view))
+    if sample_size == 0:
+        return view, pool
+    chosen_positions = rng.choice(len(view), size=sample_size, replace=False)
+    for position in chosen_positions:
+        index = int(view[position])
+        pool.add(index, oracle.ask_point(index))
+    keep = np.ones(len(view), dtype=bool)
+    keep[chosen_positions] = False
+    return view[keep], pool

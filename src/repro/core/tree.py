@@ -1,0 +1,135 @@
+"""The execution-tree data structures of Algorithm 1.
+
+The paper implements Group-Coverage over a binary tree whose nodes carry::
+
+    struct node:
+        b_index      // beginning index of the range
+        e_index      // end index of the range
+        parent=null, left=null, right=null,
+        checked=false   // true once one child returned a yes answer
+
+plus a FIFO queue that supports removing a *specific* enqueued node
+(line 12 of Algorithm 1: ``T <- Q.del(T.parent.right)`` — when a left child
+answers "no", its right sibling's answer is implied "yes" and the sibling
+must be pulled out of the queue without being asked). :class:`PrunableQueue`
+implements that with lazy deletion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["TreeNode", "PrunableQueue"]
+
+
+class TreeNode:
+    """One set query's range ``[b_index, e_index]`` (inclusive positions in
+    the current view) plus tree links and the ``checked`` flag."""
+
+    __slots__ = ("b_index", "e_index", "parent", "left", "right", "checked")
+
+    def __init__(
+        self, b_index: int, e_index: int, parent: Optional["TreeNode"] = None
+    ) -> None:
+        if b_index < 0 or e_index < b_index:
+            raise InvalidParameterError(
+                f"invalid node range [{b_index}, {e_index}]"
+            )
+        self.b_index = b_index
+        self.e_index = e_index
+        self.parent = parent
+        self.left: TreeNode | None = None
+        self.right: TreeNode | None = None
+        self.checked = False
+
+    @property
+    def size(self) -> int:
+        return self.e_index - self.b_index + 1
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_left_child(self) -> bool:
+        return self.parent is not None and self.parent.left is self
+
+    def split(self) -> tuple["TreeNode", "TreeNode"]:
+        """Create and link the two half-range children (paper line 18:
+        left gets ``[b, floor((b+e)/2)]``, right the rest)."""
+        if self.size < 2:
+            raise InvalidParameterError("cannot split a singleton node")
+        middle = (self.b_index + self.e_index) // 2
+        self.left = TreeNode(self.b_index, middle, parent=self)
+        self.right = TreeNode(middle + 1, self.e_index, parent=self)
+        return self.left, self.right
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"TreeNode[{self.b_index}, {self.e_index}]"
+
+
+class PrunableQueue:
+    """FIFO queue of :class:`TreeNode` with O(1) removal of a known member.
+
+    Removal is lazy: removed nodes stay in the deque but are skipped on
+    pop. Membership is tracked by object identity — tree nodes are unique.
+    """
+
+    def __init__(self) -> None:
+        self._items: deque[TreeNode] = deque()
+        # id -> number of stale (lazily deleted) entries still in _items.
+        # A counter, not a set: the same node may be removed, re-added,
+        # and removed again before its stale entries drain.
+        self._removed: dict[int, int] = {}
+        self._live: set[int] = set()
+
+    def add(self, node: TreeNode) -> None:
+        if id(node) in self._live:
+            raise InvalidParameterError("node is already enqueued")
+        self._items.append(node)
+        self._live.add(id(node))
+
+    def pop(self) -> TreeNode:
+        """Remove and return the oldest live node.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        while self._items:
+            node = self._items.popleft()
+            stale = self._removed.get(id(node), 0)
+            if stale:
+                if stale == 1:
+                    del self._removed[id(node)]
+                else:
+                    self._removed[id(node)] = stale - 1
+                continue
+            self._live.discard(id(node))
+            return node
+        raise IndexError("pop from empty PrunableQueue")
+
+    def remove(self, node: TreeNode) -> TreeNode:
+        """Remove a specific enqueued node (the ``Q.del`` of Algorithm 1)
+        and return it.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the node is not currently enqueued.
+        """
+        if id(node) not in self._live:
+            raise InvalidParameterError("node is not in the queue")
+        self._live.discard(id(node))
+        self._removed[id(node)] = self._removed.get(id(node), 0) + 1
+        return node
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)

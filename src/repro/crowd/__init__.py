@@ -1,0 +1,50 @@
+"""Crowdsourcing simulator: queries, workers, QC, pricing, platform, oracles."""
+
+from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
+from repro.crowd.oracle import (
+    CrowdOracle,
+    FlakyOracle,
+    GroundTruthOracle,
+    Oracle,
+    TaskLedger,
+)
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pricing import CostLedger, FixedPricing, SizeDependentPricing
+from repro.crowd.quality import (
+    QC_MAJORITY_ONLY,
+    QualificationTest,
+    RatingPolicy,
+    ScreeningPolicy,
+    qc_with_qualification,
+    qc_with_rating,
+    screen_workers,
+)
+from repro.crowd.queries import HitRecord, PointQuery, SetQuery
+from repro.crowd.workers import Worker, make_worker_pool
+
+__all__ = [
+    "majority_vote",
+    "majority_point",
+    "DawidSkene",
+    "Oracle",
+    "TaskLedger",
+    "GroundTruthOracle",
+    "CrowdOracle",
+    "FlakyOracle",
+    "CrowdPlatform",
+    "CostLedger",
+    "FixedPricing",
+    "SizeDependentPricing",
+    "QC_MAJORITY_ONLY",
+    "QualificationTest",
+    "RatingPolicy",
+    "ScreeningPolicy",
+    "qc_with_qualification",
+    "qc_with_rating",
+    "screen_workers",
+    "PointQuery",
+    "SetQuery",
+    "HitRecord",
+    "Worker",
+    "make_worker_pool",
+]

@@ -1,0 +1,194 @@
+"""Truth inference: aggregating redundant worker answers.
+
+The paper adopts majority vote (§2.3, quoting [63]) as its aggregation
+model and cites the broader truth-inference literature (Dawid & Skene's EM
+estimator [15], worker profiling [59, 60]). We implement both:
+
+* :func:`majority_vote` / :func:`majority_point` — the paper's choice.
+* :class:`DawidSkene` — the classic EM estimator of worker confusion
+  matrices and task truths, usable as a drop-in aggregator for experiments
+  with heterogeneous (spammy) pools. Used by the A2 ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["majority_vote", "majority_point", "DawidSkene"]
+
+
+def majority_vote(
+    answers: Sequence[Hashable], *, rng: np.random.Generator | None = None
+) -> Hashable:
+    """The most frequent answer; ties broken uniformly at random (or by
+    first occurrence when no RNG is supplied).
+
+    >>> majority_vote([True, True, False])
+    True
+    """
+    if not answers:
+        raise InvalidParameterError("majority_vote needs at least one answer")
+    counts = Counter(answers)
+    top_count = max(counts.values())
+    winners = [answer for answer, count in counts.items() if count == top_count]
+    if len(winners) == 1 or rng is None:
+        # Deterministic: first answer among the tied ones, in answer order.
+        for answer in answers:
+            if answer in winners:
+                return answer
+    return winners[rng.integers(len(winners))]
+
+
+def majority_point(
+    answers: Sequence[Mapping[str, str]], *, rng: np.random.Generator | None = None
+) -> dict[str, str]:
+    """Attribute-wise majority vote over point-query answers.
+
+    Each worker supplies a full ``{attribute: value}`` labeling; the
+    aggregate takes the majority independently per attribute, which is how
+    multi-attribute labeling HITs are resolved in practice.
+    """
+    if not answers:
+        raise InvalidParameterError("majority_point needs at least one answer")
+    attributes = answers[0].keys()
+    return {
+        attribute: majority_vote([answer[attribute] for answer in answers], rng=rng)
+        for attribute in attributes
+    }
+
+
+class DawidSkene:
+    """Dawid–Skene EM truth inference for categorical tasks.
+
+    Estimates, jointly, (a) a posterior over each task's true label and
+    (b) a per-worker confusion matrix, by expectation-maximization:
+
+    * E-step: task posteriors from current class priors and confusions,
+    * M-step: class priors and worker confusions from current posteriors.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of label classes (2 for yes/no set queries).
+    max_iterations, tolerance:
+        EM stopping criteria (log-likelihood change below ``tolerance``).
+    smoothing:
+        Laplace smoothing added to confusion counts so workers with few
+        answers do not produce degenerate (0/1) confusions.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        *,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        smoothing: float = 0.01,
+    ) -> None:
+        if n_classes < 2:
+            raise InvalidParameterError("n_classes must be >= 2")
+        if max_iterations < 1:
+            raise InvalidParameterError("max_iterations must be >= 1")
+        self.n_classes = n_classes
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.smoothing = smoothing
+        self.class_priors_: np.ndarray | None = None
+        self.worker_confusions_: dict[Hashable, np.ndarray] | None = None
+        self.posteriors_: np.ndarray | None = None
+        self.n_iterations_: int = 0
+
+    def fit_predict(
+        self, responses: Mapping[Hashable, Mapping[Hashable, int]]
+    ) -> dict[Hashable, int]:
+        """Infer the MAP label of every task.
+
+        Parameters
+        ----------
+        responses:
+            ``{task_id: {worker_id: label}}`` with integer labels in
+            ``[0, n_classes)``.
+
+        Returns
+        -------
+        dict
+            ``{task_id: inferred_label}``.
+        """
+        if not responses:
+            return {}
+        task_ids = list(responses.keys())
+        worker_ids = sorted(
+            {worker for worker_answers in responses.values() for worker in worker_answers},
+            key=repr,
+        )
+        task_pos = {task: i for i, task in enumerate(task_ids)}
+        worker_pos = {worker: j for j, worker in enumerate(worker_ids)}
+        n_tasks, n_workers, k = len(task_ids), len(worker_ids), self.n_classes
+
+        # Dense (tasks x workers) answer matrix, -1 for "not answered".
+        answers = np.full((n_tasks, n_workers), -1, dtype=np.int64)
+        for task, worker_answers in responses.items():
+            for worker, label in worker_answers.items():
+                if not 0 <= label < k:
+                    raise InvalidParameterError(
+                        f"label {label} out of range [0, {k}) for task {task!r}"
+                    )
+                answers[task_pos[task], worker_pos[worker]] = label
+
+        # Initialize posteriors from per-task vote shares.
+        posteriors = np.zeros((n_tasks, k), dtype=np.float64)
+        for i in range(n_tasks):
+            answered = answers[i][answers[i] >= 0]
+            for label in answered:
+                posteriors[i, label] += 1.0
+        posteriors += 1e-9
+        posteriors /= posteriors.sum(axis=1, keepdims=True)
+
+        previous_likelihood = -np.inf
+        confusions = np.zeros((n_workers, k, k), dtype=np.float64)
+        for iteration in range(1, self.max_iterations + 1):
+            # M-step: class priors and worker confusion matrices.
+            priors = posteriors.mean(axis=0)
+            confusions.fill(self.smoothing)
+            for j in range(n_workers):
+                answered_tasks = np.flatnonzero(answers[:, j] >= 0)
+                for i in answered_tasks:
+                    confusions[j, :, answers[i, j]] += posteriors[i]
+            confusions /= confusions.sum(axis=2, keepdims=True)
+
+            # E-step: task posteriors.
+            log_posterior = np.tile(np.log(priors + 1e-300), (n_tasks, 1))
+            for j in range(n_workers):
+                answered_tasks = np.flatnonzero(answers[:, j] >= 0)
+                for i in answered_tasks:
+                    log_posterior[i] += np.log(confusions[j, :, answers[i, j]] + 1e-300)
+            log_posterior -= log_posterior.max(axis=1, keepdims=True)
+            posteriors = np.exp(log_posterior)
+            posteriors /= posteriors.sum(axis=1, keepdims=True)
+
+            likelihood = float(np.sum(log_posterior * posteriors))
+            self.n_iterations_ = iteration
+            if abs(likelihood - previous_likelihood) < self.tolerance:
+                break
+            previous_likelihood = likelihood
+
+        self.class_priors_ = priors
+        self.posteriors_ = posteriors
+        self.worker_confusions_ = {
+            worker: confusions[worker_pos[worker]] for worker in worker_ids
+        }
+        map_labels = posteriors.argmax(axis=1)
+        return {task: int(map_labels[task_pos[task]]) for task in task_ids}
+
+    def worker_accuracy(self, worker_id: Hashable) -> float:
+        """Estimated probability that ``worker_id`` answers correctly,
+        averaged over classes (diagonal mean of the confusion matrix)."""
+        if self.worker_confusions_ is None:
+            raise InvalidParameterError("call fit_predict before worker_accuracy")
+        confusion = self.worker_confusions_[worker_id]
+        return float(np.mean(np.diag(confusion)))

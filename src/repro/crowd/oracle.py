@@ -1,0 +1,187 @@
+"""Oracles: the only channel between algorithms and labels.
+
+Every coverage algorithm in :mod:`repro.core` is written against the
+:class:`Oracle` interface — *ask a set question, ask a point question,
+pay a task* — and is therefore agnostic to where answers come from, exactly
+as the paper requires ("the proposed techniques are agnostic to the choice
+of the crowdsourcing framework, quality control, and HIT aggregation
+model").
+
+Three implementations:
+
+* :class:`GroundTruthOracle` — noise-free answers straight from the hidden
+  labels. This is the paper's §6.5 simulation setting and the correctness
+  reference in tests.
+* :class:`CrowdOracle` — routes every query through a
+  :class:`~repro.crowd.platform.CrowdPlatform` (redundant noisy workers +
+  aggregation). This is the Table 1 reproduction setting.
+* :class:`FlakyOracle` — a lightweight noisy oracle that flips answers
+  i.i.d. without simulating individual workers; useful for stress tests.
+
+All oracles share a :class:`TaskLedger` that counts queries and enforces an
+optional task budget.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.queries import PointQuery, SetQuery
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import GroupPredicate
+from repro.errors import BudgetExceededError, InvalidParameterError
+
+__all__ = ["TaskLedger", "Oracle", "GroundTruthOracle", "CrowdOracle", "FlakyOracle"]
+
+
+@dataclass
+class TaskLedger:
+    """Counts crowd tasks and enforces an optional budget.
+
+    The paper's cost model is fixed-price, so *number of tasks* is the
+    cost; algorithms snapshot the ledger before/after a run to report the
+    tasks they consumed.
+    """
+
+    n_set_queries: int = 0
+    n_point_queries: int = 0
+    budget: int | None = None
+
+    @property
+    def total(self) -> int:
+        return self.n_set_queries + self.n_point_queries
+
+    def charge_set(self) -> None:
+        self._check_budget()
+        self.n_set_queries += 1
+
+    def charge_point(self) -> None:
+        self._check_budget()
+        self.n_point_queries += 1
+
+    def _check_budget(self) -> None:
+        if self.budget is not None and self.total >= self.budget:
+            raise BudgetExceededError(
+                f"task budget of {self.budget} exhausted "
+                f"({self.n_set_queries} set + {self.n_point_queries} point queries)"
+            )
+
+
+class Oracle(ABC):
+    """Answer source for coverage algorithms.
+
+    Subclasses implement :meth:`_answer_set` / :meth:`_answer_point`; the
+    base class owns task accounting so implementations cannot forget to
+    charge.
+    """
+
+    def __init__(self, schema, *, budget: int | None = None) -> None:
+        self.schema = schema
+        self.ledger = TaskLedger(budget=budget)
+
+    # -- public API ------------------------------------------------------
+    def ask_set(self, indices: Sequence[int] | np.ndarray, predicate: GroupPredicate) -> bool:
+        """One set query: does ``indices`` contain >=1 object matching
+        ``predicate``? Charges one set task."""
+        self.ledger.charge_set()
+        return self._answer_set(np.asarray(indices, dtype=np.int64), predicate)
+
+    def ask_point(self, index: int) -> dict[str, str]:
+        """One point query: the attribute values of object ``index``.
+        Charges one point task."""
+        self.ledger.charge_point()
+        return self._answer_point(int(index))
+
+    def ask_point_membership(self, index: int, predicate: GroupPredicate) -> bool:
+        """Point query phrased as membership ("is this image a female?").
+
+        Same cost as :meth:`ask_point`; the answer is derived from the
+        labels the worker provides.
+        """
+        return predicate.matches_row(self.ask_point(index))
+
+    # -- implementation hooks --------------------------------------------
+    @abstractmethod
+    def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool: ...
+
+    @abstractmethod
+    def _answer_point(self, index: int) -> dict[str, str]: ...
+
+
+class GroundTruthOracle(Oracle):
+    """Noise-free oracle answering from the dataset's hidden labels."""
+
+    def __init__(self, dataset: LabeledDataset, *, budget: int | None = None) -> None:
+        super().__init__(dataset.schema, budget=budget)
+        self.dataset = dataset
+
+    def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
+        return bool(self.dataset.mask(predicate)[indices].any())
+
+    def _answer_point(self, index: int) -> dict[str, str]:
+        return self.dataset.value_row(index)
+
+
+class CrowdOracle(Oracle):
+    """Oracle backed by the full platform simulator (noisy workers,
+    redundancy, aggregation, dollars)."""
+
+    def __init__(self, platform: CrowdPlatform, *, budget: int | None = None) -> None:
+        super().__init__(platform.dataset.schema, budget=budget)
+        self.platform = platform
+
+    def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
+        return self.platform.publish_set_query(SetQuery(indices, predicate))
+
+    def _answer_point(self, index: int) -> dict[str, str]:
+        return self.platform.publish_point_query(PointQuery(index))
+
+
+class FlakyOracle(Oracle):
+    """Ground truth with i.i.d. answer flips — a cheap noise model.
+
+    Set answers flip with probability ``set_error_rate``; point labels are
+    replaced attribute-wise with a uniformly wrong value with probability
+    ``point_error_rate``. No redundancy and no aggregation: this models a
+    *single* unreliable worker and is primarily for robustness testing.
+    """
+
+    def __init__(
+        self,
+        dataset: LabeledDataset,
+        rng: np.random.Generator,
+        *,
+        set_error_rate: float = 0.0,
+        point_error_rate: float = 0.0,
+        budget: int | None = None,
+    ) -> None:
+        if not 0.0 <= set_error_rate <= 1.0 or not 0.0 <= point_error_rate <= 1.0:
+            raise InvalidParameterError("error rates must be in [0, 1]")
+        super().__init__(dataset.schema, budget=budget)
+        self.dataset = dataset
+        self.rng = rng
+        self.set_error_rate = set_error_rate
+        self.point_error_rate = point_error_rate
+
+    def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
+        truth = bool(self.dataset.mask(predicate)[indices].any())
+        if self.rng.random() < self.set_error_rate:
+            return not truth
+        return truth
+
+    def _answer_point(self, index: int) -> dict[str, str]:
+        truth = self.dataset.value_row(index)
+        answer: dict[str, str] = {}
+        for attribute in self.schema:
+            true_value = truth[attribute.name]
+            if self.rng.random() < self.point_error_rate:
+                wrong = [v for v in attribute.values if v != true_value]
+                answer[attribute.name] = wrong[self.rng.integers(len(wrong))]
+            else:
+                answer[attribute.name] = true_value
+        return answer

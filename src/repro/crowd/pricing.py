@@ -1,0 +1,126 @@
+"""Pricing models and cost accounting (§2.3, §6.3.1, and §8's future work).
+
+The paper adopts the *fixed price* model: every HIT costs the same, so
+minimizing cost is exactly minimizing the number of HITs. Their live runs
+priced HITs at $0.10 (later $0.05) with Amazon's 20 % service charge on top
+($44.10 paid to workers + $8.82 fees).
+
+The paper's conclusion names "extending our techniques to support various
+pricing models" as future work; we implement one natural family —
+:class:`SizeDependentPricing`, where a set query's reward grows with the
+number of images shown (real requesters pay more for bigger HITs) — and
+:mod:`repro.core.cost_aware` builds the dollar-optimal set-size chooser on
+top of it.
+
+:class:`CostLedger` is the platform's running account: HIT counts by type,
+assignment counts, worker payments, and service fees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["FixedPricing", "SizeDependentPricing", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class FixedPricing:
+    """Every HIT pays ``price_per_hit`` per assignment, plus the platform's
+    ``service_fee_rate`` (AMT charges 20 %)."""
+
+    price_per_hit: float = 0.10
+    service_fee_rate: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.price_per_hit < 0:
+            raise InvalidParameterError("price_per_hit must be >= 0")
+        if self.service_fee_rate < 0:
+            raise InvalidParameterError("service_fee_rate must be >= 0")
+
+    def assignment_cost(self) -> float:
+        """Cost of one worker assignment, before fees."""
+        return self.price_per_hit
+
+    def hit_cost(self, n_assignments: int) -> float:
+        """Worker payments for one HIT with redundancy ``n_assignments``."""
+        return self.price_per_hit * n_assignments
+
+    def fee(self, worker_payment: float) -> float:
+        return worker_payment * self.service_fee_rate
+
+
+@dataclass(frozen=True)
+class SizeDependentPricing:
+    """Per-HIT reward grows linearly with the number of images shown.
+
+    ``price(k) = base_price + per_image * k`` for a HIT displaying ``k``
+    images (a point query shows one). This models marketplaces where
+    bigger tasks must pay more to attract workers, and makes the choice of
+    set-query size ``n`` a genuine cost trade-off: larger sets mean fewer
+    HITs but each HIT is dearer — see :mod:`repro.core.cost_aware`.
+    """
+
+    base_price: float = 0.02
+    per_image: float = 0.002
+    service_fee_rate: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.base_price < 0 or self.per_image < 0:
+            raise InvalidParameterError("prices must be >= 0")
+        if self.service_fee_rate < 0:
+            raise InvalidParameterError("service_fee_rate must be >= 0")
+
+    def query_price(self, n_images: int) -> float:
+        """Reward for one assignment of a HIT showing ``n_images``."""
+        if n_images < 1:
+            raise InvalidParameterError("a HIT shows at least one image")
+        return self.base_price + self.per_image * n_images
+
+    def point_price(self) -> float:
+        return self.query_price(1)
+
+    def fee(self, worker_payment: float) -> float:
+        return worker_payment * self.service_fee_rate
+
+
+@dataclass
+class CostLedger:
+    """Running totals of HITs, assignments, and dollars."""
+
+    pricing: FixedPricing = field(default_factory=FixedPricing)
+    n_set_hits: int = 0
+    n_point_hits: int = 0
+    n_assignments: int = 0
+    worker_payments: float = 0.0
+    service_fees: float = 0.0
+
+    @property
+    def n_hits(self) -> int:
+        return self.n_set_hits + self.n_point_hits
+
+    @property
+    def total_cost(self) -> float:
+        return self.worker_payments + self.service_fees
+
+    def charge(self, *, is_set_query: bool, n_assignments: int) -> float:
+        """Record one published HIT; returns the worker payment charged."""
+        if n_assignments <= 0:
+            raise InvalidParameterError("n_assignments must be positive")
+        if is_set_query:
+            self.n_set_hits += 1
+        else:
+            self.n_point_hits += 1
+        self.n_assignments += n_assignments
+        payment = self.pricing.hit_cost(n_assignments)
+        self.worker_payments += payment
+        self.service_fees += self.pricing.fee(payment)
+        return payment
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_hits} HITs ({self.n_set_hits} set, {self.n_point_hits} point), "
+            f"{self.n_assignments} assignments, "
+            f"${self.worker_payments:.2f} to workers + ${self.service_fees:.2f} fees"
+        )

@@ -1,0 +1,124 @@
+"""Quality-control policies (Table 1's three experiment settings).
+
+The paper evaluates three quality-control configurations on MTurk:
+
+1. *Majority vote* only (group assessment — always on in our platform).
+2. *Qualification test* + majority vote: workers must pass a screening
+   test "with a similar layout to the original HITs" before accessing them.
+3. *Rating* + majority vote: only workers with
+   ``PercentAssignmentsApproved >= 95`` and ``NumberHITsApproved >= 100``
+   may work.
+
+Policies are individual *screens*: they decide which workers are eligible.
+Aggregation (majority vote / Dawid–Skene) is configured on the platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.crowd.workers import Worker
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ScreeningPolicy",
+    "QualificationTest",
+    "RatingPolicy",
+    "screen_workers",
+    "QC_MAJORITY_ONLY",
+    "qc_with_qualification",
+    "qc_with_rating",
+]
+
+
+@runtime_checkable
+class ScreeningPolicy(Protocol):
+    """Decides whether one worker is eligible to work on the HITs."""
+
+    name: str
+
+    def admits(self, worker: Worker, rng: np.random.Generator) -> bool: ...
+
+
+@dataclass(frozen=True)
+class QualificationTest:
+    """A screening test the worker must pass before accessing HITs.
+
+    The simulated worker answers ``n_questions`` questions, each correctly
+    with probability ``worker.competence``, and is admitted if the correct
+    fraction reaches ``pass_threshold``.
+    """
+
+    n_questions: int = 10
+    pass_threshold: float = 0.8
+    name: str = "qualification-test"
+
+    def __post_init__(self) -> None:
+        if self.n_questions <= 0:
+            raise InvalidParameterError("n_questions must be positive")
+        if not 0.0 < self.pass_threshold <= 1.0:
+            raise InvalidParameterError("pass_threshold must be in (0, 1]")
+
+    def admits(self, worker: Worker, rng: np.random.Generator) -> bool:
+        score = worker.take_qualification_test(self.n_questions, rng)
+        return score >= self.pass_threshold
+
+
+@dataclass(frozen=True)
+class RatingPolicy:
+    """AMT reputation screening.
+
+    The paper's exact criterion: ``PercentAssignmentsApproved >= 95`` and
+    ``NumberHITsApproved >= 100``.
+    """
+
+    min_percent_approved: float = 95.0
+    min_hits_approved: int = 100
+    name: str = "rating"
+
+    def admits(self, worker: Worker, rng: np.random.Generator) -> bool:
+        return (
+            worker.percent_assignments_approved >= self.min_percent_approved
+            and worker.number_hits_approved >= self.min_hits_approved
+        )
+
+
+def screen_workers(
+    workers: Sequence[Worker],
+    policies: Sequence[ScreeningPolicy],
+    rng: np.random.Generator,
+) -> list[Worker]:
+    """Workers admitted by *all* policies.
+
+    An empty policy list admits everyone (the majority-vote-only setting).
+    """
+    eligible = list(workers)
+    for policy in policies:
+        eligible = [worker for worker in eligible if policy.admits(worker, rng)]
+    return eligible
+
+
+#: Table 1 row 1 — no individual assessment, majority vote only.
+QC_MAJORITY_ONLY: tuple[ScreeningPolicy, ...] = ()
+
+
+def qc_with_qualification(
+    n_questions: int = 10, pass_threshold: float = 0.8
+) -> tuple[ScreeningPolicy, ...]:
+    """Table 1 row 2 — qualification test + majority vote."""
+    return (QualificationTest(n_questions=n_questions, pass_threshold=pass_threshold),)
+
+
+def qc_with_rating(
+    min_percent_approved: float = 95.0, min_hits_approved: int = 100
+) -> tuple[ScreeningPolicy, ...]:
+    """Table 1 row 3 — rating screen + majority vote."""
+    return (
+        RatingPolicy(
+            min_percent_approved=min_percent_approved,
+            min_hits_approved=min_hits_approved,
+        ),
+    )

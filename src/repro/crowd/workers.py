@@ -1,0 +1,169 @@
+"""Simulated crowd workers.
+
+The paper's live experiment observed that real workers answer these tasks
+almost perfectly (1.36 % of 660 answers incorrect) and that majority vote
+absorbed every error. Our worker model reproduces that regime and lets
+experiments push beyond it:
+
+* a base ``set_error_rate`` / ``point_error_rate`` per worker,
+* optional per-value *bias*: a worker may be systematically worse at
+  labeling particular groups (e.g. mislabeling a minority), mirroring the
+  human-bias concern §1 raises,
+* AMT-style reputation attributes used by the Rating quality control
+  (``percent_assignments_approved``, ``number_hits_approved``) and a latent
+  ``competence`` used by the Qualification test.
+
+Workers are deliberately *stateless* between answers: all randomness comes
+from the generator passed in, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+
+__all__ = ["Worker", "make_worker_pool"]
+
+
+@dataclass
+class Worker:
+    """One simulated crowd worker.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identifier within a pool.
+    set_error_rate:
+        Probability of answering a set query incorrectly (flipping yes/no).
+    point_error_rate:
+        Probability of mislabeling one attribute of one object. On error,
+        the worker reports a uniformly random *wrong* value.
+    value_error_rates:
+        Optional overrides ``{(attribute, true_value): error_rate}`` —
+        worker bias against specific groups.
+    percent_assignments_approved / number_hits_approved:
+        Reputation attributes screened by the Rating policy (Table 1).
+    competence:
+        Probability of answering one qualification-test question correctly.
+        Defaults to ``1 - point_error_rate``.
+    """
+
+    worker_id: int
+    set_error_rate: float = 0.0136
+    point_error_rate: float = 0.0136
+    value_error_rates: Mapping[tuple[str, str], float] = field(default_factory=dict)
+    percent_assignments_approved: float = 99.0
+    number_hits_approved: int = 1000
+    competence: float | None = None
+
+    def __post_init__(self) -> None:
+        for rate_name in ("set_error_rate", "point_error_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidParameterError(f"{rate_name} must be in [0,1], got {rate}")
+        if self.competence is None:
+            self.competence = 1.0 - self.point_error_rate
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def answer_set(self, truth: bool, rng: np.random.Generator) -> bool:
+        """Answer a set query whose ground-truth answer is ``truth``."""
+        if rng.random() < self.set_error_rate:
+            return not truth
+        return truth
+
+    def answer_point(
+        self, true_row: Mapping[str, str], schema: Schema, rng: np.random.Generator
+    ) -> dict[str, str]:
+        """Label one object; each attribute may independently be mislabeled."""
+        answer: dict[str, str] = {}
+        for attribute in schema:
+            true_value = true_row[attribute.name]
+            error_rate = self.value_error_rates.get(
+                (attribute.name, true_value), self.point_error_rate
+            )
+            if rng.random() < error_rate and attribute.cardinality > 1:
+                wrong_values = [v for v in attribute.values if v != true_value]
+                answer[attribute.name] = wrong_values[rng.integers(len(wrong_values))]
+            else:
+                answer[attribute.name] = true_value
+        return answer
+
+    def take_qualification_test(
+        self, n_questions: int, rng: np.random.Generator
+    ) -> float:
+        """Fraction of qualification-test questions answered correctly."""
+        if n_questions <= 0:
+            raise InvalidParameterError("n_questions must be positive")
+        correct = int(rng.binomial(n_questions, float(self.competence)))
+        return correct / n_questions
+
+
+def make_worker_pool(
+    n_workers: int,
+    rng: np.random.Generator,
+    *,
+    error_rate: float = 0.0136,
+    error_rate_spread: float = 0.0,
+    spammer_fraction: float = 0.0,
+    spammer_error_rate: float = 0.45,
+) -> list[Worker]:
+    """Generate a heterogeneous worker pool.
+
+    Parameters
+    ----------
+    error_rate:
+        Mean error rate of regular workers (default: the paper's observed
+        1.36 %).
+    error_rate_spread:
+        Half-width of the uniform jitter applied per worker.
+    spammer_fraction:
+        Fraction of low-quality workers ("spammers") with
+        ``spammer_error_rate`` and poor reputation attributes — these are
+        the workers the Rating and Qualification screens exist to remove.
+
+    Returns
+    -------
+    list[Worker]
+        ``n_workers`` workers with ids ``0..n_workers-1``.
+    """
+    if n_workers <= 0:
+        raise InvalidParameterError("n_workers must be positive")
+    if not 0.0 <= spammer_fraction <= 1.0:
+        raise InvalidParameterError("spammer_fraction must be in [0,1]")
+
+    n_spammers = int(round(n_workers * spammer_fraction))
+    workers: list[Worker] = []
+    for worker_id in range(n_workers):
+        if worker_id < n_spammers:
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    set_error_rate=spammer_error_rate,
+                    point_error_rate=spammer_error_rate,
+                    percent_assignments_approved=float(rng.uniform(40.0, 94.0)),
+                    number_hits_approved=int(rng.integers(0, 99)),
+                )
+            )
+        else:
+            jitter = rng.uniform(-error_rate_spread, error_rate_spread)
+            rate = float(np.clip(error_rate + jitter, 0.0, 1.0))
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    set_error_rate=rate,
+                    point_error_rate=rate,
+                    percent_assignments_approved=float(rng.uniform(95.0, 100.0)),
+                    number_hits_approved=int(rng.integers(100, 10000)),
+                )
+            )
+    rng.shuffle(workers)  # so spammers are not clustered by id order
+    for new_id, worker in enumerate(workers):
+        worker.worker_id = new_id
+    return workers

@@ -1,0 +1,54 @@
+"""Data substrate: schemas, group predicates, labeled datasets, generators.
+
+Public surface:
+
+* :class:`~repro.data.schema.Attribute`, :class:`~repro.data.schema.Schema`
+* :class:`~repro.data.groups.Group`, :class:`~repro.data.groups.SuperGroup`,
+  :class:`~repro.data.groups.Negation`, :func:`~repro.data.groups.group`
+* :class:`~repro.data.dataset.LabeledDataset`
+* synthetic generators (:mod:`repro.data.synthetic`)
+* image rendering (:mod:`repro.data.images`)
+* the paper's evaluation corpora (:mod:`repro.data.corpora`)
+"""
+
+from repro.data.corpora import (
+    feret_mturk_slice,
+    feret_unique_slice,
+    mrl_eye_pool,
+    utkface_gender_pool,
+    utkface_slice,
+)
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup, group
+from repro.data.images import ImageRenderer, attach_images
+from repro.data.schema import Attribute, Schema
+from repro.data.synthetic import (
+    adversarial_tightness_dataset,
+    binary_dataset,
+    intersectional_dataset,
+    proportions_dataset,
+    single_attribute_dataset,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Group",
+    "GroupPredicate",
+    "SuperGroup",
+    "Negation",
+    "group",
+    "LabeledDataset",
+    "ImageRenderer",
+    "attach_images",
+    "binary_dataset",
+    "single_attribute_dataset",
+    "intersectional_dataset",
+    "proportions_dataset",
+    "adversarial_tightness_dataset",
+    "feret_mturk_slice",
+    "feret_unique_slice",
+    "utkface_slice",
+    "utkface_gender_pool",
+    "mrl_eye_pool",
+]

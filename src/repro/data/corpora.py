@@ -1,0 +1,153 @@
+"""Named builders for the paper's evaluation corpora.
+
+The paper evaluates on slices of three real image datasets, none of which
+can be redistributed. Every experiment that uses them depends only on the
+slice's *group composition* (coverage experiments) or on learnable
+group-conditional structure (classifier / downstream experiments), so we
+rebuild each slice synthetically with the exact composition the paper
+reports:
+
+======================  =========================================  ==========
+Builder                 Composition (paper §6)                      Used by
+======================  =========================================  ==========
+feret_mturk_slice       FERET, 215 female / 1307 male               Table 1
+feret_unique_slice      FERET unique individuals, 403 F / 591 M     Table 2
+utkface_slice           UTKFace 3000-point slices, 200 F or 20 F    Table 2
+utkface_gender_pool     7055 Caucasian train slice + Black pool     Fig 6b
+mrl_eye_pool            26480 open/closed, spectacled excluded      Fig 6a
+======================  =========================================  ==========
+
+Slices are shuffled with the caller's RNG because physical placement
+affects Group-Coverage's task count (the paper shuffles before each run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import LabeledDataset
+from repro.data.images import ImageRenderer, attach_images
+from repro.data.schema import Schema
+from repro.data.synthetic import binary_dataset, intersectional_dataset
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "feret_mturk_slice",
+    "feret_unique_slice",
+    "utkface_slice",
+    "utkface_gender_pool",
+    "mrl_eye_pool",
+    "GENDER_SCHEMA",
+]
+
+GENDER_SCHEMA = Schema.from_dict({"gender": ["male", "female"]})
+
+
+def feret_mturk_slice(rng: np.random.Generator) -> LabeledDataset:
+    """The FERET slice of the live MTurk experiment (Table 1):
+    215 females, 1307 males, N = 1522."""
+    return binary_dataset(
+        1522, 215, attribute="gender", majority="male", minority="female",
+        rng=rng, name="FERET(MTurk slice)",
+    )
+
+
+def feret_unique_slice(
+    rng: np.random.Generator, *, with_images: bool = False
+) -> LabeledDataset:
+    """The FERET unique-individuals slice of Table 2: 403 F / 591 M."""
+    dataset = binary_dataset(
+        994, 403, attribute="gender", majority="male", minority="female",
+        rng=rng, name="FERET(unique individuals)",
+    )
+    return attach_images(dataset, rng) if with_images else dataset
+
+
+def utkface_slice(
+    rng: np.random.Generator,
+    *,
+    n_female: int,
+    n_total: int = 3000,
+    with_images: bool = False,
+) -> LabeledDataset:
+    """A UTKFace 3000-point slice with a chosen female count.
+
+    The paper uses two such slices (Table 2): ``n_female=200`` (covered
+    female group) and ``n_female=20`` (uncovered).
+    """
+    if n_female > n_total:
+        raise InvalidParameterError(
+            f"n_female ({n_female}) exceeds n_total ({n_total})"
+        )
+    dataset = binary_dataset(
+        n_total, n_female, attribute="gender", majority="male",
+        minority="female", rng=rng,
+        name=f"UTKFace(females={n_female}, males={n_total - n_female})",
+    )
+    return attach_images(dataset, rng) if with_images else dataset
+
+
+def utkface_gender_pool(
+    rng: np.random.Generator,
+    *,
+    n_black_pool: int = 1200,
+    renderer: ImageRenderer | None = None,
+) -> LabeledDataset:
+    """The gender-detection world of §6.4.2.
+
+    The paper's training slice is 7055 UTKFace images (3834 male / 3221
+    female), *Caucasian only*; the Black subjects form the uncovered group
+    that is later re-added and tested on. We build a single pool holding
+    both: the Caucasian training composition plus a Black pool
+    (``n_black_pool`` split evenly over gender) for test sets and for the
+    20..100-sample re-additions.
+
+    Images are attached — this corpus exists to be trained on.
+    """
+    schema = Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["caucasian", "black"]}
+    )
+    half_pool = n_black_pool // 2
+    dataset = intersectional_dataset(
+        schema,
+        {
+            ("male", "caucasian"): 3834,
+            ("female", "caucasian"): 3221,
+            ("male", "black"): half_pool,
+            ("female", "black"): n_black_pool - half_pool,
+        },
+        rng=rng,
+        name="UTKFace(gender-detection pool)",
+    )
+    return attach_images(dataset, rng, renderer=renderer)
+
+
+def mrl_eye_pool(
+    rng: np.random.Generator,
+    *,
+    n_spectacled_pool: int = 3000,
+    renderer: ImageRenderer | None = None,
+) -> LabeledDataset:
+    """The drowsiness-detection world of §6.4.1.
+
+    The paper's training sample is 26 480 MRL-eye images — 14 279 open and
+    12 201 closed — with spectacled subjects deliberately excluded. The
+    spectacled pool (``n_spectacled_pool``, split evenly over eye state)
+    provides the uncovered-group test set and the re-added samples.
+    """
+    schema = Schema.from_dict(
+        {"eye_state": ["open", "closed"], "spectacled": ["no", "yes"]}
+    )
+    half_pool = n_spectacled_pool // 2
+    dataset = intersectional_dataset(
+        schema,
+        {
+            ("open", "no"): 14279,
+            ("closed", "no"): 12201,
+            ("open", "yes"): half_pool,
+            ("closed", "yes"): n_spectacled_pool - half_pool,
+        },
+        rng=rng,
+        name="MRL-eye(drowsiness pool)",
+    )
+    return attach_images(dataset, rng, renderer=renderer)

@@ -1,0 +1,281 @@
+"""The dataset substrate: image collections with *hidden* ground-truth labels.
+
+The paper's data model is a collection ``D`` of ``N`` unlabeled objects
+(images). For simulation we must, of course, know the true attribute values
+of every object — the crowd workers answer from them — but the coverage
+algorithms never read them. The split is enforced structurally:
+
+* :class:`LabeledDataset` stores the ground truth (integer-coded label
+  matrix, optional synthetic pixel/feature arrays) and exposes exact
+  counting utilities used by oracles, generators, and test assertions.
+* Algorithms only see an :class:`repro.crowd.oracle.Oracle`, which answers
+  point/set queries and charges tasks.
+
+Label storage is a single ``(N, d)`` integer matrix (``int16`` — attribute
+cardinalities are tiny by assumption), one column per schema attribute.
+Boolean masks per predicate are memoized because oracles evaluate the same
+predicate across thousands of set queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, OracleError
+
+__all__ = ["LabeledDataset"]
+
+
+class LabeledDataset:
+    """A collection of objects with hidden ground-truth attribute values.
+
+    Parameters
+    ----------
+    schema:
+        The attributes of interest.
+    codes:
+        ``(N, d)`` integer matrix; ``codes[i, j]`` is the code of object
+        ``i``'s value on the ``j``-th schema attribute.
+    images:
+        Optional ``(N, H, W)`` float array of synthetic pixels (used by the
+        classifier and downstream substrates; coverage algorithms ignore it).
+    features:
+        Optional ``(N, F)`` float array of per-object feature vectors.
+    name:
+        Optional human-readable dataset name for reports.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        codes: np.ndarray,
+        *,
+        images: np.ndarray | None = None,
+        features: np.ndarray | None = None,
+        name: str = "dataset",
+    ) -> None:
+        codes = np.asarray(codes, dtype=np.int16)
+        if codes.ndim != 2:
+            raise InvalidParameterError(
+                f"codes must be a 2-D (N, d) array, got shape {codes.shape}"
+            )
+        if codes.shape[1] != schema.n_attributes:
+            raise InvalidParameterError(
+                f"codes has {codes.shape[1]} columns but schema has "
+                f"{schema.n_attributes} attributes"
+            )
+        for j, attribute in enumerate(schema):
+            column = codes[:, j]
+            if column.size and (column.min() < 0 or column.max() >= attribute.cardinality):
+                raise InvalidParameterError(
+                    f"codes for attribute {attribute.name!r} outside "
+                    f"[0, {attribute.cardinality})"
+                )
+        if images is not None and len(images) != len(codes):
+            raise InvalidParameterError("images length does not match codes")
+        if features is not None and len(features) != len(codes):
+            raise InvalidParameterError("features length does not match codes")
+
+        self.schema = schema
+        self.name = name
+        self._codes = codes
+        self.images = images
+        self.features = features
+        self._mask_cache: dict[GroupPredicate, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_value_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Mapping[str, str]],
+        *,
+        name: str = "dataset",
+    ) -> "LabeledDataset":
+        """Build a dataset from an iterable of ``{attribute: value}`` rows.
+
+        Convenient for tests and examples; large datasets should be built
+        directly from code matrices (see :mod:`repro.data.synthetic`).
+        """
+        rows = list(rows)
+        codes = np.zeros((len(rows), schema.n_attributes), dtype=np.int16)
+        for i, row in enumerate(rows):
+            for j, attribute in enumerate(schema):
+                codes[i, j] = attribute.code_of(row[attribute.name])
+        return cls(schema, codes, name=name)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._codes.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        return self._codes.shape[0]
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Read-only view of the ``(N, d)`` label-code matrix."""
+        view = self._codes.view()
+        view.setflags(write=False)
+        return view
+
+    def column(self, attribute: str) -> np.ndarray:
+        """Label codes of one attribute for every object."""
+        return self.codes[:, self.schema.index_of(attribute)]
+
+    def value_row(self, index: int) -> dict[str, str]:
+        """Ground-truth ``{attribute: value}`` mapping of object ``index``."""
+        if not 0 <= index < len(self):
+            raise OracleError(f"object index {index} out of range [0, {len(self)})")
+        return {
+            attribute.name: attribute.value_of(int(self._codes[index, j]))
+            for j, attribute in enumerate(self.schema)
+        }
+
+    # ------------------------------------------------------------------
+    # predicate evaluation
+    # ------------------------------------------------------------------
+    def mask(self, predicate: GroupPredicate) -> np.ndarray:
+        """Boolean membership mask of ``predicate`` over all objects.
+
+        Masks are memoized per predicate; predicates are immutable value
+        objects so the cache never goes stale.
+        """
+        cached = self._mask_cache.get(predicate)
+        if cached is not None:
+            return cached
+        predicate.validate(self.schema)
+        result = self._compute_mask(predicate)
+        result.setflags(write=False)
+        self._mask_cache[predicate] = result
+        return result
+
+    def _compute_mask(self, predicate: GroupPredicate) -> np.ndarray:
+        if isinstance(predicate, Group):
+            result = np.ones(len(self), dtype=bool)
+            for attr_name, value in predicate.conditions:
+                attribute = self.schema.attribute(attr_name)
+                j = self.schema.index_of(attr_name)
+                result &= self._codes[:, j] == attribute.code_of(value)
+            return result
+        if isinstance(predicate, SuperGroup):
+            result = np.zeros(len(self), dtype=bool)
+            for member in predicate.members:
+                result |= self.mask(member)
+            return result.copy()
+        if isinstance(predicate, Negation):
+            return ~self.mask(predicate.inner)
+        raise InvalidParameterError(f"unsupported predicate type: {type(predicate)!r}")
+
+    def matches(self, index: int, predicate: GroupPredicate) -> bool:
+        """Does object ``index`` satisfy ``predicate``? (ground truth)"""
+        return bool(self.mask(predicate)[index])
+
+    def count(self, predicate: GroupPredicate) -> int:
+        """Exact number of objects satisfying ``predicate`` (ground truth)."""
+        return int(self.mask(predicate).sum())
+
+    def positions(self, predicate: GroupPredicate) -> np.ndarray:
+        """Sorted indices of all objects satisfying ``predicate``."""
+        return np.flatnonzero(self.mask(predicate))
+
+    def is_covered(self, predicate: GroupPredicate, tau: int) -> bool:
+        """Ground-truth coverage verdict: at least ``tau`` matching objects."""
+        if tau < 0:
+            raise InvalidParameterError(f"tau must be non-negative, got {tau}")
+        return self.count(predicate) >= tau
+
+    # ------------------------------------------------------------------
+    # group statistics
+    # ------------------------------------------------------------------
+    def counts_by_value(self, attribute: str) -> dict[str, int]:
+        """Histogram ``{value: count}`` of one attribute."""
+        attr = self.schema.attribute(attribute)
+        column = self.column(attribute)
+        bincount = np.bincount(column, minlength=attr.cardinality)
+        return {attr.value_of(code): int(bincount[code]) for code in range(attr.cardinality)}
+
+    def joint_counts(self) -> dict[tuple[str, ...], int]:
+        """Histogram over fully-specified value combinations.
+
+        Returns ``{(v1, ..., vd): count}`` for every combination that occurs
+        at least once.
+        """
+        cards = self.schema.cardinalities
+        flat = np.zeros(len(self), dtype=np.int64)
+        for j, card in enumerate(cards):
+            flat = flat * card + self._codes[:, j]
+        bincount = np.bincount(flat, minlength=int(np.prod(cards)))
+        result: dict[tuple[str, ...], int] = {}
+        for flat_code, count in enumerate(bincount):
+            if count == 0:
+                continue
+            values = []
+            remainder = flat_code
+            for card in reversed(cards):
+                values.append(remainder % card)
+                remainder //= card
+            values.reverse()
+            key = tuple(
+                attribute.value_of(code)
+                for attribute, code in zip(self.schema, values)
+            )
+            result[key] = int(count)
+        return result
+
+    # ------------------------------------------------------------------
+    # restructuring
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray | list[int], *, name: str | None = None) -> "LabeledDataset":
+        """A new dataset containing ``indices`` in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return LabeledDataset(
+            self.schema,
+            self._codes[indices],
+            images=None if self.images is None else self.images[indices],
+            features=None if self.features is None else self.features[indices],
+            name=name or f"{self.name}[subset:{len(indices)}]",
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "LabeledDataset":
+        """A new dataset with objects in a random physical order."""
+        permutation = rng.permutation(len(self))
+        return self.subset(permutation, name=f"{self.name}[shuffled]")
+
+    def concatenated(self, other: "LabeledDataset", *, name: str | None = None) -> "LabeledDataset":
+        """This dataset followed by ``other`` (schemas must be equal)."""
+        if other.schema != self.schema:
+            raise InvalidParameterError("cannot concatenate datasets with different schemas")
+
+        def _merge(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+            if a is None or b is None:
+                return None
+            return np.concatenate([a, b])
+
+        return LabeledDataset(
+            self.schema,
+            np.concatenate([self._codes, other._codes]),
+            images=_merge(self.images, other.images),
+            features=_merge(self.features, other.features),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def describe(self) -> str:
+        """A short multi-line summary used by examples and reports."""
+        lines = [f"{self.name}: N={len(self)}, attributes={list(self.schema.names)}"]
+        for attribute in self.schema:
+            histogram = self.counts_by_value(attribute.name)
+            rendered = ", ".join(f"{v}={c}" for v, c in histogram.items())
+            lines.append(f"  {attribute.name}: {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"LabeledDataset(name={self.name!r}, N={len(self)}, d={self.schema.n_attributes})"

@@ -1,0 +1,223 @@
+"""Group predicates: the vocabulary of coverage questions.
+
+The paper asks coverage questions about *(demographic) groups*. Three
+predicate forms appear:
+
+* :class:`Group` — a conjunction of ``attribute = value`` conditions
+  (``{gender=female}``, ``{gender=female, race=asian}``). A group that
+  fixes every attribute of a schema is a *fully-specified subgroup*.
+* :class:`SuperGroup` — a disjunction (OR) of groups. Section 4 of the
+  paper merges several minority groups into one "super-group" so a single
+  Group-Coverage run can rule them all uncovered at once.
+* :class:`Negation` — the complement of a predicate. Section 5's
+  Classifier-Coverage asks the *reverse* set question ("is there any
+  individual in this set that is NOT female?"), which is exactly a set
+  query on ``Negation(female)``.
+
+Predicates are immutable, hashable value objects that reference attributes
+and values *by name*; they are validated and compiled into boolean masks by
+:class:`repro.data.dataset.LabeledDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, UnknownGroupError
+
+__all__ = ["GroupPredicate", "Group", "SuperGroup", "Negation", "group"]
+
+
+@runtime_checkable
+class GroupPredicate(Protocol):
+    """Anything a set query can ask about."""
+
+    def matches_row(self, row: Mapping[str, str]) -> bool:
+        """Does an object with attribute values ``row`` satisfy the predicate?"""
+        ...
+
+    def validate(self, schema: Schema) -> None:
+        """Raise :class:`UnknownGroupError` if the predicate does not type-check
+        against ``schema``."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable form, used in HIT instructions and reports."""
+        ...
+
+
+@dataclass(frozen=True)
+class Group:
+    """A conjunction of ``attribute = value`` conditions.
+
+    Parameters
+    ----------
+    conditions:
+        Mapping from attribute name to required value. Stored internally as
+        a sorted tuple of pairs so that equal groups hash equally regardless
+        of construction order.
+
+    Examples
+    --------
+    >>> g = Group({"gender": "female"})
+    >>> g.matches_row({"gender": "female", "race": "asian"})
+    True
+    >>> Group({"gender": "female", "race": "asian"}).describe()
+    'gender=female AND race=asian'
+    """
+
+    conditions: tuple[tuple[str, str], ...]
+
+    def __init__(self, conditions: Mapping[str, str]) -> None:
+        if not conditions:
+            raise InvalidParameterError("a Group needs at least one condition")
+        items = tuple(sorted((str(k), str(v)) for k, v in conditions.items()))
+        object.__setattr__(self, "conditions", items)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Names of the attributes this group constrains, sorted."""
+        return tuple(name for name, _ in self.conditions)
+
+    def value_of(self, attribute: str) -> str:
+        """The value this group requires for ``attribute``.
+
+        Raises
+        ------
+        UnknownGroupError
+            If the group does not constrain ``attribute``.
+        """
+        for name, value in self.conditions:
+            if name == attribute:
+                return value
+        raise UnknownGroupError(f"group {self} has no condition on {attribute!r}")
+
+    def constrains(self, attribute: str) -> bool:
+        return any(name == attribute for name, _ in self.conditions)
+
+    def matches_row(self, row: Mapping[str, str]) -> bool:
+        return all(row.get(name) == value for name, value in self.conditions)
+
+    def validate(self, schema: Schema) -> None:
+        for name, value in self.conditions:
+            attribute = schema.attribute(name)  # raises UnknownGroupError
+            attribute.code_of(value)  # raises UnknownGroupError
+
+    def is_fully_specified(self, schema: Schema) -> bool:
+        """True if the group fixes a value for every attribute in ``schema``."""
+        return set(self.attributes) == set(schema.names)
+
+    def shares_parent_with(self, other: "Group") -> bool:
+        """True if the two groups constrain the same attributes and differ on
+        exactly one of them.
+
+        In the pattern graph this means both groups are children of one
+        common parent pattern; Algorithm 6's ``multi=True`` aggregation only
+        merges such sibling groups.
+        """
+        if self.attributes != other.attributes:
+            return False
+        differing = sum(
+            1
+            for (_, mine), (_, theirs) in zip(self.conditions, other.conditions)
+            if mine != theirs
+        )
+        return differing == 1
+
+    def describe(self) -> str:
+        return " AND ".join(f"{name}={value}" for name, value in self.conditions)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class SuperGroup:
+    """A disjunction (OR) of :class:`Group` members.
+
+    Section 4 of the paper aggregates several expected-minority groups into
+    a super-group; a set query on a super-group asks "does this set contain
+    at least one object from *any* of these groups?".
+
+    Notes
+    -----
+    Members are kept in the order given (reports preserve the ascending
+    sampled-count order Algorithm 6 produces), but equality and hashing use
+    the unordered member set.
+    """
+
+    members: tuple[Group, ...]
+
+    def __init__(self, members: Iterable[Group]) -> None:
+        member_tuple = tuple(members)
+        if not member_tuple:
+            raise InvalidParameterError("a SuperGroup needs at least one member")
+        if len(set(member_tuple)) != len(member_tuple):
+            raise InvalidParameterError(
+                f"duplicate members in super-group: {member_tuple!r}"
+            )
+        object.__setattr__(self, "members", member_tuple)
+
+    def matches_row(self, row: Mapping[str, str]) -> bool:
+        return any(member.matches_row(row) for member in self.members)
+
+    def validate(self, schema: Schema) -> None:
+        for member in self.members:
+            member.validate(schema)
+
+    def describe(self) -> str:
+        if len(self.members) == 1:
+            return self.members[0].describe()
+        return " OR ".join(f"({member.describe()})" for member in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SuperGroup):
+            return NotImplemented
+        return set(self.members) == set(other.members)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.members))
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class Negation:
+    """The complement of a predicate.
+
+    Used by Classifier-Coverage's reverse set question: a set query on
+    ``Negation(Group({"gender": "female"}))`` asks whether the set contains
+    any individual that is *not* female.
+    """
+
+    inner: Group | SuperGroup
+
+    def matches_row(self, row: Mapping[str, str]) -> bool:
+        return not self.inner.matches_row(row)
+
+    def validate(self, schema: Schema) -> None:
+        self.inner.validate(schema)
+
+    def describe(self) -> str:
+        return f"NOT ({self.inner.describe()})"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.describe()
+
+
+def group(**conditions: str) -> Group:
+    """Convenience constructor: ``group(gender="female", race="asian")``.
+
+    Equivalent to ``Group({"gender": "female", "race": "asian"})`` but reads
+    naturally at call sites and in examples.
+    """
+    return Group(conditions)

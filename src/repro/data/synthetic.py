@@ -1,0 +1,253 @@
+"""Synthetic dataset generators.
+
+The paper's performance experiments (§6.5) run on synthetic data: "we
+create synthetic data with a variety of distributions ... we simulate the
+behavior of the crowdworkers in answering queries". These builders create
+:class:`~repro.data.dataset.LabeledDataset` instances with exact group
+composition and controllable *physical placement* of the minority objects,
+which is what drives Group-Coverage's task count:
+
+* ``random`` placement — the default; objects are shuffled (the paper
+  shuffles before every run).
+* ``uniform`` placement — minority objects evenly spread, the adversarial
+  layout from the tightness proof of Theorem 3.2 (every early set query
+  answers "yes").
+* ``front`` / ``back`` — best/worst cases for the Base-Coverage baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.data.dataset import LabeledDataset
+from repro.data.schema import Attribute, Schema
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Placement",
+    "binary_dataset",
+    "single_attribute_dataset",
+    "intersectional_dataset",
+    "proportions_dataset",
+    "adversarial_tightness_dataset",
+]
+
+Placement = Literal["random", "uniform", "front", "back"]
+
+
+def _place_minority(
+    n_total: int,
+    n_minority: int,
+    placement: Placement,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Indices at which minority objects are placed."""
+    if not 0 <= n_minority <= n_total:
+        raise InvalidParameterError(
+            f"need 0 <= n_minority <= n_total, got {n_minority}/{n_total}"
+        )
+    if placement == "random":
+        if rng is None:
+            raise InvalidParameterError("random placement requires an rng")
+        return rng.choice(n_total, size=n_minority, replace=False)
+    if placement == "uniform":
+        if n_minority == 0:
+            return np.empty(0, dtype=np.int64)
+        # Evenly spaced positions, one per stride, so that every window of
+        # size ~n_total/n_minority contains exactly one minority object.
+        return np.floor(np.arange(n_minority) * (n_total / n_minority)).astype(np.int64)
+    if placement == "front":
+        return np.arange(n_minority, dtype=np.int64)
+    if placement == "back":
+        return np.arange(n_total - n_minority, n_total, dtype=np.int64)
+    raise InvalidParameterError(f"unknown placement {placement!r}")
+
+
+def binary_dataset(
+    n_total: int,
+    n_minority: int,
+    *,
+    attribute: str = "gender",
+    majority: str = "male",
+    minority: str = "female",
+    placement: Placement = "random",
+    rng: np.random.Generator | None = None,
+    name: str | None = None,
+) -> LabeledDataset:
+    """A single-binary-attribute dataset (the paper's core scenario).
+
+    Parameters
+    ----------
+    n_total:
+        Dataset size ``N``.
+    n_minority:
+        Exact number of minority objects (the paper's ``f`` when the
+        minority is ``female``).
+    placement:
+        Physical layout of the minority objects, see module docstring.
+    rng:
+        Required for ``random`` placement.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> ds = binary_dataset(1000, 30, rng=rng)
+    >>> ds.counts_by_value("gender")["female"]
+    30
+    """
+    schema = Schema([Attribute(attribute, (majority, minority))])
+    codes = np.zeros((n_total, 1), dtype=np.int16)
+    codes[_place_minority(n_total, n_minority, placement, rng), 0] = 1
+    return LabeledDataset(
+        schema,
+        codes,
+        name=name or f"binary({attribute}:{n_minority}/{n_total})",
+    )
+
+
+def single_attribute_dataset(
+    counts: Mapping[str, int],
+    *,
+    attribute: str = "race",
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    name: str | None = None,
+) -> LabeledDataset:
+    """A dataset over one attribute with an exact count per value.
+
+    ``counts`` is an ordered mapping ``{value: count}``; its key order
+    defines the attribute's domain order (put the majority first for
+    readability). With ``shuffle=False`` objects are laid out value by
+    value, which is useful for deterministic tests.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(1)
+    >>> ds = single_attribute_dataset(
+    ...     {"white": 900, "black": 60, "asian": 40}, rng=rng)
+    >>> len(ds)
+    1000
+    """
+    values = tuple(counts.keys())
+    schema = Schema([Attribute(attribute, values)])
+    blocks = [np.full(count, code, dtype=np.int16) for code, count in enumerate(counts.values())]
+    column = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int16)
+    codes = column.reshape(-1, 1)
+    if shuffle:
+        if rng is None:
+            raise InvalidParameterError("shuffle=True requires an rng")
+        rng.shuffle(codes)
+    return LabeledDataset(
+        schema,
+        codes,
+        name=name or f"single({attribute}:{dict(counts)})",
+    )
+
+
+def intersectional_dataset(
+    schema: Schema,
+    joint_counts: Mapping[tuple[str, ...], int],
+    *,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    name: str | None = None,
+) -> LabeledDataset:
+    """A multi-attribute dataset with exact counts per fully-specified group.
+
+    ``joint_counts`` maps value tuples (aligned with ``schema`` attribute
+    order) to object counts; omitted combinations get zero objects.
+
+    Examples
+    --------
+    >>> schema = Schema.from_dict(
+    ...     {"gender": ["male", "female"], "race": ["white", "black"]})
+    >>> ds = intersectional_dataset(
+    ...     schema, {("male", "white"): 80, ("female", "black"): 20},
+    ...     shuffle=False)
+    >>> ds.joint_counts()[("female", "black")]
+    20
+    """
+    rows: list[np.ndarray] = []
+    for values, count in joint_counts.items():
+        if len(values) != schema.n_attributes:
+            raise InvalidParameterError(
+                f"joint count key {values!r} does not match schema arity "
+                f"{schema.n_attributes}"
+            )
+        if count < 0:
+            raise InvalidParameterError(f"negative count for {values!r}")
+        code_row = np.array(
+            [attribute.code_of(value) for attribute, value in zip(schema, values)],
+            dtype=np.int16,
+        )
+        rows.append(np.tile(code_row, (count, 1)))
+    codes = (
+        np.concatenate(rows)
+        if rows
+        else np.empty((0, schema.n_attributes), dtype=np.int16)
+    )
+    if shuffle:
+        if rng is None:
+            raise InvalidParameterError("shuffle=True requires an rng")
+        codes = codes[rng.permutation(len(codes))]
+    return LabeledDataset(schema, codes, name=name or "intersectional")
+
+
+def proportions_dataset(
+    n_total: int,
+    proportions: Mapping[str, float],
+    *,
+    attribute: str = "group",
+    rng: np.random.Generator,
+    name: str | None = None,
+) -> LabeledDataset:
+    """A dataset where each object's value is sampled i.i.d. from
+    ``proportions`` (which must sum to ~1).
+
+    Unlike :func:`single_attribute_dataset` the realized counts are random;
+    use this to exercise estimator behavior (Algorithm 6's sampling phase).
+    """
+    values = tuple(proportions.keys())
+    weights = np.array([proportions[v] for v in values], dtype=np.float64)
+    if weights.min() < 0 or abs(weights.sum() - 1.0) > 1e-6:
+        raise InvalidParameterError(
+            f"proportions must be non-negative and sum to 1, got {dict(proportions)}"
+        )
+    schema = Schema([Attribute(attribute, values)])
+    column = rng.choice(len(values), size=n_total, p=weights).astype(np.int16)
+    return LabeledDataset(
+        schema,
+        column.reshape(-1, 1),
+        name=name or f"proportions({attribute})",
+    )
+
+
+def adversarial_tightness_dataset(
+    n_total: int,
+    tau: int,
+    *,
+    attribute: str = "gender",
+    majority: str = "male",
+    minority: str = "female",
+    name: str | None = None,
+) -> LabeledDataset:
+    """The adversarial layout from the tightness proof of Theorem 3.2.
+
+    Exactly ``tau - 1`` minority objects (so the group is uncovered — the
+    worst case) spread uniformly so that all early set queries answer "yes"
+    and the execution tree degenerates into ``tau - 1`` long isolation
+    paths: Θ(τ·log(n/τ)) tasks.
+    """
+    if tau < 1:
+        raise InvalidParameterError(f"tau must be >= 1, got {tau}")
+    return binary_dataset(
+        n_total,
+        tau - 1,
+        attribute=attribute,
+        majority=majority,
+        minority=minority,
+        placement="uniform",
+        name=name or f"adversarial(tau={tau}, N={n_total})",
+    )

@@ -1,0 +1,17 @@
+"""Downstream-task disparity experiments (§6.4 / Figure 6)."""
+
+from repro.downstream.experiments import (
+    DisparityCurve,
+    DisparityPoint,
+    drowsiness_experiment,
+    gender_experiment,
+    run_disparity_experiment,
+)
+
+__all__ = [
+    "DisparityCurve",
+    "DisparityPoint",
+    "run_disparity_experiment",
+    "drowsiness_experiment",
+    "gender_experiment",
+]

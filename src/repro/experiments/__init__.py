@@ -1,0 +1,25 @@
+"""Experiment runners: one per paper table/figure, plus ablations and a CLI."""
+
+from repro.experiments.harness import average_over_trials, trial_rngs
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.settings import (
+    IntersectionalSetting,
+    MultiGroupSetting,
+    intersectional_schema,
+    intersectional_settings,
+    multi_group_setting_for_sigma,
+    multi_group_settings,
+)
+
+__all__ = [
+    "average_over_trials",
+    "trial_rngs",
+    "render_series",
+    "render_table",
+    "MultiGroupSetting",
+    "IntersectionalSetting",
+    "multi_group_settings",
+    "multi_group_setting_for_sigma",
+    "intersectional_settings",
+    "intersectional_schema",
+]

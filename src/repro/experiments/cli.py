@@ -1,0 +1,168 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments table2 --trials 3
+    repro-experiments fig6 --scale fast
+    repro-experiments fig7a fig7e
+    repro-experiments ablations
+    repro-experiments all --trials 3 --scale fast
+
+(Also runnable as ``python -m repro.experiments.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+__all__ = ["main"]
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.table1 import render_table1, run_table1
+
+    return render_table1(run_table1(seed=args.seed))
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.table2 import render_table2, run_table2
+
+    return render_table2(run_table2(seed=args.seed, n_trials=args.trials))
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    from repro.experiments.figure6 import render_figure6, run_figure6
+
+    return render_figure6(run_figure6(seed=args.seed, scale=args.scale))
+
+
+def _sweep_runner(name: str) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        from repro.experiments import figure7
+        from repro.experiments.figure7 import render_sweep
+
+        runner = getattr(figure7, f"run_figure{name}")
+        return render_sweep(runner(n_trials=args.trials))
+
+    return run
+
+
+def _run_fig7e(args: argparse.Namespace) -> str:
+    from repro.experiments.figure7_multi import render_multi_comparisons, run_figure7e
+
+    return render_multi_comparisons(
+        run_figure7e(n_trials=args.trials),
+        title="Figure 7e — multiple non-intersectional groups (sigma=4)",
+    )
+
+
+def _run_fig7g(args: argparse.Namespace) -> str:
+    from repro.experiments.figure7_multi import render_multi_comparisons, run_figure7g
+
+    return render_multi_comparisons(
+        run_figure7g(n_trials=args.trials),
+        title="Figure 7g — multiple groups across cardinalities",
+    )
+
+
+def _run_fig7f(args: argparse.Namespace) -> str:
+    from repro.experiments.figure7_intersectional import (
+        render_intersectional_comparisons,
+        run_figure7f,
+    )
+
+    return render_intersectional_comparisons(
+        run_figure7f(n_trials=args.trials),
+        title="Figure 7f — intersectional groups (2x2x2)",
+    )
+
+
+def _run_fig7h(args: argparse.Namespace) -> str:
+    from repro.experiments.figure7_intersectional import (
+        render_intersectional_comparisons,
+        run_figure7h,
+    )
+
+    return render_intersectional_comparisons(
+        run_figure7h(n_trials=args.trials),
+        title="Figure 7h — intersectional schemas (2x2x2) vs (2x4)",
+    )
+
+
+def _run_ablations(args: argparse.Namespace) -> str:
+    from repro.experiments.ablations import (
+        render_ablation_aggregation,
+        render_ablation_sampling_budget,
+        render_ablation_set_size,
+        render_ablation_worker_bias,
+        run_ablation_aggregation,
+        run_ablation_sampling_budget,
+        run_ablation_set_size,
+        run_ablation_worker_bias,
+    )
+
+    return "\n\n".join(
+        [
+            render_ablation_set_size(run_ablation_set_size()),
+            render_ablation_aggregation(run_ablation_aggregation()),
+            render_ablation_sampling_budget(run_ablation_sampling_budget()),
+            render_ablation_worker_bias(run_ablation_worker_bias()),
+        ]
+    )
+
+
+RUNNERS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "fig6": _run_fig6,
+    "fig7a": _sweep_runner("7a"),
+    "fig7b": _sweep_runner("7b"),
+    "fig7c": _sweep_runner("7c"),
+    "fig7d": _sweep_runner("7d"),
+    "fig7e": _run_fig7e,
+    "fig7f": _run_fig7f,
+    "fig7g": _run_fig7g,
+    "fig7h": _run_fig7h,
+    "ablations": _run_ablations,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*RUNNERS.keys(), "all"],
+        help="which experiments to run",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument(
+        "--trials", type=int, default=3, help="trials per measured point"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["paper", "fast", "smoke"],
+        default="fast",
+        help="scale of the figure-6 training protocol",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(RUNNERS) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.perf_counter()
+        output = RUNNERS[name](args)
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Figure 7a–7d: Group-Coverage performance sweeps on synthetic data.
+
+Each runner reproduces one panel of the paper's Figure 7 for the single
+binary attribute (female/male) scenario: average number of tasks for
+Group-Coverage, the Base-Coverage baseline, and the theoretical
+``N/n + tau*log10(n)`` upper bound, while sweeping
+
+* 7a — the number of females ``f`` in ``[0, 2*tau]``,
+* 7b — the coverage threshold ``tau`` with ``f = tau`` (the worst case),
+* 7c — the set-query size bound ``n``,
+* 7d — the dataset size ``N`` from 1 K to 1 M.
+
+Answers come from the noise-free :class:`GroundTruthOracle`, matching the
+paper's simulated-crowd setup (§6.5.1); every point is averaged over
+independent trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base_coverage import base_coverage
+from repro.core.bounds import upper_bound_tasks
+from repro.core.group_coverage import group_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.experiments.harness import trial_rngs
+from repro.experiments.reporting import render_series
+
+__all__ = [
+    "SweepResult",
+    "run_figure7a",
+    "run_figure7b",
+    "run_figure7c",
+    "run_figure7d",
+    "render_sweep",
+]
+
+FEMALE = group(gender="female")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One figure panel: x values and the three task-count series."""
+
+    title: str
+    x_label: str
+    x_values: tuple[float, ...]
+    group_coverage_tasks: tuple[float, ...]
+    base_coverage_tasks: tuple[float, ...]
+    upper_bound: tuple[float, ...]
+
+    def series(self) -> dict[str, Sequence[float]]:
+        return {
+            "Group-Coverage": self.group_coverage_tasks,
+            "Base-Coverage": self.base_coverage_tasks,
+            "UpperBound": self.upper_bound,
+        }
+
+
+def _measure_point(
+    rng: np.random.Generator,
+    *,
+    n_total: int,
+    n_females: int,
+    tau: int,
+    n: int,
+    include_base: bool = True,
+) -> tuple[int, int]:
+    """Task counts of one Group-Coverage and one Base-Coverage run."""
+    dataset = binary_dataset(n_total, n_females, rng=rng)
+    result = group_coverage(
+        GroundTruthOracle(dataset), FEMALE, tau, n=n, dataset_size=n_total
+    )
+    base_tasks = 0
+    if include_base:
+        base = base_coverage(
+            GroundTruthOracle(dataset), FEMALE, tau, dataset_size=n_total
+        )
+        base_tasks = base.tasks.total
+    return result.tasks.total, base_tasks
+
+
+def _sweep(
+    title: str,
+    x_label: str,
+    points: Sequence[tuple[float, dict]],
+    *,
+    seed: int,
+    n_trials: int,
+) -> SweepResult:
+    group_means: list[float] = []
+    base_means: list[float] = []
+    bounds: list[float] = []
+    for _, params in points:
+        group_tasks: list[int] = []
+        base_tasks: list[int] = []
+        for rng in trial_rngs(seed, n_trials):
+            g, b = _measure_point(rng, **params)
+            group_tasks.append(g)
+            base_tasks.append(b)
+        group_means.append(float(np.mean(group_tasks)))
+        base_means.append(float(np.mean(base_tasks)))
+        bounds.append(
+            upper_bound_tasks(params["n_total"], params["n"], params["tau"])
+        )
+    return SweepResult(
+        title=title,
+        x_label=x_label,
+        x_values=tuple(x for x, _ in points),
+        group_coverage_tasks=tuple(group_means),
+        base_coverage_tasks=tuple(base_means),
+        upper_bound=tuple(bounds),
+    )
+
+
+def run_figure7a(
+    *,
+    seed: int = 17,
+    n_trials: int = 5,
+    n_total: int = 100_000,
+    tau: int = 50,
+    n: int = 50,
+    f_values: Sequence[int] | None = None,
+) -> SweepResult:
+    """7a: tasks vs number of females ``f`` in ``[0, 2*tau]``."""
+    f_values = list(f_values) if f_values is not None else list(range(0, 2 * tau + 1, 10))
+    points = [
+        (float(f), dict(n_total=n_total, n_females=f, tau=tau, n=n))
+        for f in f_values
+    ]
+    return _sweep(
+        "Figure 7a — varying #females (N=100K, tau=50, n=50)",
+        "f",
+        points,
+        seed=seed,
+        n_trials=n_trials,
+    )
+
+
+def run_figure7b(
+    *,
+    seed: int = 19,
+    n_trials: int = 5,
+    n_total: int = 100_000,
+    n: int = 50,
+    tau_values: Sequence[int] | None = None,
+) -> SweepResult:
+    """7b: tasks vs threshold ``tau`` with ``f = tau`` (the worst case)."""
+    tau_values = list(tau_values) if tau_values is not None else [1, *range(10, 101, 10)]
+    points = [
+        (float(tau), dict(n_total=n_total, n_females=tau, tau=tau, n=n))
+        for tau in tau_values
+    ]
+    return _sweep(
+        "Figure 7b — varying coverage threshold (N=100K, f=tau, n=50)",
+        "tau",
+        points,
+        seed=seed,
+        n_trials=n_trials,
+    )
+
+
+def run_figure7c(
+    *,
+    seed: int = 23,
+    n_trials: int = 5,
+    n_total: int = 100_000,
+    tau: int = 50,
+    n_values: Sequence[int] | None = None,
+) -> SweepResult:
+    """7c: tasks vs set-query size bound ``n`` (f = tau = 50)."""
+    n_values = (
+        list(n_values)
+        if n_values is not None
+        else [1, 2, 5, 10, 20, 50, 100, 200, 300, 400]
+    )
+    points = [
+        (float(n), dict(n_total=n_total, n_females=tau, tau=tau, n=n))
+        for n in n_values
+    ]
+    return _sweep(
+        "Figure 7c — varying subset size bound (N=100K, f=tau=50)",
+        "n",
+        points,
+        seed=seed,
+        n_trials=n_trials,
+    )
+
+
+def run_figure7d(
+    *,
+    seed: int = 29,
+    n_trials: int = 3,
+    tau: int = 50,
+    n: int = 50,
+    n_values: Sequence[int] | None = None,
+) -> SweepResult:
+    """7d: tasks vs dataset size ``N`` from 1 K to 1 M (f = tau = 50)."""
+    n_values = (
+        list(n_values)
+        if n_values is not None
+        else [1_000, 10_000, 100_000, 200_000, 500_000, 1_000_000]
+    )
+    points = [
+        (float(N), dict(n_total=N, n_females=tau, tau=tau, n=n))
+        for N in n_values
+    ]
+    return _sweep(
+        "Figure 7d — varying dataset size (f=tau=50, n=50)",
+        "N",
+        points,
+        seed=seed,
+        n_trials=n_trials,
+    )
+
+
+def render_sweep(result: SweepResult) -> str:
+    return render_series(
+        result.x_label,
+        result.x_values,
+        {label: [f"{v:.0f}" for v in values] for label, values in result.series().items()},
+        title=result.title,
+    )

@@ -1,0 +1,167 @@
+"""Figure 7f/7h: Intersectional-Coverage vs brute force.
+
+* 7f — the four Table 3 settings on three binary attributes (2×2×2).
+* 7h — the "effective 1" setting on both paper schemas, (2,2,2) and
+  (2,4): with equal numbers of fully-specified subgroups the costs are
+  expected to be similar — "the only important feature is the cardinality
+  of the attributes rather than the number of attributes".
+
+The brute-force comparator runs Group-Coverage once per fully-specified
+leaf subgroup (coverage of the upper patterns then follows from the
+leaf counts for free, for both plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.group_coverage import group_coverage
+from repro.core.intersectional_coverage import intersectional_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.synthetic import intersectional_dataset
+from repro.experiments.harness import trial_rngs
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import (
+    IntersectionalSetting,
+    intersectional_schema,
+    intersectional_settings,
+)
+from repro.patterns.graph import PatternGraph
+
+__all__ = [
+    "IntersectionalComparison",
+    "compare_on_intersectional_setting",
+    "run_figure7f",
+    "run_figure7h",
+    "render_intersectional_comparisons",
+]
+
+
+@dataclass(frozen=True)
+class IntersectionalComparison:
+    label: str
+    intersectional_tasks: float
+    brute_force_tasks: float
+    verdicts_agree: bool
+    mean_n_mups: float
+
+    @property
+    def speedup(self) -> float:
+        if self.intersectional_tasks == 0:
+            return float("inf")
+        return self.brute_force_tasks / self.intersectional_tasks
+
+
+def compare_on_intersectional_setting(
+    setting: IntersectionalSetting,
+    *,
+    seed: int,
+    n_trials: int = 5,
+    tau: int = 50,
+    n: int = 50,
+) -> IntersectionalComparison:
+    """Compare Intersectional-Coverage vs per-leaf brute force."""
+    schema = intersectional_schema(setting.cardinalities)
+    graph = PatternGraph(schema)
+    leaf_groups = [leaf.to_group() for leaf in graph.leaves()]
+
+    intersectional_tasks: list[int] = []
+    brute_tasks: list[int] = []
+    mup_counts: list[int] = []
+    agree = True
+    for rng in trial_rngs(seed, n_trials):
+        dataset = intersectional_dataset(
+            schema, dict(setting.joint_counts), rng=rng
+        )
+        report = intersectional_coverage(
+            GroundTruthOracle(dataset),
+            schema,
+            tau,
+            n=n,
+            rng=rng,
+            dataset_size=len(dataset),
+        )
+        intersectional_tasks.append(report.tasks.total)
+        mup_counts.append(len(report.mups))
+
+        oracle = GroundTruthOracle(dataset)
+        brute_verdicts = {}
+        for g in leaf_groups:
+            brute_verdicts[g] = group_coverage(
+                oracle, g, tau, n=n, dataset_size=len(dataset)
+            ).covered
+        brute_tasks.append(oracle.ledger.total)
+        for entry in report.leaf_report.entries:
+            agree &= entry.covered == brute_verdicts[entry.group]
+    return IntersectionalComparison(
+        label=setting.name,
+        intersectional_tasks=float(np.mean(intersectional_tasks)),
+        brute_force_tasks=float(np.mean(brute_tasks)),
+        verdicts_agree=agree,
+        mean_n_mups=float(np.mean(mup_counts)),
+    )
+
+
+def run_figure7f(
+    *, seed: int = 41, n_trials: int = 5, tau: int = 50, n: int = 50
+) -> list[IntersectionalComparison]:
+    """7f: the four Table 3 settings on three binary attributes."""
+    return [
+        compare_on_intersectional_setting(
+            setting, seed=seed + i, n_trials=n_trials, tau=tau, n=n
+        )
+        for i, setting in enumerate(intersectional_settings((2, 2, 2)))
+    ]
+
+
+def run_figure7h(
+    *, seed: int = 43, n_trials: int = 5, tau: int = 50, n: int = 50
+) -> list[IntersectionalComparison]:
+    """7h: the "effective 1" setting on (2,2,2) vs (2,4) — equal numbers
+    of leaf subgroups, expected similar cost."""
+    comparisons: list[IntersectionalComparison] = []
+    for i, cards in enumerate(((2, 2, 2), (2, 4))):
+        setting = intersectional_settings(cards)[0]
+        labeled = IntersectionalSetting(
+            name=f"sigma={'x'.join(str(c) for c in cards)}",
+            cardinalities=setting.cardinalities,
+            joint_counts=setting.joint_counts,
+            description=setting.description,
+        )
+        comparisons.append(
+            compare_on_intersectional_setting(
+                labeled, seed=seed + i, n_trials=n_trials, tau=tau, n=n
+            )
+        )
+    return comparisons
+
+
+def render_intersectional_comparisons(
+    comparisons: Sequence[IntersectionalComparison], *, title: str
+) -> str:
+    rows = [
+        [
+            c.label,
+            f"{c.intersectional_tasks:.0f}",
+            f"{c.brute_force_tasks:.0f}",
+            f"{c.speedup:.2f}x",
+            f"{c.mean_n_mups:.1f}",
+            "yes" if c.verdicts_agree else "NO",
+        ]
+        for c in comparisons
+    ]
+    return render_table(
+        [
+            "setting",
+            "Intersectional-Coverage",
+            "Group-Coverage (brute)",
+            "speedup",
+            "mean #MUPs",
+            "verdicts agree",
+        ],
+        rows,
+        title=title,
+    )

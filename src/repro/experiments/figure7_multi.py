@@ -1,0 +1,153 @@
+"""Figure 7e/7g: Multiple-Coverage vs brute force, single attribute.
+
+* 7e — the four Table 3 settings at sigma = 4: compare Algorithm 2
+  (sampling + super-group aggregation) against the brute-force plan that
+  runs Group-Coverage once per group.
+* 7g — the "effective" composition at sigma = 3..6: the gap between the
+  two plans widens with cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.group_coverage import group_coverage
+from repro.core.multiple_coverage import multiple_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import Group
+from repro.data.synthetic import single_attribute_dataset
+from repro.experiments.harness import trial_rngs
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import (
+    MultiGroupSetting,
+    multi_group_setting_for_sigma,
+    multi_group_settings,
+)
+
+__all__ = [
+    "MultiComparison",
+    "compare_on_setting",
+    "run_figure7e",
+    "run_figure7g",
+    "render_multi_comparisons",
+]
+
+
+@dataclass(frozen=True)
+class MultiComparison:
+    """Task counts of the two plans on one setting (means over trials)."""
+
+    label: str
+    multiple_coverage_tasks: float
+    brute_force_tasks: float
+    verdicts_agree: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.multiple_coverage_tasks == 0:
+            return float("inf")
+        return self.brute_force_tasks / self.multiple_coverage_tasks
+
+
+def _brute_force_tasks(dataset, groups: Sequence[Group], tau: int, n: int) -> tuple[int, dict[Group, bool]]:
+    """Independent Group-Coverage per group — the paper's comparator."""
+    oracle = GroundTruthOracle(dataset)
+    verdicts: dict[Group, bool] = {}
+    for g in groups:
+        verdicts[g] = group_coverage(
+            oracle, g, tau, n=n, dataset_size=len(dataset)
+        ).covered
+    return oracle.ledger.total, verdicts
+
+
+def compare_on_setting(
+    setting: MultiGroupSetting,
+    *,
+    seed: int,
+    n_trials: int = 5,
+    tau: int = 50,
+    n: int = 50,
+    attribute: str = "group",
+) -> MultiComparison:
+    """Compare Multiple-Coverage vs brute force on one composition."""
+    multi_tasks: list[int] = []
+    brute_tasks: list[int] = []
+    agree = True
+    for rng in trial_rngs(seed, n_trials):
+        dataset = single_attribute_dataset(
+            dict(setting.counts), attribute=attribute, rng=rng
+        )
+        groups = [Group({attribute: value}) for value in setting.counts]
+        report = multiple_coverage(
+            GroundTruthOracle(dataset),
+            groups,
+            tau,
+            n=n,
+            rng=rng,
+            dataset_size=len(dataset),
+        )
+        multi_tasks.append(report.tasks.total)
+        tasks, brute_verdicts = _brute_force_tasks(dataset, groups, tau, n)
+        brute_tasks.append(tasks)
+        for entry in report.entries:
+            agree &= entry.covered == brute_verdicts[entry.group]
+    return MultiComparison(
+        label=setting.name,
+        multiple_coverage_tasks=float(np.mean(multi_tasks)),
+        brute_force_tasks=float(np.mean(brute_tasks)),
+        verdicts_agree=agree,
+    )
+
+
+def run_figure7e(
+    *, seed: int = 31, n_trials: int = 5, tau: int = 50, n: int = 50
+) -> list[MultiComparison]:
+    """7e: the four Table 3 settings at sigma = 4."""
+    return [
+        compare_on_setting(setting, seed=seed + i, n_trials=n_trials, tau=tau, n=n)
+        for i, setting in enumerate(multi_group_settings())
+    ]
+
+
+def run_figure7g(
+    *,
+    seed: int = 37,
+    n_trials: int = 5,
+    tau: int = 50,
+    n: int = 50,
+    sigmas: Sequence[int] = (3, 4, 5, 6),
+) -> list[MultiComparison]:
+    """7g: "effective" compositions across attribute cardinalities."""
+    return [
+        compare_on_setting(
+            multi_group_setting_for_sigma(sigma, tau=tau),
+            seed=seed + sigma,
+            n_trials=n_trials,
+            tau=tau,
+            n=n,
+        )
+        for sigma in sigmas
+    ]
+
+
+def render_multi_comparisons(
+    comparisons: Sequence[MultiComparison], *, title: str
+) -> str:
+    rows = [
+        [
+            c.label,
+            f"{c.multiple_coverage_tasks:.0f}",
+            f"{c.brute_force_tasks:.0f}",
+            f"{c.speedup:.2f}x",
+            "yes" if c.verdicts_agree else "NO",
+        ]
+        for c in comparisons
+    ]
+    return render_table(
+        ["setting", "Multi-Coverage", "Group-Coverage (brute)", "speedup", "verdicts agree"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,39 @@
+"""Trial-running utilities shared by the experiment runners.
+
+The paper averages every synthetic experiment over multiple runs "to
+better capture the effect of the dataset's underlying distribution";
+:func:`average_over_trials` is that loop, with one child generator per
+trial spawned deterministically from a root seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["trial_rngs", "average_over_trials"]
+
+T = TypeVar("T")
+
+
+def trial_rngs(seed: int, n_trials: int) -> list[np.random.Generator]:
+    """``n_trials`` independent generators spawned from one root seed."""
+    if n_trials < 1:
+        raise InvalidParameterError("n_trials must be >= 1")
+    return [
+        np.random.default_rng(ss) for ss in np.random.SeedSequence(seed).spawn(n_trials)
+    ]
+
+
+def average_over_trials(
+    fn: Callable[[np.random.Generator], float],
+    *,
+    seed: int,
+    n_trials: int,
+) -> float:
+    """Mean of ``fn(rng)`` over independent trials."""
+    rngs = trial_rngs(seed, n_trials)
+    return float(np.mean([fn(rng) for rng in rngs]))

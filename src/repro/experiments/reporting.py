@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2], [30, 4]]))
+    a  | b
+    ---+--
+    1  | 2
+    30 | 4
+    """
+    if not headers:
+        raise InvalidParameterError("headers must be non-empty")
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows), 1)
+        if rendered_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A table with one x column and one column per named series — the
+    textual form of a paper figure."""
+    headers = [x_label, *series.keys()]
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise InvalidParameterError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(x_values)} x points"
+            )
+    rows = [
+        [x, *(series[label][i] for label in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

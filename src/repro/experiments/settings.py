@@ -1,0 +1,192 @@
+"""The multi-group experiment settings of Table 3 (§6.5.2).
+
+Four qualitative regimes, each a concrete group composition over a
+10 000-object dataset with ``tau = 50``:
+
+=============  ===========================================================
+effective 1    3 uncovered minorities whose aggregated super-group is
+               *also* uncovered — one Group-Coverage run rules them all
+               uncovered (the aggregation heuristic's best case).
+effective 2    3 covered minorities — the sampling phase pre-credits their
+               thresholds and no risky aggregation happens.
+ineffective    2 uncovered minorities and one *barely covered* minority;
+               the sample underestimates the covered one, it gets merged,
+               the super-group comes back covered, and every member must
+               be re-run individually.
+adversarial    3 uncovered minorities whose union exceeds ``tau``: the
+               sample (expected < 1 hit per group) merges them, the
+               super-group is covered, and the penalty re-runs make the
+               heuristic lose to brute force.
+=============  ===========================================================
+
+Both the single-attribute (Fig 7e/7g) and the intersectional (Fig 7f/7h)
+variants are provided. Intersectional minorities are placed on *sibling*
+leaves where possible, since Algorithm 6's ``multi=True`` aggregation only
+merges siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "MultiGroupSetting",
+    "IntersectionalSetting",
+    "multi_group_settings",
+    "multi_group_setting_for_sigma",
+    "intersectional_settings",
+    "intersectional_schema",
+]
+
+
+@dataclass(frozen=True)
+class MultiGroupSetting:
+    """A single-attribute composition: ``{value: count}`` plus metadata."""
+
+    name: str
+    counts: Mapping[str, int]
+    description: str
+
+    @property
+    def n_total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass(frozen=True)
+class IntersectionalSetting:
+    """A multi-attribute composition: joint counts over the leaf groups."""
+
+    name: str
+    cardinalities: tuple[int, ...]
+    joint_counts: Mapping[tuple[str, ...], int]
+    description: str
+
+    @property
+    def n_total(self) -> int:
+        return sum(self.joint_counts.values())
+
+
+def multi_group_settings(n_total: int = 10_000) -> tuple[MultiGroupSetting, ...]:
+    """The four Table 3 settings for one attribute with sigma = 4."""
+    def composition(minorities: dict[str, int]) -> dict[str, int]:
+        return {"majority": n_total - sum(minorities.values()), **minorities}
+
+    return (
+        MultiGroupSetting(
+            "effective 1",
+            composition({"g1": 10, "g2": 15, "g3": 20}),
+            "3 uncovered minorities; their aggregated super-group is uncovered",
+        ),
+        MultiGroupSetting(
+            "effective 2",
+            composition({"g1": 150, "g2": 200, "g3": 250}),
+            "3 covered minorities",
+        ),
+        MultiGroupSetting(
+            "ineffective",
+            composition({"g1": 15, "g2": 20, "g3": 55}),
+            "2 uncovered and one covered minority",
+        ),
+        MultiGroupSetting(
+            "adversarial",
+            composition({"g1": 25, "g2": 30, "g3": 35}),
+            "3 uncovered minorities; their aggregated super-group is covered",
+        ),
+    )
+
+
+def multi_group_setting_for_sigma(
+    sigma: int, *, n_total: int = 10_000, tau: int = 50
+) -> MultiGroupSetting:
+    """An "effective" composition for an attribute of cardinality ``sigma``
+    (Fig 7g): ``sigma - 1`` uncovered minorities whose union stays below
+    ``tau``."""
+    if sigma < 2:
+        raise InvalidParameterError(f"sigma must be >= 2, got {sigma}")
+    n_minorities = sigma - 1
+    budget = tau - 1  # union must stay uncovered
+    base = budget // n_minorities
+    counts: dict[str, int] = {}
+    remaining = budget
+    for i in range(n_minorities):
+        size = max(1, base - (n_minorities - 1 - i))  # slightly varied sizes
+        size = min(size, remaining - (n_minorities - 1 - i))
+        counts[f"g{i + 1}"] = size
+        remaining -= size
+    return MultiGroupSetting(
+        f"effective (sigma={sigma})",
+        {"majority": n_total - sum(counts.values()), **counts},
+        f"{n_minorities} uncovered minorities, union uncovered",
+    )
+
+
+def intersectional_schema(cardinalities: tuple[int, ...]) -> Schema:
+    """A generic schema ``x1, x2, ...`` with the given cardinalities."""
+    return Schema.from_dict(
+        {
+            f"x{i + 1}": [f"v{i + 1}{j}" for j in range(card)]
+            for i, card in enumerate(cardinalities)
+        }
+    )
+
+
+def intersectional_settings(
+    cardinalities: tuple[int, ...] = (2, 2, 2), *, n_total: int = 10_000
+) -> tuple[IntersectionalSetting, ...]:
+    """The four Table 3 settings over fully-specified leaf groups.
+
+    Works for the paper's two schemas — three binary attributes and
+    (2, 4) — by designating one majority leaf, a few comfortably covered
+    leaves, and minority leaves per regime placed on sibling positions.
+    """
+    schema = intersectional_schema(cardinalities)
+    leaves = [
+        tuple(values)
+        for values in _all_combinations(schema)
+    ]
+    if len(leaves) < 4:
+        raise InvalidParameterError("need at least 4 leaf groups")
+
+    def build(name: str, minority_sizes: list[int], description: str) -> IntersectionalSetting:
+        # The last len(minority_sizes) leaves (in lexicographic order these
+        # are sibling-heavy positions) become minorities; the first leaf is
+        # the majority; everything else gets a comfortable covered count.
+        counts: dict[tuple[str, ...], int] = {}
+        minority_leaves = leaves[-len(minority_sizes):]
+        for leaf, size in zip(minority_leaves, minority_sizes):
+            counts[leaf] = size
+        covered_leaves = [leaf for leaf in leaves[1:] if leaf not in counts]
+        for leaf in covered_leaves:
+            counts[leaf] = 300
+        counts[leaves[0]] = n_total - sum(counts.values())
+        return IntersectionalSetting(name, cardinalities, counts, description)
+
+    return (
+        build(
+            "effective 1",
+            [10, 15, 20],
+            "3 uncovered minority leaves; aggregation stays uncovered",
+        ),
+        build("effective 2", [150, 200, 250], "3 covered minority leaves"),
+        build(
+            "ineffective",
+            [15, 20, 55],
+            "2 uncovered leaves and one barely covered leaf",
+        ),
+        build(
+            "adversarial",
+            [25, 30, 35],
+            "3 uncovered leaves whose union is covered",
+        ),
+    )
+
+
+def _all_combinations(schema: Schema) -> list[tuple[str, ...]]:
+    combos: list[tuple[str, ...]] = [()]
+    for attribute in schema:
+        combos = [(*combo, value) for combo in combos for value in attribute.values]
+    return combos

@@ -1,0 +1,152 @@
+"""Serialization of audit reports to plain JSON-compatible dictionaries.
+
+Coverage audits cost real money; their outcomes deserve a durable record.
+These helpers flatten every report type into nested dicts of primitives
+(strings, numbers, booleans, lists) so callers can ``json.dump`` them into
+an audit trail, attach them to data-card documentation, or diff them
+across dataset versions.
+
+Only *export* is provided. Reports reference live predicate/pattern
+objects whose reconstruction would need the schema; round-tripping is a
+non-goal — the JSON form is the human/archival format, the Python objects
+are the working format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.results import (
+    ClassifierCoverageResult,
+    GroupCoverageResult,
+    IntersectionalCoverageReport,
+    MultipleCoverageReport,
+    TaskUsage,
+)
+from repro.errors import InvalidParameterError
+from repro.patterns.combiner import PatternCoverageReport
+
+__all__ = ["report_to_dict", "report_to_json"]
+
+
+def _task_usage(usage: TaskUsage) -> dict[str, int]:
+    return {
+        "set_queries": usage.n_set_queries,
+        "point_queries": usage.n_point_queries,
+        "total": usage.total,
+    }
+
+
+def _group_coverage(result: GroupCoverageResult) -> dict[str, Any]:
+    return {
+        "kind": "group-coverage",
+        "group": result.predicate.describe(),
+        "covered": result.covered,
+        "count": result.count,
+        "count_is_exact": not result.covered,
+        "tau": result.tau,
+        "tasks": _task_usage(result.tasks),
+        "discovered_indices": list(result.discovered_indices),
+    }
+
+
+def _multiple_coverage(report: MultipleCoverageReport) -> dict[str, Any]:
+    return {
+        "kind": "multiple-coverage",
+        "tasks": _task_usage(report.tasks),
+        "super_groups": [sg.describe() for sg in report.super_groups],
+        "sampled_counts": {
+            g.describe(): count for g, count in report.sampled_counts.items()
+        },
+        "entries": [
+            {
+                "group": entry.group.describe(),
+                "covered": entry.covered,
+                "count": entry.count,
+                "count_is_exact": entry.count_is_exact,
+                "via_supergroup": (
+                    entry.via_supergroup.describe()
+                    if entry.via_supergroup is not None
+                    else None
+                ),
+            }
+            for entry in report.entries
+        ],
+    }
+
+
+def _pattern_report(report: PatternCoverageReport) -> dict[str, Any]:
+    return {
+        "kind": "pattern-coverage",
+        "tau": report.tau,
+        "mups": [p.describe() for p in report.mups],
+        "verdicts": {
+            pattern.describe(): {
+                "covered": verdict.covered,
+                "count_lower_bound": verdict.count_lower_bound,
+                "count_is_exact": verdict.count_is_exact,
+                "level": pattern.level,
+            }
+            for pattern, verdict in report.verdicts.items()
+        },
+    }
+
+
+def _intersectional(report: IntersectionalCoverageReport) -> dict[str, Any]:
+    return {
+        "kind": "intersectional-coverage",
+        "tasks": _task_usage(report.tasks),
+        "mups": [p.describe() for p in report.mups],
+        "leaf_report": _multiple_coverage(report.leaf_report),
+        "pattern_report": _pattern_report(report.pattern_report),
+    }
+
+
+def _classifier(result: ClassifierCoverageResult) -> dict[str, Any]:
+    return {
+        "kind": "classifier-coverage",
+        "group": result.group.describe(),
+        "covered": result.covered,
+        "count": result.count,
+        "tau": result.tau,
+        "strategy": result.strategy,
+        "precision_estimate": result.precision_estimate,
+        "verified_count": result.verified_count,
+        "sample_size": result.sample_size,
+        "tasks": _task_usage(result.tasks),
+        "fallback": (
+            _group_coverage(result.fallback) if result.fallback is not None else None
+        ),
+    }
+
+
+_CONVERTERS = {
+    GroupCoverageResult: _group_coverage,
+    MultipleCoverageReport: _multiple_coverage,
+    IntersectionalCoverageReport: _intersectional,
+    ClassifierCoverageResult: _classifier,
+    PatternCoverageReport: _pattern_report,
+}
+
+
+def report_to_dict(report: Any) -> dict[str, Any]:
+    """Flatten any coverage report into JSON-compatible primitives.
+
+    Raises
+    ------
+    InvalidParameterError
+        For unsupported report types.
+    """
+    converter = _CONVERTERS.get(type(report))
+    if converter is None:
+        raise InvalidParameterError(
+            f"cannot serialize {type(report).__name__}; supported: "
+            f"{sorted(t.__name__ for t in _CONVERTERS)}"
+        )
+    return converter(report)
+
+
+def report_to_json(report: Any, *, indent: int | None = 2) -> str:
+    """``json.dumps(report_to_dict(report))`` with sane defaults."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)

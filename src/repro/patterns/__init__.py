@@ -1,0 +1,26 @@
+"""Pattern / MUP machinery (the tabular-coverage substrate the paper builds on)."""
+
+from repro.patterns.combiner import (
+    LeafCoverage,
+    PatternCoverageReport,
+    PatternVerdict,
+    combine_leaf_coverage,
+)
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import WILDCARD, Pattern
+from repro.patterns.search import MupSearchResult, find_mups_levelwise
+from repro.patterns.tabular import assess_tabular_coverage, pattern_count
+
+__all__ = [
+    "Pattern",
+    "WILDCARD",
+    "PatternGraph",
+    "LeafCoverage",
+    "PatternVerdict",
+    "PatternCoverageReport",
+    "combine_leaf_coverage",
+    "assess_tabular_coverage",
+    "pattern_count",
+    "MupSearchResult",
+    "find_mups_levelwise",
+]

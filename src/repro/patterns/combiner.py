@@ -1,0 +1,173 @@
+"""Pattern-Combiner: roll leaf coverage up the pattern graph.
+
+The paper reduces intersectional coverage to the *fully-specified*
+subgroups (the pattern-graph leaves), then combines their results upward
+(§3.3.2, §4), following the Pattern-Combiner idea of Asudeh et al. [4]:
+
+* the objects matching any pattern are the **disjoint union** of the
+  objects matching its fully-specified specializations;
+* for an *uncovered* leaf, Group-Coverage reports the **exact** count;
+* for a *covered* leaf we only hold a certificate "count >= tau" — but
+  that is enough, because any pattern generalizing a covered leaf is
+  itself covered.
+
+Therefore every pattern's verdict is computable with **zero additional
+crowd tasks**:
+
+    covered(P)  <=>  (some matching leaf is covered)
+                     or (sum of exact counts of matching leaves >= tau)
+
+and the MUPs are the uncovered patterns all of whose parents are covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import InvalidParameterError
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import Pattern
+
+__all__ = ["LeafCoverage", "PatternVerdict", "PatternCoverageReport", "combine_leaf_coverage"]
+
+
+@dataclass(frozen=True)
+class LeafCoverage:
+    """What Group-Coverage learned about one fully-specified subgroup.
+
+    Attributes
+    ----------
+    covered:
+        The coverage verdict.
+    count:
+        Exact object count when ``covered`` is ``False`` (Group-Coverage
+        explores everything before concluding uncovered); when ``covered``
+        is ``True`` this is only the lower bound at which the algorithm
+        stopped (usually ``tau``).
+    """
+
+    covered: bool
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise InvalidParameterError(f"negative leaf count: {self.count}")
+
+
+@dataclass(frozen=True)
+class PatternVerdict:
+    """Combined verdict for one pattern.
+
+    ``count_lower_bound`` sums exact counts of uncovered matching leaves
+    and the stop-bounds of covered ones; it equals the true count exactly
+    when ``count_is_exact`` (no matching leaf was covered).
+    """
+
+    pattern: Pattern
+    covered: bool
+    count_lower_bound: int
+    count_is_exact: bool
+
+
+@dataclass(frozen=True)
+class PatternCoverageReport:
+    """Verdicts for every pattern plus the extracted MUPs."""
+
+    tau: int
+    verdicts: Mapping[Pattern, PatternVerdict]
+    mups: tuple[Pattern, ...]
+
+    @property
+    def uncovered(self) -> tuple[Pattern, ...]:
+        return tuple(p for p, v in self.verdicts.items() if not v.covered)
+
+    @property
+    def covered(self) -> tuple[Pattern, ...]:
+        return tuple(p for p, v in self.verdicts.items() if v.covered)
+
+    def verdict(self, pattern: Pattern) -> PatternVerdict:
+        return self.verdicts[pattern]
+
+    def describe(self) -> str:
+        lines = [f"coverage report (tau={self.tau}):"]
+        for pattern in sorted(self.verdicts, key=lambda p: (p.level, p.describe())):
+            verdict = self.verdicts[pattern]
+            status = "covered" if verdict.covered else "UNCOVERED"
+            exactness = "=" if verdict.count_is_exact else ">="
+            mup_marker = "  <-- MUP" if pattern in self.mups else ""
+            lines.append(
+                f"  {pattern.describe():<24} {status:<10} "
+                f"count {exactness} {verdict.count_lower_bound}{mup_marker}"
+            )
+        return "\n".join(lines)
+
+
+def combine_leaf_coverage(
+    graph: PatternGraph,
+    leaf_results: Mapping[Pattern, LeafCoverage],
+    tau: int,
+) -> PatternCoverageReport:
+    """Compute every pattern's verdict and the MUP set from leaf results.
+
+    Parameters
+    ----------
+    graph:
+        The pattern graph over the schema.
+    leaf_results:
+        One :class:`LeafCoverage` per fully-specified pattern. Every leaf
+        must be present — Algorithm 3 guarantees this.
+    tau:
+        The coverage threshold.
+
+    Raises
+    ------
+    InvalidParameterError
+        If a leaf is missing, a non-leaf key is supplied, or a "covered"
+        leaf carries a count below ``tau`` (an inconsistent certificate).
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be positive, got {tau}")
+    leaves = set(graph.leaves())
+    missing = leaves - set(leaf_results)
+    if missing:
+        raise InvalidParameterError(
+            f"missing leaf results for {sorted(p.describe() for p in missing)}"
+        )
+    extras = set(leaf_results) - leaves
+    if extras:
+        raise InvalidParameterError(
+            f"non-leaf keys in leaf_results: {sorted(p.describe() for p in extras)}"
+        )
+    for leaf, result in leaf_results.items():
+        if result.covered and result.count < tau:
+            raise InvalidParameterError(
+                f"leaf {leaf.describe()} marked covered but count "
+                f"{result.count} < tau {tau}"
+            )
+        if not result.covered and result.count >= tau:
+            raise InvalidParameterError(
+                f"leaf {leaf.describe()} marked uncovered but count "
+                f"{result.count} >= tau {tau}"
+            )
+
+    verdicts: dict[Pattern, PatternVerdict] = {}
+    for pattern in graph:
+        matching = graph.matching_leaves(pattern)
+        any_covered_leaf = any(leaf_results[leaf].covered for leaf in matching)
+        total = sum(leaf_results[leaf].count for leaf in matching)
+        covered = any_covered_leaf or total >= tau
+        verdicts[pattern] = PatternVerdict(
+            pattern=pattern,
+            covered=covered,
+            count_lower_bound=total,
+            count_is_exact=not any_covered_leaf,
+        )
+
+    mups = tuple(
+        pattern
+        for pattern in graph
+        if not verdicts[pattern].covered
+        and all(verdicts[parent].covered for parent in graph.parents(pattern))
+    )
+    return PatternCoverageReport(tau=tau, verdicts=verdicts, mups=mups)

@@ -1,0 +1,111 @@
+"""The pattern graph (Figure 5 of the paper).
+
+Nodes are all patterns over a schema — ``prod_i (sigma_i + 1)`` of them —
+arranged in levels by number of specified attributes, with edges from each
+pattern to its children (one more attribute specified). The graph is tiny
+for the low-cardinality sensitive attributes the paper targets, so we
+materialize it eagerly.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+from repro.patterns.pattern import Pattern
+
+__all__ = ["PatternGraph"]
+
+
+class PatternGraph:
+    """All patterns over a schema with parent/child adjacency.
+
+    >>> from repro.data.schema import Schema
+    >>> graph = PatternGraph(Schema.from_dict(
+    ...     {"gender": ["male", "female"],
+    ...      "race": ["white", "black", "asian"]}))
+    >>> graph.n_patterns          # (2+1) * (3+1)
+    12
+    >>> len(graph.leaves())       # fully specified subgroups
+    6
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        choices = [(None, *attribute.values) for attribute in schema]
+        self._patterns = tuple(
+            Pattern(schema, combo) for combo in product(*choices)
+        )
+        self._by_level: dict[int, list[Pattern]] = {}
+        for pattern in self._patterns:
+            self._by_level.setdefault(pattern.level, []).append(pattern)
+        self._children: dict[Pattern, tuple[Pattern, ...]] = {
+            pattern: tuple(pattern.children()) for pattern in self._patterns
+        }
+        self._parents: dict[Pattern, tuple[Pattern, ...]] = {
+            pattern: tuple(pattern.parents()) for pattern in self._patterns
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n_patterns(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def max_level(self) -> int:
+        return self.schema.n_attributes
+
+    @property
+    def root(self) -> Pattern:
+        return Pattern.root(self.schema)
+
+    def patterns(self) -> tuple[Pattern, ...]:
+        """All patterns, in no particular order."""
+        return self._patterns
+
+    def at_level(self, level: int) -> tuple[Pattern, ...]:
+        """Patterns with exactly ``level`` specified attributes."""
+        if not 0 <= level <= self.max_level:
+            raise InvalidParameterError(
+                f"level must be in [0, {self.max_level}], got {level}"
+            )
+        return tuple(self._by_level.get(level, ()))
+
+    def leaves(self) -> tuple[Pattern, ...]:
+        """The fully-specified subgroups (maximum level)."""
+        return self.at_level(self.max_level)
+
+    def children(self, pattern: Pattern) -> tuple[Pattern, ...]:
+        return self._children[pattern]
+
+    def parents(self, pattern: Pattern) -> tuple[Pattern, ...]:
+        return self._parents[pattern]
+
+    def ancestors(self, pattern: Pattern) -> Iterator[Pattern]:
+        """All strict generalizations of ``pattern`` (deduplicated)."""
+        seen: set[Pattern] = set()
+        frontier = list(self.parents(pattern))
+        while frontier:
+            candidate = frontier.pop()
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            frontier.extend(self.parents(candidate))
+            yield candidate
+
+    def matching_leaves(self, pattern: Pattern) -> tuple[Pattern, ...]:
+        """All fully-specified patterns that ``pattern`` generalizes.
+
+        The objects matching ``pattern`` are exactly the disjoint union of
+        the objects matching these leaves — the identity the
+        Pattern-Combiner roll-up rests on.
+        """
+        return tuple(leaf for leaf in self.leaves() if pattern.generalizes(leaf))
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)

@@ -1,0 +1,181 @@
+"""Patterns: the subgroup description language of the coverage literature.
+
+A *pattern* over a schema with attributes ``x1..xd`` assigns each attribute
+either a concrete value or the wildcard ``X`` ("unspecified"). The pattern
+``X-black`` over (gender, race) describes all objects with ``race=black``
+regardless of gender. Following the paper (§2.2):
+
+* ``P`` is a **parent** of ``P'`` if they differ on exactly one attribute
+  ``xi``, where ``P[i] = X`` and ``P'`` specifies a value — so a parent is
+  strictly more general, by one attribute.
+* A pattern's **level** is its number of specified attributes; level ``d``
+  patterns are the *fully-specified subgroups*.
+* A **maximal uncovered pattern (MUP)** is an uncovered pattern all of
+  whose parents are covered.
+
+Patterns are immutable, hashable, and schema-bound (two patterns compare
+equal only under the same schema).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.data.groups import Group
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, UnknownGroupError
+
+__all__ = ["WILDCARD", "Pattern"]
+
+#: Rendered form of an unspecified position.
+WILDCARD = "X"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern over a schema: one optional value per attribute.
+
+    Parameters
+    ----------
+    schema:
+        The attribute universe.
+    values:
+        A tuple aligned with ``schema.attributes``; ``None`` means
+        unspecified (rendered as ``X``).
+    """
+
+    schema: Schema
+    values: tuple[str | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.schema.n_attributes:
+            raise InvalidParameterError(
+                f"pattern arity {len(self.values)} does not match schema arity "
+                f"{self.schema.n_attributes}"
+            )
+        for attribute, value in zip(self.schema, self.values):
+            if value is not None:
+                attribute.code_of(value)  # raises UnknownGroupError if invalid
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls, schema: Schema) -> "Pattern":
+        """The all-wildcard pattern (the whole dataset)."""
+        return cls(schema, (None,) * schema.n_attributes)
+
+    @classmethod
+    def from_group(cls, schema: Schema, group: Group) -> "Pattern":
+        """The pattern equivalent to a conjunctive group predicate."""
+        values: list[str | None] = []
+        for attribute in schema:
+            values.append(
+                group.value_of(attribute.name) if group.constrains(attribute.name) else None
+            )
+        return cls(schema, tuple(values))
+
+    @classmethod
+    def from_mapping(cls, schema: Schema, conditions: Mapping[str, str]) -> "Pattern":
+        """Build from ``{attribute: value}``; unmentioned attributes are X."""
+        unknown = set(conditions) - set(schema.names)
+        if unknown:
+            raise UnknownGroupError(f"attributes {sorted(unknown)!r} not in schema")
+        return cls(
+            schema,
+            tuple(conditions.get(attribute.name) for attribute in schema),
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of specified attributes."""
+        return sum(1 for value in self.values if value is not None)
+
+    @property
+    def is_root(self) -> bool:
+        return self.level == 0
+
+    @property
+    def is_fully_specified(self) -> bool:
+        return self.level == self.schema.n_attributes
+
+    def parents(self) -> Iterator["Pattern"]:
+        """All patterns obtained by un-specifying exactly one attribute."""
+        for i, value in enumerate(self.values):
+            if value is not None:
+                relaxed = list(self.values)
+                relaxed[i] = None
+                yield Pattern(self.schema, tuple(relaxed))
+
+    def children(self) -> Iterator["Pattern"]:
+        """All patterns obtained by specifying exactly one wildcard."""
+        for i, value in enumerate(self.values):
+            if value is None:
+                for candidate in self.schema.attributes[i].values:
+                    specialized = list(self.values)
+                    specialized[i] = candidate
+                    yield Pattern(self.schema, tuple(specialized))
+
+    def is_parent_of(self, other: "Pattern") -> bool:
+        """Exactly the paper's parent relation (one attribute more general)."""
+        if self.schema != other.schema:
+            return False
+        difference_at: int | None = None
+        for i, (mine, theirs) in enumerate(zip(self.values, other.values)):
+            if mine == theirs:
+                continue
+            if difference_at is not None:
+                return False
+            difference_at = i
+        return (
+            difference_at is not None
+            and self.values[difference_at] is None
+            and other.values[difference_at] is not None
+        )
+
+    def generalizes(self, other: "Pattern") -> bool:
+        """True if every object matching ``other`` also matches ``self``
+        (reflexive)."""
+        if self.schema != other.schema:
+            return False
+        return all(
+            mine is None or mine == theirs
+            for mine, theirs in zip(self.values, other.values)
+        )
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def matches_row(self, row: Mapping[str, str]) -> bool:
+        return all(
+            value is None or row.get(attribute.name) == value
+            for attribute, value in zip(self.schema, self.values)
+        )
+
+    def to_group(self) -> Group:
+        """The equivalent conjunctive :class:`~repro.data.groups.Group`.
+
+        Raises
+        ------
+        InvalidParameterError
+            For the root pattern (a Group needs >= 1 condition).
+        """
+        conditions = {
+            attribute.name: value
+            for attribute, value in zip(self.schema, self.values)
+            if value is not None
+        }
+        if not conditions:
+            raise InvalidParameterError("the root pattern has no group equivalent")
+        return Group(conditions)
+
+    def describe(self) -> str:
+        """The paper's rendering, e.g. ``female-X`` or ``X-black``."""
+        return "-".join(value if value is not None else WILDCARD for value in self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.describe()

@@ -1,0 +1,142 @@
+"""Level-wise MUP search over fully-labeled data.
+
+:func:`repro.patterns.tabular.assess_tabular_coverage` enumerates the
+whole pattern graph — fine for the low-cardinality sensitive attributes
+the paper targets, but wasteful when large parts of the graph are
+uncovered: every descendant of an uncovered pattern is uncovered too and
+need never be counted. The coverage literature ([4]'s Pattern-Breaker
+family) therefore searches top-down with pruning. We implement the
+level-wise (Apriori-style) variant:
+
+1. start from the root pattern,
+2. at each level, count only the *candidate* patterns — children of
+   covered patterns whose every parent is covered,
+3. uncovered candidates are exactly the MUPs (their parents are covered
+   by construction); covered candidates seed the next level.
+
+The search touches only covered patterns plus the MUP frontier — on
+datasets whose uncovered region is large this counts a small fraction of
+the graph. Results are identical to the exhaustive reference; tests and
+the search bench enforce both the equality and the pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import LabeledDataset
+from repro.errors import InvalidParameterError
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import Pattern
+from repro.patterns.tabular import pattern_count
+
+__all__ = ["MupSearchResult", "find_mups_levelwise"]
+
+
+@dataclass(frozen=True)
+class MupSearchResult:
+    """MUPs plus search-cost accounting.
+
+    Attributes
+    ----------
+    mups:
+        The maximal uncovered patterns, in traversal order.
+    n_patterns_counted:
+        How many patterns the search actually counted — the pruning
+        metric (the exhaustive reference counts ``graph.n_patterns``).
+    counts:
+        Exact counts of every pattern the search touched.
+    """
+
+    tau: int
+    mups: tuple[Pattern, ...]
+    n_patterns_counted: int
+    counts: dict[Pattern, int]
+
+    def is_covered(self, pattern: Pattern) -> bool:
+        """Coverage verdict for any pattern (derivable without further
+        counting: uncovered iff some MUP generalizes it ... or it is below
+        an uncovered ancestor)."""
+        if pattern in self.counts:
+            return self.counts[pattern] >= self.tau
+        # Not counted => it lies under some uncovered ancestor.
+        return False
+
+
+def find_mups_levelwise(
+    dataset: LabeledDataset,
+    tau: int,
+    *,
+    graph: PatternGraph | None = None,
+) -> MupSearchResult:
+    """Find all MUPs top-down with covered-parent pruning.
+
+    >>> import numpy as np
+    >>> from repro.data import Schema, intersectional_dataset
+    >>> schema = Schema.from_dict(
+    ...     {"gender": ["male", "female"], "race": ["white", "black"]})
+    >>> ds = intersectional_dataset(
+    ...     schema,
+    ...     {("male", "white"): 100, ("female", "white"): 60,
+    ...      ("male", "black"): 55, ("female", "black"): 3},
+    ...     shuffle=False)
+    >>> result = find_mups_levelwise(ds, tau=50)
+    >>> [m.describe() for m in result.mups]
+    ['female-black']
+    >>> result.n_patterns_counted <= 9
+    True
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be positive, got {tau}")
+    graph = graph or PatternGraph(dataset.schema)
+    if graph.schema != dataset.schema:
+        raise InvalidParameterError("graph schema does not match dataset schema")
+
+    counts: dict[Pattern, int] = {}
+    covered: set[Pattern] = set()
+    mups: list[Pattern] = []
+
+    def count(pattern: Pattern) -> int:
+        if pattern not in counts:
+            counts[pattern] = pattern_count(dataset, pattern)
+        return counts[pattern]
+
+    root = graph.root
+    if count(root) < tau:
+        # The whole dataset is below threshold: the root is the one MUP.
+        return MupSearchResult(
+            tau=tau, mups=(root,), n_patterns_counted=len(counts), counts=counts
+        )
+    covered.add(root)
+
+    frontier: list[Pattern] = [root]
+    for _ in range(graph.max_level):
+        candidates: list[Pattern] = []
+        seen: set[Pattern] = set()
+        for pattern in frontier:
+            for child in graph.children(pattern):
+                if child in seen:
+                    continue
+                seen.add(child)
+                # A child is worth counting only if every parent is
+                # covered (otherwise it sits under an uncovered ancestor
+                # and is not maximal).
+                if all(parent in covered for parent in graph.parents(child)):
+                    candidates.append(child)
+        next_frontier: list[Pattern] = []
+        for candidate in candidates:
+            if count(candidate) >= tau:
+                covered.add(candidate)
+                next_frontier.append(candidate)
+            else:
+                mups.append(candidate)
+        frontier = next_frontier
+        if not frontier:
+            break
+
+    return MupSearchResult(
+        tau=tau,
+        mups=tuple(mups),
+        n_patterns_counted=len(counts),
+        counts=counts,
+    )

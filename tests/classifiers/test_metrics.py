@@ -1,0 +1,64 @@
+"""Unit tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.metrics import (
+    BinaryConfusion,
+    binary_confusion,
+    multiclass_accuracy,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestBinaryConfusion:
+    def test_derived_metrics(self):
+        confusion = BinaryConfusion(tp=40, fp=10, fn=20, tn=130)
+        assert confusion.total == 200
+        assert confusion.n_positive == 60
+        assert confusion.n_predicted_positive == 50
+        assert confusion.accuracy == pytest.approx(0.85)
+        assert confusion.precision == pytest.approx(0.8)
+        assert confusion.recall == pytest.approx(40 / 60)
+        assert confusion.false_positive_rate_in_predicted == pytest.approx(0.2)
+
+    def test_degenerate_cases(self):
+        empty_prediction = BinaryConfusion(tp=0, fp=0, fn=10, tn=90)
+        assert empty_prediction.precision == 0.0
+        assert empty_prediction.false_positive_rate_in_predicted == 0.0
+        no_positives = BinaryConfusion(tp=0, fp=5, fn=0, tn=95)
+        assert no_positives.recall == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BinaryConfusion(tp=-1, fp=0, fn=0, tn=0)
+
+    def test_describe(self):
+        text = BinaryConfusion(tp=1, fp=2, fn=3, tn=4).describe()
+        assert "TP=1" in text and "precision" in text
+
+
+class TestBinaryConfusionFromMasks:
+    def test_counts(self):
+        true = np.array([1, 1, 1, 0, 0, 0], dtype=bool)
+        pred = np.array([1, 0, 1, 1, 0, 0], dtype=bool)
+        confusion = binary_confusion(true, pred)
+        assert (confusion.tp, confusion.fp, confusion.fn, confusion.tn) == (2, 1, 1, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            binary_confusion(np.zeros(3, bool), np.zeros(4, bool))
+
+
+class TestMulticlassAccuracy:
+    def test_basic(self):
+        assert multiclass_accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert multiclass_accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            multiclass_accuracy(np.array([0]), np.array([0, 1]))

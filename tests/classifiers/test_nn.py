@@ -1,0 +1,82 @@
+"""Unit tests for the from-scratch numpy MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.nn import MLPClassifier
+from repro.errors import InvalidParameterError
+
+
+def make_blobs(rng, n_per_class=200, n_features=8, separation=3.0, n_classes=2):
+    centers = rng.normal(0.0, separation, size=(n_classes, n_features))
+    X = np.concatenate(
+        [rng.normal(center, 1.0, size=(n_per_class, n_features)) for center in centers]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    order = rng.permutation(len(X))
+    return X[order], y[order]
+
+
+class TestTraining:
+    def test_learns_separable_blobs(self, rng):
+        X, y = make_blobs(rng)
+        model = MLPClassifier(8, 2, n_epochs=20, rng=rng)
+        model.fit(X, y)
+        assert model.accuracy(X, y) > 0.95
+
+    def test_multiclass(self, rng):
+        X, y = make_blobs(rng, n_classes=4)
+        model = MLPClassifier(8, 4, n_epochs=30, rng=rng)
+        model.fit(X, y)
+        assert model.accuracy(X, y) > 0.9
+
+    def test_loss_decreases(self, rng):
+        X, y = make_blobs(rng)
+        model = MLPClassifier(8, 2, n_epochs=10, rng=rng)
+        model.fit(X, y)
+        assert model.training_losses_[-1] < model.training_losses_[0]
+
+    def test_deterministic_under_seed(self):
+        X, y = make_blobs(np.random.default_rng(0))
+        first = MLPClassifier(8, 2, n_epochs=3, rng=np.random.default_rng(42)).fit(X, y)
+        second = MLPClassifier(8, 2, n_epochs=3, rng=np.random.default_rng(42)).fit(X, y)
+        np.testing.assert_allclose(first.w1, second.w1)
+        np.testing.assert_allclose(first.w2, second.w2)
+
+
+class TestPrediction:
+    def test_probabilities_sum_to_one(self, rng):
+        X, y = make_blobs(rng)
+        model = MLPClassifier(8, 2, n_epochs=2, rng=rng).fit(X, y)
+        probabilities = model.predict_proba(X[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-9)
+        assert (probabilities >= 0).all()
+
+    def test_log_loss_positive_and_finite(self, rng):
+        X, y = make_blobs(rng)
+        model = MLPClassifier(8, 2, n_epochs=2, rng=rng).fit(X, y)
+        loss = model.log_loss(X, y)
+        assert 0.0 <= loss < 10.0
+
+
+class TestValidation:
+    def test_bad_dimensions(self, rng):
+        with pytest.raises(InvalidParameterError):
+            MLPClassifier(0, 2, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            MLPClassifier(4, 1, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            MLPClassifier(4, 2, n_epochs=0, rng=rng)
+
+    def test_fit_validates_shapes(self, rng):
+        model = MLPClassifier(4, 2, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            model.fit(np.zeros((5, 3)), np.zeros(5, dtype=int))
+        with pytest.raises(InvalidParameterError):
+            model.fit(np.zeros((5, 4)), np.zeros(4, dtype=int))
+        with pytest.raises(InvalidParameterError):
+            model.fit(np.zeros((0, 4)), np.zeros(0, dtype=int))
+        with pytest.raises(InvalidParameterError):
+            model.fit(np.zeros((5, 4)), np.full(5, 7))

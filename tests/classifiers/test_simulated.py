@@ -1,0 +1,79 @@
+"""Unit tests for the profile-matched simulated classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.metrics import binary_confusion
+from repro.classifiers.simulated import ProfileClassifier, solve_confusion
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.errors import InfeasibleProfileError, InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+class TestSolveConfusion:
+    def test_paper_feret_opencv_row(self):
+        confusion = solve_confusion(403, 591, accuracy=0.7957, precision=0.995)
+        assert confusion.accuracy == pytest.approx(0.7957, abs=0.005)
+        assert confusion.precision == pytest.approx(0.995, abs=0.005)
+
+    def test_perfect_classifier(self):
+        confusion = solve_confusion(100, 900, accuracy=1.0, precision=1.0)
+        assert (confusion.tp, confusion.fp, confusion.fn, confusion.tn) == (100, 0, 0, 900)
+
+    def test_zero_precision(self):
+        confusion = solve_confusion(20, 2980, accuracy=0.98, precision=0.0)
+        assert confusion.tp == 0
+        assert confusion.precision == 0.0
+        assert confusion.accuracy == pytest.approx(0.98, abs=0.005)
+
+    def test_low_precision_row(self):
+        confusion = solve_confusion(20, 2980, accuracy=0.9653, precision=0.08)
+        assert confusion.tp == 8 and confusion.fp == 92
+
+    def test_infeasible_profile_raises(self):
+        # 90% of objects are positive; accuracy 99% with precision 10% is
+        # impossible (too many false positives required).
+        with pytest.raises(InfeasibleProfileError):
+            solve_confusion(900, 100, accuracy=0.99, precision=0.10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            solve_confusion(-1, 10, 0.9, 0.9)
+        with pytest.raises(InvalidParameterError):
+            solve_confusion(10, 10, 1.5, 0.9)
+        with pytest.raises(InvalidParameterError):
+            solve_confusion(0, 0, 0.9, 0.9)
+
+
+class TestProfileClassifier:
+    def test_predictions_match_profile_exactly(self, rng):
+        dataset = binary_dataset(994, 403, rng=rng)
+        classifier = ProfileClassifier(
+            name="test", target_group=FEMALE, accuracy=0.7957, precision=0.995
+        )
+        predicted = classifier.predict(dataset, rng)
+        confusion = binary_confusion(dataset.mask(FEMALE), predicted)
+        expected = classifier.confusion_for(dataset)
+        assert (confusion.tp, confusion.fp) == (expected.tp, expected.fp)
+
+    def test_different_rngs_misclassify_different_objects(self, rng):
+        dataset = binary_dataset(500, 100, rng=rng)
+        classifier = ProfileClassifier(
+            name="test", target_group=FEMALE, accuracy=0.9, precision=0.8
+        )
+        first = classifier.predict(dataset, np.random.default_rng(1))
+        second = classifier.predict(dataset, np.random.default_rng(2))
+        assert first.sum() == second.sum()  # same counts
+        assert not np.array_equal(first, second)  # different placement
+
+    def test_predicted_positive_indices(self, rng):
+        dataset = binary_dataset(500, 100, rng=rng)
+        classifier = ProfileClassifier(
+            name="test", target_group=FEMALE, accuracy=0.95, precision=0.9
+        )
+        indices = classifier.predicted_positive_indices(dataset, rng)
+        assert len(indices) == classifier.confusion_for(dataset).n_predicted_positive

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Schema
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def gender_schema() -> Schema:
+    return Schema.from_dict({"gender": ["male", "female"]})
+
+
+@pytest.fixture
+def gender_race_schema() -> Schema:
+    return Schema.from_dict(
+        {
+            "gender": ["male", "female"],
+            "race": ["white", "black", "hispanic", "asian"],
+        }
+    )

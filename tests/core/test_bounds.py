@@ -1,0 +1,67 @@
+"""Unit tests for the theoretical bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    adversarial_tree_size,
+    lower_bound_tasks,
+    single_tree_upper_bound,
+    upper_bound_tasks,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestUpperBound:
+    def test_table1_value(self):
+        """The paper's Table 1 reports 115 for N=1522, n=tau=50."""
+        assert round(upper_bound_tasks(1522, 50, 50)) == 115
+
+    def test_log_base_2_variant(self):
+        value = upper_bound_tasks(1522, 50, 50, log_base=2.0)
+        assert value == pytest.approx(1522 / 50 + 50 * 5.643856, rel=1e-5)
+
+    def test_monotone_in_tau_and_N(self):
+        assert upper_bound_tasks(1000, 50, 60) > upper_bound_tasks(1000, 50, 50)
+        assert upper_bound_tasks(2000, 50, 50) > upper_bound_tasks(1000, 50, 50)
+
+    def test_n_equal_one_drops_log_term(self):
+        assert upper_bound_tasks(100, 1, 50) == 100.0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            upper_bound_tasks(-1, 50, 50)
+        with pytest.raises(InvalidParameterError):
+            upper_bound_tasks(100, 0, 50)
+        with pytest.raises(InvalidParameterError):
+            upper_bound_tasks(100, 50, -1)
+        with pytest.raises(InvalidParameterError):
+            upper_bound_tasks(100, 50, 50, log_base=1.0)
+
+
+class TestLowerBound:
+    def test_ceiling_division(self):
+        assert lower_bound_tasks(100, 50) == 2
+        assert lower_bound_tasks(101, 50) == 3
+        assert lower_bound_tasks(0, 50) == 0
+
+    def test_lower_bound_below_upper_bound(self):
+        for N, n, tau in [(1000, 50, 50), (100, 10, 5), (10**6, 50, 50)]:
+            assert lower_bound_tasks(N, n) <= upper_bound_tasks(N, n, tau) + 1
+
+
+class TestTreeBounds:
+    def test_single_tree_bound_tau_zero(self):
+        assert single_tree_upper_bound(64, 0) == 1
+
+    def test_single_tree_bound_formula(self):
+        # 2*tau - 1 internal skeleton + 2*tau*log2(n) isolation levels.
+        assert single_tree_upper_bound(64, 4) == 2 * 4 - 1 + 2 * 4 * 6
+
+    def test_adversarial_size_small_cases(self):
+        assert adversarial_tree_size(64, 1) == 1.0
+        assert adversarial_tree_size(16, 16) == 31.0  # n <= tau: full tree
+
+    def test_adversarial_size_grows_with_n(self):
+        assert adversarial_tree_size(2**16, 64) > adversarial_tree_size(2**10, 64)

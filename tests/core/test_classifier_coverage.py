@@ -1,0 +1,202 @@
+"""Unit tests for Classifier-Coverage (Algorithm 4) and Partition/Label."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier_coverage import (
+    classifier_coverage,
+    label_positive_set,
+    partition_positive_set,
+)
+from repro.core.group_coverage import group_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.errors import InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+def predictions_with(dataset, rng, n_true_positives, n_false_positives):
+    """A predicted-positive index set with exact TP/FP composition."""
+    members = dataset.positions(FEMALE)
+    non_members = dataset.positions(group(gender="male"))
+    chosen = [
+        rng.choice(members, size=n_true_positives, replace=False),
+        rng.choice(non_members, size=n_false_positives, replace=False),
+    ]
+    predicted = np.concatenate(chosen)
+    rng.shuffle(predicted)
+    return predicted
+
+
+class TestPartition:
+    def test_clean_set_costs_one_query_per_chunk(self, rng):
+        dataset = binary_dataset(500, 200, rng=rng)
+        positives = dataset.positions(FEMALE)[:100]
+        oracle = GroundTruthOracle(dataset)
+        verified, exhausted = partition_positive_set(oracle, FEMALE, positives, n=50)
+        assert exhausted
+        assert sorted(verified) == sorted(int(i) for i in positives)
+        assert oracle.ledger.n_set_queries == 2  # 100/50 chunks, both "no"
+
+    def test_isolates_false_positives(self, rng):
+        dataset = binary_dataset(500, 200, rng=rng)
+        predicted = predictions_with(dataset, rng, 60, 4)
+        oracle = GroundTruthOracle(dataset)
+        verified, exhausted = partition_positive_set(oracle, FEMALE, predicted, n=32)
+        assert exhausted
+        true_members = set(dataset.positions(FEMALE).tolist())
+        assert set(verified) == set(int(i) for i in predicted) & true_members
+
+    def test_early_stop(self, rng):
+        dataset = binary_dataset(500, 300, rng=rng)
+        positives = dataset.positions(FEMALE)[:200]
+        oracle = GroundTruthOracle(dataset)
+        verified, exhausted = partition_positive_set(
+            oracle, FEMALE, positives, n=50, stop_after=50
+        )
+        assert not exhausted
+        assert len(verified) >= 50
+        assert oracle.ledger.n_set_queries == 1  # first clean chunk suffices
+
+    def test_all_false_positives(self, rng):
+        dataset = binary_dataset(100, 50, rng=rng)
+        fakes = dataset.positions(group(gender="male"))[:16]
+        oracle = GroundTruthOracle(dataset)
+        verified, exhausted = partition_positive_set(oracle, FEMALE, fakes, n=16)
+        assert exhausted and verified == []
+
+    def test_invalid_n(self, rng):
+        dataset = binary_dataset(10, 5, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            partition_positive_set(
+                GroundTruthOracle(dataset), FEMALE, np.array([0]), n=0
+            )
+
+
+class TestLabel:
+    def test_labels_until_stop(self, rng):
+        dataset = binary_dataset(300, 150, rng=rng)
+        predicted = predictions_with(dataset, rng, 80, 20)
+        oracle = GroundTruthOracle(dataset)
+        verified, _ = label_positive_set(
+            oracle, FEMALE, predicted, stop_after=30
+        )
+        assert len(verified) == 30
+        assert oracle.ledger.n_point_queries <= len(predicted)
+
+    def test_exhausts_when_below_stop(self, rng):
+        dataset = binary_dataset(300, 150, rng=rng)
+        predicted = predictions_with(dataset, rng, 10, 30)
+        oracle = GroundTruthOracle(dataset)
+        verified, exhausted = label_positive_set(
+            oracle, FEMALE, predicted, stop_after=50
+        )
+        assert exhausted
+        assert len(verified) == 10
+        assert oracle.ledger.n_point_queries == 40
+
+
+class TestClassifierCoverage:
+    def test_high_precision_chooses_partition_and_wins(self, rng):
+        dataset = binary_dataset(994, 403, rng=rng)
+        predicted = predictions_with(dataset, rng, 200, 2)  # 99% precision
+        oracle = GroundTruthOracle(dataset)
+        result = classifier_coverage(
+            oracle, FEMALE, 50, predicted, n=50, rng=rng, dataset_size=len(dataset)
+        )
+        assert result.strategy == "partition"
+        assert result.covered
+        baseline = group_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, n=50, dataset_size=len(dataset)
+        )
+        assert result.tasks.total < baseline.tasks.total
+
+    def test_low_precision_chooses_label(self, rng):
+        dataset = binary_dataset(3000, 200, rng=rng)
+        predicted = predictions_with(dataset, rng, 90, 85)  # ~51% precision
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        assert result.strategy == "label"
+        assert result.covered
+
+    def test_uncovered_group_falls_back_and_is_exact(self, rng):
+        dataset = binary_dataset(3000, 20, rng=rng)
+        predicted = predictions_with(dataset, rng, 8, 92)  # 8% precision
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        assert not result.covered
+        assert result.count == 20  # exact: verified + fallback
+        assert result.fallback is not None
+        assert result.strategy == "label"
+
+    def test_empty_prediction_set_degenerates_to_group_coverage(self, rng):
+        dataset = binary_dataset(500, 100, rng=rng)
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, np.array([], dtype=np.int64),
+            n=50, rng=rng, dataset_size=len(dataset),
+        )
+        assert result.strategy == "none"
+        assert result.covered
+        assert result.fallback is not None
+
+    def test_perfect_classifier_with_enough_positives_is_cheap(self, rng):
+        dataset = binary_dataset(2000, 500, rng=rng)
+        predicted = dataset.positions(FEMALE)
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        assert result.covered
+        # 10% sample of 500 = 50 point queries alone certify coverage.
+        assert result.tasks.total <= 51
+
+    def test_false_negatives_found_in_complement(self, rng):
+        """Classifier misses most members; fallback must find them."""
+        dataset = binary_dataset(1000, 100, rng=rng)
+        predicted = predictions_with(dataset, rng, 10, 0)
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        assert result.covered  # 90 members remain outside G
+        assert result.fallback is not None
+
+    def test_verdict_correct_across_compositions(self, rng):
+        for n_members, tp, fp, tau in [
+            (60, 30, 10, 50),   # covered, classifier partial
+            (40, 30, 30, 50),   # uncovered
+            (55, 0, 40, 50),    # covered, classifier useless
+        ]:
+            dataset = binary_dataset(800, n_members, rng=rng)
+            predicted = predictions_with(dataset, rng, tp, fp)
+            result = classifier_coverage(
+                GroundTruthOracle(dataset), FEMALE, tau, predicted, n=25,
+                rng=rng, dataset_size=len(dataset),
+            )
+            assert result.covered == (n_members >= tau)
+
+    def test_invalid_parameters(self, rng):
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            classifier_coverage(
+                oracle, FEMALE, 0, np.array([0]), rng=rng, dataset_size=100
+            )
+        with pytest.raises(InvalidParameterError):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([0]), sample_fraction=0.0,
+                rng=rng, dataset_size=100,
+            )
+        with pytest.raises(InvalidParameterError):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([0]), fp_threshold=1.5,
+                rng=rng, dataset_size=100,
+            )

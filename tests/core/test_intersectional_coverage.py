@@ -1,0 +1,110 @@
+"""Unit tests for Intersectional-Coverage (Algorithm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intersectional_coverage import intersectional_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
+from repro.patterns.tabular import assess_tabular_coverage
+
+
+def run(joint_counts, schema=None, tau=50, n=50, seed=9):
+    schema = schema or Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black"]}
+    )
+    rng = np.random.default_rng(seed)
+    dataset = intersectional_dataset(schema, joint_counts, rng=rng)
+    report = intersectional_coverage(
+        GroundTruthOracle(dataset), schema, tau, n=n, rng=rng,
+        dataset_size=len(dataset),
+    )
+    return report, dataset
+
+
+class TestAgainstTabularReference:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_verdicts_match_fully_labeled_reference(self, seed):
+        joint = {
+            ("male", "white"): 4000,
+            ("female", "white"): 700,
+            ("male", "black"): 90,
+            ("female", "black"): 12,
+        }
+        report, dataset = run(joint, seed=seed)
+        reference = assess_tabular_coverage(dataset, tau=50)
+        for pattern, verdict in report.pattern_report.verdicts.items():
+            assert verdict.covered == reference.verdict(pattern).covered, (
+                pattern.describe()
+            )
+        assert set(report.mups) == set(reference.mups)
+
+    def test_exact_counts_for_uncovered_patterns(self):
+        joint = {
+            ("male", "white"): 4000,
+            ("female", "white"): 700,
+            ("male", "black"): 20,
+            ("female", "black"): 12,
+        }
+        report, dataset = run(joint)
+        reference = assess_tabular_coverage(dataset, tau=50)
+        for pattern, verdict in report.pattern_report.verdicts.items():
+            if verdict.count_is_exact:
+                assert (
+                    verdict.count_lower_bound
+                    == reference.verdict(pattern).count_lower_bound
+                ), pattern.describe()
+
+    def test_three_binary_attributes(self):
+        schema = Schema.from_dict(
+            {"x1": ["a", "b"], "x2": ["c", "d"], "x3": ["e", "f"]}
+        )
+        joint = {
+            ("a", "c", "e"): 5000,
+            ("a", "c", "f"): 300,
+            ("a", "d", "e"): 300,
+            ("b", "c", "e"): 300,
+            ("a", "d", "f"): 40,
+            ("b", "c", "f"): 30,
+            ("b", "d", "e"): 10,
+            ("b", "d", "f"): 5,
+        }
+        report, dataset = run(joint, schema=schema)
+        reference = assess_tabular_coverage(dataset, tau=50)
+        assert set(report.mups) == set(reference.mups)
+
+
+class TestReportShape:
+    def test_mup_identification(self):
+        joint = {
+            ("male", "white"): 5000,
+            ("female", "white"): 800,
+            ("male", "black"): 120,
+            ("female", "black"): 9,
+        }
+        report, _ = run(joint)
+        assert [m.describe() for m in report.mups] == ["female-black"]
+
+    def test_tasks_cover_leaf_report(self):
+        joint = {
+            ("male", "white"): 500,
+            ("female", "white"): 100,
+            ("male", "black"): 60,
+            ("female", "black"): 60,
+        }
+        report, _ = run(joint)
+        # Roll-up costs nothing beyond the leaf-level work.
+        assert report.tasks.total == report.leaf_report.tasks.total
+
+    def test_describe_lists_mups(self):
+        joint = {
+            ("male", "white"): 5000,
+            ("female", "white"): 800,
+            ("male", "black"): 120,
+            ("female", "black"): 9,
+        }
+        report, _ = run(joint)
+        assert "female-black" in report.describe()

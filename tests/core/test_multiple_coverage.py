@@ -1,0 +1,135 @@
+"""Unit tests for Multiple-Coverage (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multiple_coverage import multiple_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import Group, group
+from repro.data.synthetic import single_attribute_dataset
+from repro.errors import InvalidParameterError
+
+
+def run(counts, tau=50, n=50, c=2.0, seed=5, **kwargs):
+    rng = np.random.default_rng(seed)
+    dataset = single_attribute_dataset(counts, attribute="race", rng=rng)
+    groups = [Group({"race": v}) for v in counts]
+    oracle = GroundTruthOracle(dataset)
+    report = multiple_coverage(
+        oracle, groups, tau, n=n, c=c, rng=rng, dataset_size=len(dataset), **kwargs
+    )
+    return report, dataset, oracle
+
+
+class TestVerdicts:
+    def test_all_verdicts_correct(self):
+        counts = {"white": 5000, "black": 200, "asian": 30, "native": 8}
+        report, dataset, _ = run(counts)
+        for entry in report.entries:
+            expected = counts[entry.group.value_of("race")] >= 50
+            assert entry.covered is expected, entry.describe()
+
+    def test_uncovered_counts_are_exact_for_singletons(self):
+        counts = {"white": 5000, "asian": 30}
+        report, _, _ = run(counts)
+        asian = report.entry_for(group(race="asian"))
+        assert not asian.covered
+        assert asian.count == 30 and asian.count_is_exact
+
+    def test_supergroup_members_share_uncovered_verdict(self):
+        # Two tiny minorities merge and stay uncovered together.
+        counts = {"white": 9800, "m1": 10, "m2": 15}
+        report, _, _ = run(counts)
+        for value in ("m1", "m2"):
+            entry = report.entry_for(group(race=value))
+            assert not entry.covered
+            assert entry.via_supergroup is not None
+
+    def test_attribute_supergroup_members_gives_exact_counts(self):
+        counts = {"white": 9800, "m1": 10, "m2": 15}
+        report, _, _ = run(counts, attribute_supergroup_members=True)
+        m1 = report.entry_for(group(race="m1"))
+        m2 = report.entry_for(group(race="m2"))
+        if len(m1.via_supergroup) > 1:  # merged (the expected path)
+            assert m1.count_is_exact and m1.count == 10
+            assert m2.count_is_exact and m2.count == 15
+
+    def test_entries_in_input_order(self):
+        counts = {"white": 500, "black": 400, "asian": 300}
+        report, _, _ = run(counts)
+        assert [e.group.value_of("race") for e in report.entries] == [
+            "white", "black", "asian",
+        ]
+
+    def test_sampled_counts_recorded(self):
+        counts = {"white": 900, "black": 100}
+        report, _, _ = run(counts, tau=50)
+        assert sum(report.sampled_counts.values()) == 100  # c * tau labels
+
+
+class TestCostBehavior:
+    def test_sampling_credit_makes_majority_cheap(self):
+        """With c=2 the majority group is fully pre-credited by samples:
+        its Group-Coverage run costs zero set queries."""
+        counts = {"white": 9900, "rare": 100}
+        report, _, oracle = run(counts, tau=50)
+        # 100 point queries for sampling; the white run needs no set query
+        # beyond what `rare` consumed. Sanity: total point queries == c*tau.
+        assert report.tasks.n_point_queries == 100
+
+    def test_effective_aggregation_beats_brute_force(self):
+        from repro.core.group_coverage import group_coverage
+
+        counts = {"white": 9955, "m1": 10, "m2": 15, "m3": 20}
+        report, dataset, _ = run(counts)
+        brute = GroundTruthOracle(dataset)
+        for value in counts:
+            group_coverage(brute, group(race=value), 50, n=50, dataset_size=len(dataset))
+        assert report.tasks.total < brute.ledger.total
+
+    def test_covered_supergroup_triggers_member_reruns(self):
+        """Adversarial: merged minorities jointly covered -> per-member
+        re-runs; every member verdict must still be correct."""
+        counts = {"white": 9910, "m1": 30, "m2": 30, "m3": 30}
+        report, _, _ = run(counts)
+        for value in ("m1", "m2", "m3"):
+            assert not report.entry_for(group(race=value)).covered
+
+    def test_c_zero_skips_sampling(self):
+        counts = {"white": 900, "black": 100}
+        report, _, _ = run(counts, c=0.0)
+        assert report.tasks.n_point_queries == 0
+
+
+class TestValidation:
+    def test_empty_groups_rejected(self, rng):
+        dataset = single_attribute_dataset({"a": 10, "b": 10}, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            multiple_coverage(
+                GroundTruthOracle(dataset), [], 50, rng=rng, dataset_size=20
+            )
+
+    def test_invalid_tau_rejected(self, rng):
+        dataset = single_attribute_dataset({"a": 10, "b": 10}, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            multiple_coverage(
+                GroundTruthOracle(dataset),
+                [group(a="x")],
+                0,
+                rng=rng,
+                dataset_size=20,
+            )
+
+    def test_requires_view_or_size(self, rng):
+        dataset = single_attribute_dataset({"a": 10, "b": 10}, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            multiple_coverage(
+                GroundTruthOracle(dataset), [group(a="x")], 5, rng=rng
+            )
+
+    def test_entry_for_unknown_group_raises(self):
+        report, _, _ = run({"white": 100, "black": 100}, tau=5)
+        with pytest.raises(KeyError):
+            report.entry_for(group(race="martian"))

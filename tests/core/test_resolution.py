@@ -1,0 +1,188 @@
+"""Unit tests for coverage resolution (acquisition planning + member search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multiple_coverage import multiple_coverage
+from repro.core.resolution import (
+    acquisition_plan,
+    find_members,
+    resolve_coverage,
+)
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import Group, group
+from repro.data.synthetic import binary_dataset, single_attribute_dataset
+from repro.errors import InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+class TestFindMembers:
+    def test_finds_exactly_k_members(self, rng):
+        pool = binary_dataset(2_000, 100, rng=rng)
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 10, pool_size=len(pool),
+            strategy="search",
+        )
+        assert len(found) == 10
+        assert all(pool.matches(i, FEMALE) for i in found)
+        assert usage.n_set_queries > 0 and usage.n_point_queries == 0
+
+    def test_auto_picks_scan_for_dense_groups(self, rng):
+        pool = binary_dataset(2_000, 1_000, rng=rng)  # 50% density
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 50, pool_size=len(pool), rng=rng
+        )
+        assert len(found) == 50
+        assert all(pool.matches(i, FEMALE) for i in found)
+        # Scan: only point queries after the sample; ~2 per member found.
+        assert usage.n_set_queries == 0
+        assert usage.n_point_queries < 200
+
+    def test_auto_picks_search_for_rare_groups(self, rng):
+        pool = binary_dataset(5_000, 30, rng=rng)  # 0.6% density
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 10, pool_size=len(pool), rng=rng
+        )
+        assert len(found) == 10
+        # Search: the density sample costs 20 points, the rest are sets.
+        assert usage.n_point_queries == 20
+        assert usage.n_set_queries > 0
+
+    def test_auto_counts_sampled_members_toward_k(self, rng):
+        pool = binary_dataset(100, 100, rng=rng)  # everyone matches
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 5, pool_size=len(pool), rng=rng
+        )
+        assert len(found) == 5
+        assert usage.total <= 20  # the sample alone satisfied k
+
+    def test_cheaper_than_point_labeling(self, rng):
+        """Locating k rare members by d&c must beat scanning the pool."""
+        pool = binary_dataset(5_000, 25, rng=rng)
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 20, pool_size=len(pool)
+        )
+        assert len(found) == 20
+        # Point labeling would need ~ k * N/f ≈ 4000 queries in expectation.
+        assert usage.total < 1_000
+
+    def test_pool_runs_dry(self, rng):
+        pool = binary_dataset(500, 3, rng=rng)
+        found, _ = find_members(
+            GroundTruthOracle(pool), FEMALE, 10, pool_size=len(pool)
+        )
+        assert sorted(found) == sorted(pool.positions(FEMALE).tolist())
+
+    def test_k_zero_costs_nothing(self, rng):
+        pool = binary_dataset(100, 10, rng=rng)
+        found, usage = find_members(
+            GroundTruthOracle(pool), FEMALE, 0, pool_size=len(pool)
+        )
+        assert found == [] and usage.total == 0
+
+    def test_view_restriction(self):
+        pool = binary_dataset(100, 50, placement="front")
+        found, _ = find_members(
+            GroundTruthOracle(pool), FEMALE, 5, view=np.arange(50, 100)
+        )
+        assert found == []  # back half holds no members
+
+    def test_invalid_parameters(self, rng):
+        pool = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(pool)
+        with pytest.raises(InvalidParameterError):
+            find_members(oracle, FEMALE, -1, pool_size=10)
+        with pytest.raises(InvalidParameterError):
+            find_members(oracle, FEMALE, 1, pool_size=10, n=0)
+        with pytest.raises(InvalidParameterError):
+            find_members(oracle, FEMALE, 1)
+        with pytest.raises(InvalidParameterError):
+            find_members(oracle, FEMALE, 1, pool_size=10, strategy="teleport")
+
+
+class TestAcquisitionPlan:
+    def _report(self, counts, tau=50, seed=3):
+        rng = np.random.default_rng(seed)
+        dataset = single_attribute_dataset(counts, attribute="race", rng=rng)
+        return multiple_coverage(
+            GroundTruthOracle(dataset),
+            [Group({"race": v}) for v in counts],
+            tau,
+            rng=rng,
+            dataset_size=len(dataset),
+            attribute_supergroup_members=True,
+        )
+
+    def test_deficits_from_report(self):
+        report = self._report({"white": 2_000, "black": 30, "asian": 200})
+        plan = acquisition_plan(report, tau=50)
+        assert plan.deficits == {group(race="black"): 20}
+        assert plan.total_needed == 20
+
+    def test_empty_plan_when_all_covered(self):
+        report = self._report({"white": 500, "black": 400})
+        plan = acquisition_plan(report, tau=50)
+        assert plan.deficits == {}
+        assert "nothing to acquire" in plan.describe()
+
+    def test_invalid_tau(self):
+        report = self._report({"white": 500, "black": 400})
+        with pytest.raises(InvalidParameterError):
+            acquisition_plan(report, tau=0)
+
+
+class TestResolveCoverage:
+    def test_end_to_end_resolution(self):
+        """Detect a gap, buy the missing samples from a pool, verify the
+        combined dataset is covered."""
+        rng = np.random.default_rng(11)
+        audited = single_attribute_dataset(
+            {"white": 3_000, "black": 35, "asian": 12}, attribute="race", rng=rng
+        )
+        groups = [Group({"race": v}) for v in ("white", "black", "asian")]
+        report = multiple_coverage(
+            GroundTruthOracle(audited), groups, 50, rng=rng,
+            dataset_size=len(audited), attribute_supergroup_members=True,
+        )
+        plan = acquisition_plan(report, tau=50)
+        assert plan.deficits[group(race="black")] == 15
+        assert plan.deficits[group(race="asian")] == 38
+
+        pool = single_attribute_dataset(
+            {"white": 500, "black": 300, "asian": 300}, attribute="race", rng=rng
+        )
+        acquired, usage = resolve_coverage(
+            GroundTruthOracle(pool), plan, pool_size=len(pool)
+        )
+        assert len(acquired[group(race="black")]) == 15
+        assert len(acquired[group(race="asian")]) == 38
+        assert usage.total > 0
+
+        # Stitch the acquisitions onto the audited dataset: now covered.
+        additions = pool.subset(
+            [i for indices in acquired.values() for i in indices]
+        )
+        combined = audited.concatenated(additions)
+        for g in groups:
+            assert combined.count(g) >= 50
+
+    def test_acquired_sets_are_disjoint(self):
+        rng = np.random.default_rng(13)
+        audited = single_attribute_dataset(
+            {"white": 1_000, "black": 10, "asian": 10}, attribute="race", rng=rng
+        )
+        groups = [Group({"race": v}) for v in ("white", "black", "asian")]
+        report = multiple_coverage(
+            GroundTruthOracle(audited), groups, 50, rng=rng,
+            dataset_size=len(audited), attribute_supergroup_members=True,
+        )
+        plan = acquisition_plan(report, tau=50)
+        pool = single_attribute_dataset(
+            {"white": 100, "black": 100, "asian": 100}, attribute="race", rng=rng
+        )
+        acquired, _ = resolve_coverage(GroundTruthOracle(pool), plan, pool_size=len(pool))
+        all_indices = [i for indices in acquired.values() for i in indices]
+        assert len(all_indices) == len(set(all_indices))

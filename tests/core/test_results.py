@@ -1,0 +1,101 @@
+"""Unit tests for the result dataclasses and their rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import (
+    ClassifierCoverageResult,
+    GroupCoverageResult,
+    GroupEntry,
+    MultipleCoverageReport,
+    TaskUsage,
+)
+from repro.data.groups import SuperGroup, group
+
+FEMALE = group(gender="female")
+
+
+class TestTaskUsage:
+    def test_total_and_addition(self):
+        a = TaskUsage(3, 4)
+        b = TaskUsage(1, 2)
+        combined = a + b
+        assert combined.n_set_queries == 4
+        assert combined.n_point_queries == 6
+        assert combined.total == 10
+
+    def test_default_is_zero(self):
+        assert TaskUsage().total == 0
+
+
+class TestGroupCoverageResultDescribe:
+    def test_covered_rendering(self):
+        result = GroupCoverageResult(
+            predicate=FEMALE, covered=True, count=50, tau=50, tasks=TaskUsage(70, 0)
+        )
+        text = result.describe()
+        assert "covered" in text and "≥" in text and "70" in text
+
+    def test_uncovered_rendering(self):
+        result = GroupCoverageResult(
+            predicate=FEMALE, covered=False, count=12, tau=50, tasks=TaskUsage(200, 0)
+        )
+        text = result.describe()
+        assert "UNCOVERED" in text and "= 12" in text
+
+
+class TestGroupEntry:
+    def test_describe_with_supergroup(self):
+        sg = SuperGroup([group(race="a"), group(race="b")])
+        entry = GroupEntry(
+            group=group(race="a"), covered=False, count=5,
+            count_is_exact=True, via_supergroup=sg,
+        )
+        assert "via super-group" in entry.describe()
+
+    def test_describe_singleton_hides_supergroup(self):
+        sg = SuperGroup([group(race="a")])
+        entry = GroupEntry(
+            group=group(race="a"), covered=True, count=50,
+            count_is_exact=False, via_supergroup=sg,
+        )
+        assert "via super-group" not in entry.describe()
+        assert ">=" in entry.describe()
+
+
+class TestMultipleCoverageReport:
+    def _report(self):
+        entries = (
+            GroupEntry(group(race="a"), True, 50, False),
+            GroupEntry(group(race="b"), False, 7, True),
+        )
+        return MultipleCoverageReport(
+            entries=entries,
+            super_groups=(SuperGroup([group(race="a")]), SuperGroup([group(race="b")])),
+            sampled_counts={group(race="a"): 9, group(race="b"): 1},
+            tasks=TaskUsage(100, 100),
+        )
+
+    def test_entry_lookup(self):
+        report = self._report()
+        assert report.entry_for(group(race="b")).count == 7
+        with pytest.raises(KeyError):
+            report.entry_for(group(race="zzz"))
+
+    def test_uncovered_groups(self):
+        assert self._report().uncovered_groups == (group(race="b"),)
+
+    def test_describe_lists_everything(self):
+        text = self._report().describe()
+        assert "race=a" in text and "race=b" in text and "200 tasks" in text
+
+
+class TestClassifierCoverageResultDescribe:
+    def test_mentions_strategy_and_precision(self):
+        result = ClassifierCoverageResult(
+            group=FEMALE, covered=True, count=50, tau=50, strategy="partition",
+            precision_estimate=0.98, verified_count=50, tasks=TaskUsage(5, 20),
+        )
+        text = result.describe()
+        assert "partition" in text and "98.0%" in text and "25" in text

@@ -1,0 +1,98 @@
+"""Unit tests for LabelSamples and the labeled pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import LabeledPool, label_samples
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import Negation, SuperGroup, group
+from repro.data.synthetic import binary_dataset
+from repro.errors import InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+class TestLabeledPool:
+    def test_count_and_members(self):
+        pool = LabeledPool()
+        pool.add(3, {"gender": "female"})
+        pool.add(7, {"gender": "male"})
+        pool.add(9, {"gender": "female"})
+        assert pool.count(FEMALE) == 2
+        assert sorted(pool.members(FEMALE)) == [3, 9]
+        assert len(pool) == 3
+        assert 3 in pool and 4 not in pool
+
+    def test_counts_compound_predicates(self):
+        pool = LabeledPool()
+        pool.add(0, {"race": "black"})
+        pool.add(1, {"race": "asian"})
+        pool.add(2, {"race": "white"})
+        sg = SuperGroup([group(race="black"), group(race="asian")])
+        assert pool.count(sg) == 2
+        assert pool.count(Negation(sg)) == 1
+
+    def test_relabel_overwrites(self):
+        pool = LabeledPool()
+        pool.add(0, {"gender": "male"})
+        pool.add(0, {"gender": "female"})
+        assert len(pool) == 1
+        assert pool.count(FEMALE) == 1
+
+
+class TestLabelSamples:
+    def test_sample_size_and_view_shrink(self, rng):
+        dataset = binary_dataset(200, 40, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        view, pool = label_samples(oracle, np.arange(200), tau=25, c=2.0, rng=rng)
+        assert len(pool) == 50
+        assert len(view) == 150
+        assert oracle.ledger.n_point_queries == 50
+        # Removed objects are exactly the labeled ones.
+        assert set(np.arange(200)) - set(view.tolist()) == set(pool.rows)
+
+    def test_sample_capped_at_view_size(self, rng):
+        dataset = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        view, pool = label_samples(oracle, np.arange(10), tau=50, c=2.0, rng=rng)
+        assert len(pool) == 10
+        assert len(view) == 0
+
+    def test_c_zero_disables_sampling(self, rng):
+        dataset = binary_dataset(50, 5, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        view, pool = label_samples(oracle, np.arange(50), tau=10, c=0.0, rng=rng)
+        assert len(pool) == 0
+        assert len(view) == 50
+        assert oracle.ledger.total == 0
+
+    def test_labels_match_ground_truth_under_perfect_oracle(self, rng):
+        dataset = binary_dataset(100, 30, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        _, pool = label_samples(oracle, np.arange(100), tau=20, rng=rng)
+        for index, labels in pool.rows.items():
+            assert labels == dataset.value_row(index)
+
+    def test_extends_existing_pool(self, rng):
+        dataset = binary_dataset(100, 30, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        view, pool = label_samples(oracle, np.arange(100), tau=10, rng=rng)
+        view, pool2 = label_samples(oracle, view, tau=10, rng=rng, pool=pool)
+        assert pool2 is pool
+        assert len(pool) == 40
+
+    def test_view_order_preserved(self, rng):
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        view, _ = label_samples(oracle, np.arange(100), tau=10, rng=rng)
+        assert (np.diff(view) > 0).all()
+
+    def test_invalid_parameters(self, rng):
+        dataset = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            label_samples(oracle, np.arange(10), tau=-1, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            label_samples(oracle, np.arange(10), tau=5, c=-1.0, rng=rng)

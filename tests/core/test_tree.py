@@ -1,0 +1,98 @@
+"""Unit tests for the execution-tree structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import PrunableQueue, TreeNode
+from repro.errors import InvalidParameterError
+
+
+class TestTreeNode:
+    def test_size_and_flags(self):
+        node = TreeNode(0, 9)
+        assert node.size == 10
+        assert node.is_root
+        assert not node.is_left_child
+
+    def test_split_halves(self):
+        node = TreeNode(0, 9)
+        left, right = node.split()
+        assert (left.b_index, left.e_index) == (0, 4)
+        assert (right.b_index, right.e_index) == (5, 9)
+        assert left.parent is node and right.parent is node
+        assert left.is_left_child and not right.is_left_child
+
+    def test_split_odd_size(self):
+        left, right = TreeNode(0, 6).split()
+        assert (left.b_index, left.e_index) == (0, 3)
+        assert (right.b_index, right.e_index) == (4, 6)
+
+    def test_split_two_elements(self):
+        left, right = TreeNode(3, 4).split()
+        assert left.size == 1 and right.size == 1
+
+    def test_split_singleton_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TreeNode(2, 2).split()
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TreeNode(5, 4)
+        with pytest.raises(InvalidParameterError):
+            TreeNode(-1, 4)
+
+    def test_checked_default_false(self):
+        assert TreeNode(0, 1).checked is False
+
+
+class TestPrunableQueue:
+    def test_fifo_order(self):
+        queue = PrunableQueue()
+        nodes = [TreeNode(i, i) for i in range(5)]
+        for node in nodes:
+            queue.add(node)
+        assert [queue.pop() for _ in range(5)] == nodes
+
+    def test_remove_specific_node(self):
+        queue = PrunableQueue()
+        a, b, c = TreeNode(0, 0), TreeNode(1, 1), TreeNode(2, 2)
+        for node in (a, b, c):
+            queue.add(node)
+        assert queue.remove(b) is b
+        assert queue.pop() is a
+        assert queue.pop() is c
+        assert not queue
+
+    def test_len_tracks_live_nodes(self):
+        queue = PrunableQueue()
+        a, b = TreeNode(0, 0), TreeNode(1, 1)
+        queue.add(a)
+        queue.add(b)
+        assert len(queue) == 2
+        queue.remove(a)
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PrunableQueue().pop()
+
+    def test_remove_absent_raises(self):
+        queue = PrunableQueue()
+        with pytest.raises(InvalidParameterError):
+            queue.remove(TreeNode(0, 0))
+
+    def test_double_add_rejected(self):
+        queue = PrunableQueue()
+        node = TreeNode(0, 0)
+        queue.add(node)
+        with pytest.raises(InvalidParameterError):
+            queue.add(node)
+
+    def test_readd_after_pop_allowed(self):
+        queue = PrunableQueue()
+        node = TreeNode(0, 0)
+        queue.add(node)
+        queue.pop()
+        queue.add(node)  # the sibling-replacement flow re-processes nodes
+        assert queue.pop() is node

@@ -1,0 +1,111 @@
+"""Unit tests for truth inference (majority vote + Dawid-Skene)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
+from repro.errors import InvalidParameterError
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert majority_vote([True, True, False]) is True
+        assert majority_vote(["a", "b", "b"]) == "b"
+
+    def test_single_answer(self):
+        assert majority_vote([False]) is False
+
+    def test_tie_without_rng_is_first_seen(self):
+        assert majority_vote([True, False]) is True
+        assert majority_vote([False, True]) is False
+
+    def test_tie_with_rng_is_one_of_the_tied(self, rng):
+        assert majority_vote(["x", "y"], rng=rng) in {"x", "y"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            majority_vote([])
+
+
+class TestMajorityPoint:
+    def test_attribute_wise(self):
+        answers = [
+            {"gender": "female", "race": "black"},
+            {"gender": "female", "race": "white"},
+            {"gender": "male", "race": "white"},
+        ]
+        assert majority_point(answers) == {"gender": "female", "race": "white"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            majority_point([])
+
+
+class TestDawidSkene:
+    def _generate(self, rng, n_tasks, worker_accuracies, n_classes=2):
+        truths = rng.integers(n_classes, size=n_tasks)
+        responses = {}
+        for task in range(n_tasks):
+            responses[task] = {}
+            for worker, accuracy in enumerate(worker_accuracies):
+                if rng.random() < accuracy:
+                    responses[task][worker] = int(truths[task])
+                else:
+                    wrong = [c for c in range(n_classes) if c != truths[task]]
+                    responses[task][worker] = int(wrong[rng.integers(len(wrong))])
+        return truths, responses
+
+    def test_recovers_truth_with_good_workers(self, rng):
+        truths, responses = self._generate(rng, 120, [0.9, 0.85, 0.95])
+        model = DawidSkene(n_classes=2)
+        inferred = model.fit_predict(responses)
+        accuracy = np.mean([inferred[t] == truths[t] for t in range(120)])
+        assert accuracy >= 0.95
+
+    def test_outperforms_majority_with_spammer_heavy_pool(self, rng):
+        # Two strong workers drowned out by three near-random spammers:
+        # majority vote suffers, Dawid-Skene should down-weight spammers.
+        truths, responses = self._generate(
+            rng, 300, [0.95, 0.95, 0.55, 0.55, 0.55]
+        )
+        inferred = DawidSkene(n_classes=2).fit_predict(responses)
+        ds_accuracy = np.mean([inferred[t] == truths[t] for t in range(300)])
+        majority_accuracy = np.mean(
+            [
+                majority_vote(list(responses[t].values())) == truths[t]
+                for t in range(300)
+            ]
+        )
+        assert ds_accuracy >= majority_accuracy - 0.02
+        assert ds_accuracy >= 0.9
+
+    def test_worker_accuracy_estimates_rank_workers(self, rng):
+        truths, responses = self._generate(rng, 300, [0.95, 0.6])
+        model = DawidSkene(n_classes=2)
+        model.fit_predict(responses)
+        assert model.worker_accuracy(0) > model.worker_accuracy(1)
+
+    def test_multiclass(self, rng):
+        truths, responses = self._generate(rng, 150, [0.9, 0.9, 0.9], n_classes=4)
+        inferred = DawidSkene(n_classes=4).fit_predict(responses)
+        accuracy = np.mean([inferred[t] == truths[t] for t in range(150)])
+        assert accuracy >= 0.9
+
+    def test_empty_responses(self):
+        assert DawidSkene(n_classes=2).fit_predict({}) == {}
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DawidSkene(n_classes=2).fit_predict({0: {0: 5}})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            DawidSkene(n_classes=1)
+        with pytest.raises(InvalidParameterError):
+            DawidSkene(n_classes=2, max_iterations=0)
+
+    def test_worker_accuracy_before_fit_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DawidSkene(n_classes=2).worker_accuracy(0)

@@ -1,0 +1,115 @@
+"""Unit tests for the oracle layer (ledgers, budgets, three backends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.oracle import (
+    CrowdOracle,
+    FlakyOracle,
+    GroundTruthOracle,
+    TaskLedger,
+)
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.workers import Worker
+from repro.data.groups import Negation, group
+from repro.data.synthetic import binary_dataset
+from repro.errors import BudgetExceededError, InvalidParameterError, OracleError
+
+FEMALE = group(gender="female")
+
+
+@pytest.fixture
+def dataset(rng):
+    return binary_dataset(50, 10, rng=rng)
+
+
+class TestTaskLedger:
+    def test_counting(self):
+        ledger = TaskLedger()
+        ledger.charge_set()
+        ledger.charge_set()
+        ledger.charge_point()
+        assert (ledger.n_set_queries, ledger.n_point_queries, ledger.total) == (2, 1, 3)
+
+    def test_budget_enforcement(self):
+        ledger = TaskLedger(budget=2)
+        ledger.charge_set()
+        ledger.charge_point()
+        with pytest.raises(BudgetExceededError):
+            ledger.charge_set()
+
+
+class TestGroundTruthOracle:
+    def test_set_answers_match_ground_truth(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        members = dataset.positions(FEMALE)
+        assert oracle.ask_set(members[:3], FEMALE) is True
+        males = dataset.positions(group(gender="male"))
+        assert oracle.ask_set(males[:5], FEMALE) is False
+
+    def test_negated_predicate(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        members = dataset.positions(FEMALE)
+        assert oracle.ask_set(members[:4], Negation(FEMALE)) is False
+
+    def test_point_answers(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        index = int(dataset.positions(FEMALE)[0])
+        assert oracle.ask_point(index) == {"gender": "female"}
+        assert oracle.ask_point_membership(index, FEMALE) is True
+
+    def test_tasks_are_charged(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        oracle.ask_set([0, 1], FEMALE)
+        oracle.ask_point(0)
+        oracle.ask_point_membership(1, FEMALE)
+        assert oracle.ledger.n_set_queries == 1
+        assert oracle.ledger.n_point_queries == 2
+
+    def test_budget(self, dataset):
+        oracle = GroundTruthOracle(dataset, budget=1)
+        oracle.ask_point(0)
+        with pytest.raises(BudgetExceededError):
+            oracle.ask_point(1)
+
+    def test_out_of_range_point(self, dataset):
+        with pytest.raises(OracleError):
+            GroundTruthOracle(dataset).ask_point(999)
+
+
+class TestCrowdOracle:
+    def test_delegates_to_platform(self, dataset, rng):
+        workers = [Worker(worker_id=i, set_error_rate=0.0, point_error_rate=0.0) for i in range(3)]
+        platform = CrowdPlatform(dataset, workers, rng)
+        oracle = CrowdOracle(platform)
+        members = dataset.positions(FEMALE)
+        assert oracle.ask_set(members[:2], FEMALE) is True
+        assert oracle.ask_point(int(members[0])) == {"gender": "female"}
+        # Oracle tasks and platform HITs agree 1:1.
+        assert oracle.ledger.total == platform.ledger.n_hits == 2
+
+
+class TestFlakyOracle:
+    def test_zero_error_equals_ground_truth(self, dataset, rng):
+        oracle = FlakyOracle(dataset, rng)
+        truth = GroundTruthOracle(dataset)
+        for start in range(0, 50, 5):
+            indices = list(range(start, start + 5))
+            assert oracle.ask_set(indices, FEMALE) == truth.ask_set(indices, FEMALE)
+
+    def test_full_error_always_flips(self, dataset, rng):
+        oracle = FlakyOracle(dataset, rng, set_error_rate=1.0)
+        members = dataset.positions(FEMALE)
+        assert oracle.ask_set(members[:3], FEMALE) is False
+
+    def test_point_errors_produce_valid_labels(self, dataset, rng):
+        oracle = FlakyOracle(dataset, rng, point_error_rate=1.0)
+        answer = oracle.ask_point(0)
+        assert answer["gender"] in {"male", "female"}
+        assert answer != dataset.value_row(0)
+
+    def test_invalid_rates(self, dataset, rng):
+        with pytest.raises(InvalidParameterError):
+            FlakyOracle(dataset, rng, set_error_rate=2.0)

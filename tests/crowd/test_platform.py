@@ -1,0 +1,131 @@
+"""Unit tests for the crowd platform simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.queries import PointQuery, SetQuery
+from repro.crowd.quality import qc_with_rating
+from repro.crowd.workers import Worker, make_worker_pool
+from repro.data.groups import Negation, group
+from repro.data.synthetic import binary_dataset
+from repro.errors import InvalidParameterError, NoEligibleWorkersError
+
+FEMALE = group(gender="female")
+
+
+def perfect_pool(n=5):
+    return [
+        Worker(worker_id=i, set_error_rate=0.0, point_error_rate=0.0)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def dataset(rng):
+    return binary_dataset(100, 20, rng=rng)
+
+
+class TestPublishing:
+    def test_set_query_truth_with_perfect_workers(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        members = dataset.positions(FEMALE)[:3]
+        non_members = dataset.positions(group(gender="male"))[:5]
+        assert platform.publish_set_query(SetQuery(members, FEMALE)) is True
+        assert platform.publish_set_query(SetQuery(non_members, FEMALE)) is False
+
+    def test_negated_set_query(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        members = dataset.positions(FEMALE)[:4]
+        assert (
+            platform.publish_set_query(SetQuery(members, Negation(FEMALE))) is False
+        )
+
+    def test_point_query_returns_truth(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        index = int(dataset.positions(FEMALE)[0])
+        assert platform.publish_point_query(PointQuery(index)) == {"gender": "female"}
+
+    def test_majority_absorbs_single_bad_worker(self, dataset, rng):
+        # One always-wrong worker among two perfect ones: majority of 3
+        # always recovers the truth.
+        workers = [
+            Worker(worker_id=0, set_error_rate=0.0),
+            Worker(worker_id=1, set_error_rate=0.0),
+            Worker(worker_id=2, set_error_rate=1.0),
+        ]
+        platform = CrowdPlatform(dataset, workers, rng)
+        members = dataset.positions(FEMALE)[:3]
+        for _ in range(10):
+            assert platform.publish_set_query(SetQuery(members, FEMALE)) is True
+        assert platform.aggregated_error_rate == 0.0
+        assert platform.raw_error_rate == pytest.approx(1 / 3)
+
+
+class TestAccounting:
+    def test_ledger_counts(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        platform.publish_set_query(SetQuery([0, 1], FEMALE))
+        platform.publish_point_query(PointQuery(0))
+        assert platform.ledger.n_set_hits == 1
+        assert platform.ledger.n_point_hits == 1
+        assert platform.ledger.n_assignments == 6
+
+    def test_hit_records(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        platform.publish_set_query(SetQuery([0, 1], FEMALE))
+        assert len(platform.hit_records) == 1
+        record = platform.hit_records[0]
+        assert len(record.worker_ids) == 3
+        assert record.aggregation_correct
+
+    def test_record_hits_disabled(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng, record_hits=False)
+        platform.publish_set_query(SetQuery([0, 1], FEMALE))
+        assert platform.hit_records == []
+        assert platform.ledger.n_hits == 1
+
+    def test_summary(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        platform.publish_point_query(PointQuery(0))
+        assert "1 HITs" in platform.summary()
+
+
+class TestScreeningIntegration:
+    def test_rating_screen_removes_spammers(self, dataset, rng):
+        workers = make_worker_pool(20, rng, spammer_fraction=0.5)
+        platform = CrowdPlatform(dataset, workers, rng, screening=qc_with_rating())
+        assert all(
+            w.percent_assignments_approved >= 95 for w in platform.eligible_workers
+        )
+
+    def test_screening_everyone_out_raises(self, dataset, rng):
+        workers = [
+            Worker(worker_id=i, percent_assignments_approved=10.0) for i in range(5)
+        ]
+        with pytest.raises(NoEligibleWorkersError):
+            CrowdPlatform(dataset, workers, rng, screening=qc_with_rating())
+
+    def test_invalid_assignments_per_hit(self, dataset, rng):
+        with pytest.raises(InvalidParameterError):
+            CrowdPlatform(dataset, perfect_pool(), rng, assignments_per_hit=0)
+
+
+class TestDawidSkeneReaggregation:
+    def test_reaggregation_counts(self, dataset, rng):
+        workers = make_worker_pool(10, rng, error_rate=0.05)
+        platform = CrowdPlatform(dataset, workers, rng, assignments_per_hit=5)
+        members = dataset.positions(FEMALE)
+        for start in range(0, 60, 3):
+            platform.publish_set_query(
+                SetQuery([start, start + 1, start + 2], FEMALE)
+            )
+        majority_errors, ds_errors = platform.reaggregate_set_hits_with_dawid_skene()
+        assert majority_errors >= 0 and ds_errors >= 0
+        assert majority_errors <= platform.ledger.n_set_hits
+
+    def test_no_records_returns_zeros(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        assert platform.reaggregate_set_hits_with_dawid_skene() == (0, 0)

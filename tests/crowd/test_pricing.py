@@ -1,0 +1,52 @@
+"""Unit tests for the pricing model and cost ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.pricing import CostLedger, FixedPricing
+from repro.errors import InvalidParameterError
+
+
+class TestFixedPricing:
+    def test_paper_defaults(self):
+        pricing = FixedPricing()
+        assert pricing.price_per_hit == 0.10
+        assert pricing.service_fee_rate == 0.20  # AMT's 20%
+
+    def test_hit_cost_scales_with_assignments(self):
+        pricing = FixedPricing(price_per_hit=0.05)
+        assert pricing.hit_cost(3) == pytest.approx(0.15)
+
+    def test_fee(self):
+        assert FixedPricing().fee(44.10) == pytest.approx(8.82)  # paper's totals
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            FixedPricing(price_per_hit=-1)
+        with pytest.raises(InvalidParameterError):
+            FixedPricing(service_fee_rate=-0.1)
+
+
+class TestCostLedger:
+    def test_charging(self):
+        ledger = CostLedger()
+        ledger.charge(is_set_query=True, n_assignments=3)
+        ledger.charge(is_set_query=False, n_assignments=3)
+        assert ledger.n_hits == 2
+        assert ledger.n_set_hits == 1
+        assert ledger.n_point_hits == 1
+        assert ledger.n_assignments == 6
+        assert ledger.worker_payments == pytest.approx(0.6)
+        assert ledger.service_fees == pytest.approx(0.12)
+        assert ledger.total_cost == pytest.approx(0.72)
+
+    def test_invalid_assignments(self):
+        with pytest.raises(InvalidParameterError):
+            CostLedger().charge(is_set_query=True, n_assignments=0)
+
+    def test_summary_mentions_totals(self):
+        ledger = CostLedger()
+        ledger.charge(is_set_query=True, n_assignments=3)
+        text = ledger.summary()
+        assert "1 HITs" in text and "$0.30" in text

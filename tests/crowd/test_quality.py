@@ -1,0 +1,69 @@
+"""Unit tests for quality-control screening policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.quality import (
+    QC_MAJORITY_ONLY,
+    QualificationTest,
+    RatingPolicy,
+    qc_with_qualification,
+    qc_with_rating,
+    screen_workers,
+)
+from repro.crowd.workers import Worker
+from repro.errors import InvalidParameterError
+
+
+def _worker(worker_id=0, **kwargs):
+    return Worker(worker_id=worker_id, **kwargs)
+
+
+class TestQualificationTest:
+    def test_competent_worker_passes(self, rng):
+        test = QualificationTest(n_questions=20, pass_threshold=0.8)
+        assert test.admits(_worker(point_error_rate=0.0), rng)
+
+    def test_hopeless_worker_fails(self, rng):
+        test = QualificationTest(n_questions=20, pass_threshold=0.8)
+        assert not test.admits(_worker(competence=0.1), rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            QualificationTest(n_questions=0)
+        with pytest.raises(InvalidParameterError):
+            QualificationTest(pass_threshold=0.0)
+
+
+class TestRatingPolicy:
+    def test_paper_criterion(self, rng):
+        policy = RatingPolicy()
+        good = _worker(percent_assignments_approved=97.0, number_hits_approved=500)
+        bad_percent = _worker(percent_assignments_approved=90.0, number_hits_approved=500)
+        bad_hits = _worker(percent_assignments_approved=99.0, number_hits_approved=50)
+        assert policy.admits(good, rng)
+        assert not policy.admits(bad_percent, rng)
+        assert not policy.admits(bad_hits, rng)
+
+
+class TestScreenWorkers:
+    def test_empty_policy_admits_all(self, rng):
+        workers = [_worker(i) for i in range(5)]
+        assert screen_workers(workers, QC_MAJORITY_ONLY, rng) == workers
+
+    def test_policies_compose(self, rng):
+        workers = [
+            _worker(0, point_error_rate=0.0, percent_assignments_approved=99.0),
+            _worker(1, competence=0.1, percent_assignments_approved=99.0),
+            _worker(2, point_error_rate=0.0, percent_assignments_approved=50.0),
+        ]
+        eligible = screen_workers(
+            workers, [*qc_with_qualification(), *qc_with_rating()], rng
+        )
+        assert [w.worker_id for w in eligible] == [0]
+
+    def test_preset_factories(self):
+        assert len(qc_with_qualification()) == 1
+        assert len(qc_with_rating()) == 1
+        assert qc_with_rating()[0].min_percent_approved == 95.0

@@ -1,0 +1,91 @@
+"""Unit tests for the simulated worker model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import Worker, make_worker_pool
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"gender": ["male", "female"], "race": ["w", "b", "a"]})
+
+
+class TestWorker:
+    def test_perfect_worker_never_errs(self, rng, schema):
+        worker = Worker(worker_id=0, set_error_rate=0.0, point_error_rate=0.0)
+        for _ in range(50):
+            assert worker.answer_set(True, rng) is True
+            assert worker.answer_set(False, rng) is False
+            row = {"gender": "female", "race": "b"}
+            assert worker.answer_point(row, schema, rng) == row
+
+    def test_always_wrong_worker_flips(self, rng):
+        worker = Worker(worker_id=0, set_error_rate=1.0)
+        assert worker.answer_set(True, rng) is False
+        assert worker.answer_set(False, rng) is True
+
+    def test_point_errors_produce_wrong_but_valid_values(self, rng, schema):
+        worker = Worker(worker_id=0, point_error_rate=1.0)
+        row = {"gender": "female", "race": "b"}
+        answer = worker.answer_point(row, schema, rng)
+        assert answer["gender"] == "male"  # only one wrong option
+        assert answer["race"] in {"w", "a"}
+
+    def test_error_rate_statistics(self, rng):
+        worker = Worker(worker_id=0, set_error_rate=0.3)
+        flips = sum(
+            1 for _ in range(4000) if worker.answer_set(True, rng) is False
+        )
+        assert 0.25 <= flips / 4000 <= 0.35
+
+    def test_value_error_rate_override(self, rng, schema):
+        worker = Worker(
+            worker_id=0,
+            point_error_rate=0.0,
+            value_error_rates={("gender", "female"): 1.0},
+        )
+        male_answer = worker.answer_point({"gender": "male", "race": "w"}, schema, rng)
+        assert male_answer["gender"] == "male"  # no bias on males
+        female_answer = worker.answer_point({"gender": "female", "race": "w"}, schema, rng)
+        assert female_answer["gender"] == "male"  # always mislabels females
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Worker(worker_id=0, set_error_rate=1.5)
+
+    def test_default_competence(self):
+        worker = Worker(worker_id=0, point_error_rate=0.2)
+        assert worker.competence == pytest.approx(0.8)
+
+    def test_qualification_score(self, rng):
+        perfect = Worker(worker_id=0, point_error_rate=0.0)
+        assert perfect.take_qualification_test(10, rng) == 1.0
+        hopeless = Worker(worker_id=1, competence=0.0)
+        assert hopeless.take_qualification_test(10, rng) == 0.0
+        with pytest.raises(InvalidParameterError):
+            perfect.take_qualification_test(0, rng)
+
+
+class TestMakeWorkerPool:
+    def test_pool_size_and_ids(self, rng):
+        pool = make_worker_pool(25, rng)
+        assert len(pool) == 25
+        assert sorted(w.worker_id for w in pool) == list(range(25))
+
+    def test_spammer_fraction(self, rng):
+        pool = make_worker_pool(40, rng, spammer_fraction=0.5, spammer_error_rate=0.4)
+        spammers = [w for w in pool if w.set_error_rate == 0.4]
+        assert len(spammers) == 20
+        # Spammers carry poor reputations the Rating screen can catch.
+        assert all(w.percent_assignments_approved < 95 for w in spammers)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(InvalidParameterError):
+            make_worker_pool(0, rng)
+        with pytest.raises(InvalidParameterError):
+            make_worker_pool(5, rng, spammer_fraction=1.5)

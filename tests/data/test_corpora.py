@@ -1,0 +1,61 @@
+"""Unit tests for the paper-slice corpus builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.corpora import (
+    feret_mturk_slice,
+    feret_unique_slice,
+    mrl_eye_pool,
+    utkface_gender_pool,
+    utkface_slice,
+)
+from repro.data.groups import group
+from repro.errors import InvalidParameterError
+
+
+def test_feret_mturk_slice_composition(rng):
+    ds = feret_mturk_slice(rng)
+    assert len(ds) == 1522
+    assert ds.count(group(gender="female")) == 215
+    assert ds.count(group(gender="male")) == 1307
+
+
+def test_feret_unique_slice_composition(rng):
+    ds = feret_unique_slice(rng)
+    assert len(ds) == 994
+    assert ds.count(group(gender="female")) == 403
+
+
+def test_feret_unique_slice_with_images(rng):
+    ds = feret_unique_slice(rng, with_images=True)
+    assert ds.images is not None and len(ds.images) == 994
+
+
+@pytest.mark.parametrize("n_female", [200, 20])
+def test_utkface_slices(rng, n_female):
+    ds = utkface_slice(rng, n_female=n_female)
+    assert len(ds) == 3000
+    assert ds.count(group(gender="female")) == n_female
+
+
+def test_utkface_slice_rejects_oversized_female_count(rng):
+    with pytest.raises(InvalidParameterError):
+        utkface_slice(rng, n_female=4000)
+
+
+def test_utkface_gender_pool_composition(rng):
+    pool = utkface_gender_pool(rng)
+    assert pool.count(group(gender="male", race="caucasian")) == 3834
+    assert pool.count(group(gender="female", race="caucasian")) == 3221
+    assert pool.count(group(race="black")) == 1200
+    assert pool.features is not None
+
+
+def test_mrl_eye_pool_composition(rng):
+    pool = mrl_eye_pool(rng, n_spectacled_pool=2000)
+    assert pool.count(group(eye_state="open", spectacled="no")) == 14279
+    assert pool.count(group(eye_state="closed", spectacled="no")) == 12201
+    assert pool.count(group(spectacled="yes")) == 2000
+    assert pool.images is not None

@@ -1,0 +1,136 @@
+"""Unit tests for repro.data.dataset.LabeledDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import Negation, SuperGroup, group
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, OracleError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black"]}
+    )
+
+
+@pytest.fixture
+def dataset(schema):
+    rows = [
+        {"gender": "male", "race": "white"},
+        {"gender": "female", "race": "white"},
+        {"gender": "female", "race": "black"},
+        {"gender": "male", "race": "black"},
+        {"gender": "female", "race": "black"},
+    ]
+    return LabeledDataset.from_value_rows(schema, rows, name="toy")
+
+
+class TestConstruction:
+    def test_from_value_rows_roundtrip(self, dataset):
+        assert len(dataset) == 5
+        assert dataset.value_row(2) == {"gender": "female", "race": "black"}
+
+    def test_codes_shape_validation(self, schema):
+        with pytest.raises(InvalidParameterError):
+            LabeledDataset(schema, np.zeros((3,), dtype=np.int16))
+        with pytest.raises(InvalidParameterError):
+            LabeledDataset(schema, np.zeros((3, 3), dtype=np.int16))
+
+    def test_code_range_validation(self, schema):
+        bad = np.array([[0, 5]], dtype=np.int16)
+        with pytest.raises(InvalidParameterError):
+            LabeledDataset(schema, bad)
+
+    def test_images_length_validation(self, schema):
+        with pytest.raises(InvalidParameterError):
+            LabeledDataset(
+                schema, np.zeros((3, 2), dtype=np.int16), images=np.zeros((2, 4, 4))
+            )
+
+    def test_codes_are_read_only(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.codes[0, 0] = 1
+
+
+class TestPredicates:
+    def test_mask_and_count_group(self, dataset):
+        female = group(gender="female")
+        assert dataset.count(female) == 3
+        assert dataset.mask(female).tolist() == [False, True, True, False, True]
+
+    def test_conjunction(self, dataset):
+        assert dataset.count(group(gender="female", race="black")) == 2
+
+    def test_supergroup(self, dataset):
+        sg = SuperGroup([group(gender="male"), group(race="black")])
+        assert dataset.count(sg) == 4  # rows 0, 2, 3, 4
+
+    def test_negation(self, dataset):
+        assert dataset.count(Negation(group(gender="female"))) == 2
+
+    def test_mask_is_cached(self, dataset):
+        female = group(gender="female")
+        assert dataset.mask(female) is dataset.mask(female)
+
+    def test_positions_sorted(self, dataset):
+        positions = dataset.positions(group(gender="female"))
+        assert positions.tolist() == [1, 2, 4]
+
+    def test_matches_single_object(self, dataset):
+        assert dataset.matches(1, group(gender="female"))
+        assert not dataset.matches(0, group(gender="female"))
+
+    def test_is_covered(self, dataset):
+        assert dataset.is_covered(group(gender="female"), 3)
+        assert not dataset.is_covered(group(gender="female"), 4)
+        with pytest.raises(InvalidParameterError):
+            dataset.is_covered(group(gender="female"), -1)
+
+
+class TestStatistics:
+    def test_counts_by_value(self, dataset):
+        assert dataset.counts_by_value("gender") == {"male": 2, "female": 3}
+
+    def test_joint_counts(self, dataset):
+        joint = dataset.joint_counts()
+        assert joint[("female", "black")] == 2
+        assert joint[("male", "white")] == 1
+        assert sum(joint.values()) == 5
+
+    def test_describe_mentions_counts(self, dataset):
+        text = dataset.describe()
+        assert "female=3" in text
+        assert "toy" in text
+
+
+class TestRestructuring:
+    def test_subset_preserves_order(self, dataset):
+        sub = dataset.subset([4, 0])
+        assert sub.value_row(0) == {"gender": "female", "race": "black"}
+        assert sub.value_row(1) == {"gender": "male", "race": "white"}
+
+    def test_shuffled_is_permutation(self, dataset, rng):
+        shuffled = dataset.shuffled(rng)
+        assert len(shuffled) == len(dataset)
+        assert shuffled.count(group(gender="female")) == 3
+
+    def test_concatenated(self, dataset):
+        combined = dataset.concatenated(dataset)
+        assert len(combined) == 10
+        assert combined.count(group(gender="female")) == 6
+
+    def test_concatenated_schema_mismatch(self, dataset):
+        other = LabeledDataset(
+            Schema.from_dict({"x": ["0", "1"]}), np.zeros((1, 1), dtype=np.int16)
+        )
+        with pytest.raises(InvalidParameterError):
+            dataset.concatenated(other)
+
+    def test_value_row_out_of_range(self, dataset):
+        with pytest.raises(OracleError):
+            dataset.value_row(99)

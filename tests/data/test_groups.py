@@ -1,0 +1,132 @@
+"""Unit tests for repro.data.groups (the predicate algebra)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.groups import Group, Negation, SuperGroup, group
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, UnknownGroupError
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+    )
+
+
+class TestGroup:
+    def test_kwargs_constructor(self):
+        assert group(gender="female") == Group({"gender": "female"})
+
+    def test_matches_row(self):
+        g = group(gender="female", race="asian")
+        assert g.matches_row({"gender": "female", "race": "asian"})
+        assert not g.matches_row({"gender": "female", "race": "black"})
+        assert not g.matches_row({"gender": "female"})  # missing attribute
+
+    def test_condition_order_does_not_matter(self):
+        first = Group({"a": "1", "b": "2"})
+        second = Group({"b": "2", "a": "1"})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Group({})
+
+    def test_validate_against_schema(self, schema):
+        group(gender="female").validate(schema)
+        with pytest.raises(UnknownGroupError):
+            group(age="old").validate(schema)
+        with pytest.raises(UnknownGroupError):
+            group(gender="unknown").validate(schema)
+
+    def test_value_of_and_constrains(self):
+        g = group(gender="female")
+        assert g.value_of("gender") == "female"
+        assert g.constrains("gender")
+        assert not g.constrains("race")
+        with pytest.raises(UnknownGroupError):
+            g.value_of("race")
+
+    def test_is_fully_specified(self, schema):
+        assert group(gender="female", race="asian").is_fully_specified(schema)
+        assert not group(gender="female").is_fully_specified(schema)
+
+    def test_shares_parent_with(self):
+        a = group(gender="female", race="asian")
+        b = group(gender="female", race="black")
+        c = group(gender="male", race="black")
+        d = group(gender="male")
+        assert a.shares_parent_with(b)  # differ only on race
+        assert b.shares_parent_with(c)  # differ only on gender
+        assert not a.shares_parent_with(c)  # differ on both
+        assert not a.shares_parent_with(d)  # different attribute sets
+        assert not a.shares_parent_with(a)  # differ on none
+
+    def test_describe(self):
+        assert group(gender="female").describe() == "gender=female"
+        assert (
+            group(race="asian", gender="female").describe()
+            == "gender=female AND race=asian"
+        )
+
+
+class TestSuperGroup:
+    def test_or_semantics(self):
+        sg = SuperGroup([group(race="asian"), group(race="black")])
+        assert sg.matches_row({"race": "asian"})
+        assert sg.matches_row({"race": "black"})
+        assert not sg.matches_row({"race": "white"})
+
+    def test_equality_ignores_order(self):
+        first = SuperGroup([group(race="asian"), group(race="black")])
+        second = SuperGroup([group(race="black"), group(race="asian")])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SuperGroup([group(race="asian"), group(race="asian")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SuperGroup([])
+
+    def test_len_and_iter(self):
+        members = [group(race="asian"), group(race="black")]
+        sg = SuperGroup(members)
+        assert len(sg) == 2
+        assert list(sg) == members
+
+    def test_validate(self, schema):
+        SuperGroup([group(race="asian")]).validate(schema)
+        with pytest.raises(UnknownGroupError):
+            SuperGroup([group(planet="mars")]).validate(schema)
+
+    def test_describe_singleton_vs_multi(self):
+        assert SuperGroup([group(race="asian")]).describe() == "race=asian"
+        multi = SuperGroup([group(race="asian"), group(race="black")])
+        assert "OR" in multi.describe()
+
+
+class TestNegation:
+    def test_complement_semantics(self):
+        predicate = Negation(group(gender="female"))
+        assert predicate.matches_row({"gender": "male"})
+        assert not predicate.matches_row({"gender": "female"})
+
+    def test_negated_supergroup(self):
+        predicate = Negation(SuperGroup([group(race="asian"), group(race="black")]))
+        assert predicate.matches_row({"race": "white"})
+        assert not predicate.matches_row({"race": "asian"})
+
+    def test_describe(self):
+        assert Negation(group(gender="female")).describe() == "NOT (gender=female)"
+
+    def test_validate(self, schema):
+        Negation(group(gender="female")).validate(schema)
+        with pytest.raises(UnknownGroupError):
+            Negation(group(moon="full")).validate(schema)

@@ -1,0 +1,91 @@
+"""Unit tests for the synthetic image renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.images import ImageRenderer, attach_images
+from repro.data.synthetic import binary_dataset, intersectional_dataset
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+
+
+class TestImageRenderer:
+    def test_prototype_determinism(self):
+        first = ImageRenderer(seed=5).prototype("gender", "female")
+        second = ImageRenderer(seed=5).prototype("gender", "female")
+        np.testing.assert_array_equal(first, second)
+
+    def test_prototype_differs_by_value(self):
+        renderer = ImageRenderer(seed=5)
+        male = renderer.prototype("gender", "male")
+        female = renderer.prototype("gender", "female")
+        assert not np.array_equal(male, female)
+
+    def test_prototype_differs_by_seed(self):
+        a = ImageRenderer(seed=1).prototype("gender", "female")
+        b = ImageRenderer(seed=2).prototype("gender", "female")
+        assert not np.array_equal(a, b)
+
+    def test_render_shape_and_range(self, rng):
+        ds = binary_dataset(20, 5, rng=rng)
+        images = ImageRenderer().render(ds, rng)
+        assert images.shape == (20, 16, 16)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            ImageRenderer(image_size=10, coarse=4)  # not a multiple
+        with pytest.raises(InvalidParameterError):
+            ImageRenderer(noise=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ImageRenderer(interaction=1.5)
+
+    def test_group_signal_is_learnable(self, rng):
+        """Mean images of the two groups must differ by more than noise."""
+        from repro.data.groups import group
+
+        ds = binary_dataset(400, 200, rng=rng)
+        renderer = ImageRenderer(noise=0.1)
+        images = renderer.render(ds, rng)
+        female_mask = ds.mask(group(gender="female"))
+        gap = np.abs(
+            images[female_mask].mean(axis=0) - images[~female_mask].mean(axis=0)
+        ).mean()
+        assert gap > 0.02
+
+    def test_interaction_changes_class_appearance_across_groups(self, rng):
+        """With interaction on, the class signal must differ between groups
+        (the mechanism behind the Fig 6 disparity)."""
+        schema = Schema.from_dict(
+            {"cls": ["a", "b"], "grp": ["x", "y"]}
+        )
+        ds = intersectional_dataset(
+            schema,
+            {("a", "x"): 100, ("b", "x"): 100, ("a", "y"): 100, ("b", "y"): 100},
+            shuffle=False,
+        )
+        renderer = ImageRenderer(noise=0.0, interaction=0.8)
+        images = renderer.render(ds, rng)
+        # class contrast within group x vs within group y
+        contrast_x = images[0:100].mean(axis=0) - images[100:200].mean(axis=0)
+        contrast_y = images[200:300].mean(axis=0) - images[300:400].mean(axis=0)
+        assert np.abs(contrast_x - contrast_y).mean() > 0.05
+
+
+class TestAttachImages:
+    def test_attaches_images_and_features(self, rng):
+        ds = attach_images(binary_dataset(12, 4, rng=rng), rng)
+        assert ds.images.shape == (12, 16, 16)
+        assert ds.features.shape == (12, 256)
+        np.testing.assert_array_equal(
+            ds.features[3], ds.images[3].reshape(-1)
+        )
+
+    def test_preserves_labels(self, rng):
+        from repro.data.groups import group
+
+        base = binary_dataset(30, 7, rng=rng)
+        ds = attach_images(base, rng)
+        assert ds.count(group(gender="female")) == 7

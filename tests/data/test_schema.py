@@ -1,0 +1,96 @@
+"""Unit tests for repro.data.schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.errors import SchemaError, UnknownGroupError
+
+
+class TestAttribute:
+    def test_basic_construction(self):
+        attribute = Attribute("gender", ("male", "female"))
+        assert attribute.name == "gender"
+        assert attribute.cardinality == 2
+        assert list(attribute) == ["male", "female"]
+
+    def test_values_are_coerced_to_strings(self):
+        attribute = Attribute("age_group", (1, 2, 3))
+        assert attribute.values == ("1", "2", "3")
+
+    def test_code_roundtrip(self):
+        attribute = Attribute("race", ("white", "black", "asian"))
+        for code, value in enumerate(attribute.values):
+            assert attribute.code_of(value) == code
+            assert attribute.value_of(code) == value
+
+    def test_code_of_unknown_value_raises(self):
+        attribute = Attribute("gender", ("male", "female"))
+        with pytest.raises(UnknownGroupError):
+            attribute.code_of("nonbinary")
+
+    def test_value_of_out_of_range_raises(self):
+        attribute = Attribute("gender", ("male", "female"))
+        with pytest.raises(UnknownGroupError):
+            attribute.value_of(2)
+        with pytest.raises(UnknownGroupError):
+            attribute.value_of(-1)
+
+    def test_single_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("gender", ("male",))
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("gender", ("male", "male"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("a", "b"))
+
+    def test_is_hashable_and_frozen(self):
+        attribute = Attribute("gender", ("male", "female"))
+        assert hash(attribute) == hash(Attribute("gender", ("male", "female")))
+
+
+class TestSchema:
+    def test_from_dict(self):
+        schema = Schema.from_dict({"gender": ["male", "female"], "race": ["w", "b", "a"]})
+        assert schema.names == ("gender", "race")
+        assert schema.cardinalities == (2, 3)
+        assert schema.n_attributes == 2
+        assert schema.n_full_groups == 6
+
+    def test_attribute_lookup(self):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        assert schema.attribute("gender").cardinality == 2
+        assert schema.index_of("gender") == 0
+        with pytest.raises(UnknownGroupError):
+            schema.attribute("race")
+        with pytest.raises(UnknownGroupError):
+            schema.index_of("race")
+
+    def test_contains(self):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        assert "gender" in schema
+        assert "race" not in schema
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a", ("x", "y")), Attribute("a", ("p", "q"))])
+
+    def test_iteration_and_len(self):
+        schema = Schema.from_dict({"a": ["0", "1"], "b": ["0", "1", "2"]})
+        assert len(schema) == 2
+        assert [attribute.name for attribute in schema] == ["a", "b"]
+
+    def test_equality_is_structural(self):
+        first = Schema.from_dict({"g": ["m", "f"]})
+        second = Schema.from_dict({"g": ["m", "f"]})
+        assert first == second
+        assert hash(first) == hash(second)

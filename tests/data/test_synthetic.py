@@ -1,0 +1,130 @@
+"""Unit tests for repro.data.synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.synthetic import (
+    adversarial_tightness_dataset,
+    binary_dataset,
+    intersectional_dataset,
+    proportions_dataset,
+    single_attribute_dataset,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestBinaryDataset:
+    def test_exact_counts(self, rng):
+        ds = binary_dataset(1000, 37, rng=rng)
+        assert len(ds) == 1000
+        assert ds.count(group(gender="female")) == 37
+        assert ds.count(group(gender="male")) == 963
+
+    def test_custom_attribute_names(self, rng):
+        ds = binary_dataset(
+            100, 10, attribute="skin_tone", majority="fair", minority="dark", rng=rng
+        )
+        assert ds.count(group(skin_tone="dark")) == 10
+
+    def test_front_placement(self):
+        ds = binary_dataset(10, 3, placement="front")
+        assert ds.mask(group(gender="female"))[:3].all()
+        assert not ds.mask(group(gender="female"))[3:].any()
+
+    def test_back_placement(self):
+        ds = binary_dataset(10, 3, placement="back")
+        assert ds.mask(group(gender="female"))[-3:].all()
+
+    def test_uniform_placement_spreads(self):
+        ds = binary_dataset(100, 10, placement="uniform")
+        positions = ds.positions(group(gender="female"))
+        gaps = np.diff(positions)
+        assert gaps.min() >= 5  # roughly evenly spaced (stride 10)
+
+    def test_random_requires_rng(self):
+        with pytest.raises(InvalidParameterError):
+            binary_dataset(10, 2, placement="random")
+
+    def test_minority_bounds(self, rng):
+        with pytest.raises(InvalidParameterError):
+            binary_dataset(10, 11, rng=rng)
+        assert binary_dataset(10, 0, rng=rng).count(group(gender="female")) == 0
+        assert binary_dataset(10, 10, rng=rng).count(group(gender="female")) == 10
+
+
+class TestSingleAttributeDataset:
+    def test_exact_counts(self, rng):
+        counts = {"white": 500, "black": 60, "asian": 40}
+        ds = single_attribute_dataset(counts, rng=rng)
+        assert ds.counts_by_value("race") == counts
+
+    def test_unshuffled_layout(self):
+        ds = single_attribute_dataset(
+            {"a": 2, "b": 3}, attribute="x", shuffle=False
+        )
+        assert ds.column("x").tolist() == [0, 0, 1, 1, 1]
+
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(InvalidParameterError):
+            single_attribute_dataset({"a": 2, "b": 2})
+
+
+class TestIntersectionalDataset:
+    def test_joint_counts(self, rng):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        ds = intersectional_dataset(
+            schema,
+            {("male", "white"): 10, ("female", "black"): 5},
+            rng=rng,
+        )
+        assert len(ds) == 15
+        assert ds.joint_counts() == {("male", "white"): 10, ("female", "black"): 5}
+
+    def test_wrong_arity_rejected(self, rng):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        with pytest.raises(InvalidParameterError):
+            intersectional_dataset(schema, {("male", "white"): 3}, rng=rng)
+
+    def test_negative_count_rejected(self, rng):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        with pytest.raises(InvalidParameterError):
+            intersectional_dataset(schema, {("male",): -1}, rng=rng)
+
+    def test_empty_counts_yield_empty_dataset(self):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        ds = intersectional_dataset(schema, {}, shuffle=False)
+        assert len(ds) == 0
+
+
+class TestProportionsDataset:
+    def test_counts_near_expectations(self, rng):
+        ds = proportions_dataset(
+            10_000, {"a": 0.9, "b": 0.1}, attribute="x", rng=rng
+        )
+        counts = ds.counts_by_value("x")
+        assert 850 <= counts["b"] <= 1150
+
+    def test_invalid_proportions_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            proportions_dataset(10, {"a": 0.7, "b": 0.7}, rng=rng)
+
+
+class TestAdversarialDataset:
+    def test_tau_minus_one_members(self):
+        ds = adversarial_tightness_dataset(1024, 32)
+        assert ds.count(group(gender="female")) == 31
+
+    def test_members_spread_uniformly(self):
+        ds = adversarial_tightness_dataset(1000, 11)
+        positions = ds.positions(group(gender="female"))
+        assert np.diff(positions).min() >= 50
+
+    def test_invalid_tau(self):
+        with pytest.raises(InvalidParameterError):
+            adversarial_tightness_dataset(100, 0)

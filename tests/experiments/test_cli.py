@@ -1,0 +1,36 @@
+"""Smoke tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import RUNNERS, main
+
+
+def test_runner_registry_covers_every_artifact():
+    expected = {
+        "table1", "table2", "fig6",
+        "fig7a", "fig7b", "fig7c", "fig7d",
+        "fig7e", "fig7f", "fig7g", "fig7h",
+        "ablations",
+    }
+    assert set(RUNNERS) == expected
+
+
+def test_main_runs_table1(capsys):
+    assert main(["table1", "--seed", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 1" in output
+    assert "Group-Cvg #HITs" in output
+    assert "[table1 finished" in output
+
+
+def test_main_runs_multiple_experiments(capsys):
+    assert main(["table1", "table2", "--trials", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 1" in output and "Table 2" in output
+
+
+def test_main_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["not-an-experiment"])

@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_table([], [])
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        text = render_series("x", [1, 2], {"ya": [10, 20], "yb": [30, 40]})
+        lines = text.splitlines()
+        assert "ya" in lines[0] and "yb" in lines[0]
+        assert "10" in lines[2] and "40" in lines[3]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series("x", [1, 2], {"y": [1]})

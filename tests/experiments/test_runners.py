@@ -1,0 +1,83 @@
+"""Smoke tests for the experiment runners (reduced parameters).
+
+The full-scale runs live in benchmarks/; these only verify the runners
+execute, return the right shapes, and uphold their core invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure7 import run_figure7a, run_figure7c
+from repro.experiments.figure7_intersectional import run_figure7h
+from repro.experiments.figure7_multi import compare_on_setting
+from repro.experiments.harness import average_over_trials, trial_rngs
+from repro.experiments.settings import multi_group_settings
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.errors import InvalidParameterError
+
+
+class TestHarness:
+    def test_trial_rngs_are_independent_and_deterministic(self):
+        first = trial_rngs(1, 3)
+        second = trial_rngs(1, 3)
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.random() == b.random()
+
+    def test_average_over_trials(self):
+        value = average_over_trials(lambda rng: 2.0, seed=0, n_trials=4)
+        assert value == 2.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(InvalidParameterError):
+            trial_rngs(0, 0)
+
+
+class TestTableRunners:
+    def test_table1_shape(self):
+        rows = run_table1(seed=3)
+        assert len(rows) == 3
+        assert all(row.verdict_correct for row in rows)
+        assert all(row.upper_bound_hits == 115 for row in rows)
+
+    def test_table2_single_trial(self):
+        rows = run_table2(seed=3, n_trials=1)
+        assert len(rows) == 9
+        assert all(row.verdict_correct for row in rows)
+        strategies = {row.strategy for row in rows}
+        assert strategies == {"partition", "label"}
+
+
+class TestSweepRunners:
+    def test_figure7a_small(self):
+        result = run_figure7a(
+            n_trials=1, n_total=2_000, tau=10, n=20, f_values=[0, 10, 20]
+        )
+        assert result.x_values == (0.0, 10.0, 20.0)
+        assert len(result.group_coverage_tasks) == 3
+        # f=0: exactly one query per chunk (all roots answer "no").
+        assert result.group_coverage_tasks[0] == 2_000 / 20
+        # Denser groups stop earlier: f=2*tau costs at most f=tau.
+        assert result.group_coverage_tasks[2] <= result.group_coverage_tasks[1]
+
+    def test_figure7c_small(self):
+        result = run_figure7c(
+            n_trials=1, n_total=2_000, tau=10, n_values=[1, 10, 100]
+        )
+        # n=1 degenerates to one query per object (most expensive).
+        assert result.group_coverage_tasks[0] > result.group_coverage_tasks[-1]
+
+    def test_figure7e_single_setting(self):
+        comparison = compare_on_setting(
+            multi_group_settings(n_total=2_000)[0], seed=5, n_trials=1, tau=50, n=50
+        )
+        assert comparison.verdicts_agree
+        assert comparison.multiple_coverage_tasks > 0
+
+    def test_figure7h_small(self):
+        comparisons = run_figure7h(n_trials=1)
+        assert len(comparisons) == 2
+        assert all(c.verdicts_agree for c in comparisons)

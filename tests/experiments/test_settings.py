@@ -1,0 +1,91 @@
+"""Unit tests for the Table 3 experiment settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.settings import (
+    intersectional_schema,
+    intersectional_settings,
+    multi_group_setting_for_sigma,
+    multi_group_settings,
+)
+
+TAU = 50
+
+
+class TestMultiGroupSettings:
+    def test_four_regimes(self):
+        settings = multi_group_settings()
+        assert [s.name for s in settings] == [
+            "effective 1", "effective 2", "ineffective", "adversarial",
+        ]
+        assert all(s.n_total == 10_000 for s in settings)
+
+    def test_effective1_semantics(self):
+        setting = multi_group_settings()[0]
+        minorities = [c for v, c in setting.counts.items() if v != "majority"]
+        assert all(c < TAU for c in minorities)  # each uncovered
+        assert sum(minorities) < TAU  # union uncovered
+
+    def test_effective2_semantics(self):
+        setting = multi_group_settings()[1]
+        minorities = [c for v, c in setting.counts.items() if v != "majority"]
+        assert all(c >= TAU for c in minorities)  # each covered
+
+    def test_ineffective_semantics(self):
+        setting = multi_group_settings()[2]
+        minorities = sorted(
+            c for v, c in setting.counts.items() if v != "majority"
+        )
+        assert minorities[0] < TAU and minorities[1] < TAU  # 2 uncovered
+        assert minorities[2] >= TAU  # 1 covered
+
+    def test_adversarial_semantics(self):
+        setting = multi_group_settings()[3]
+        minorities = [c for v, c in setting.counts.items() if v != "majority"]
+        assert all(c < TAU for c in minorities)  # each uncovered
+        assert sum(minorities) >= TAU  # union covered -> penalty
+
+
+class TestSigmaSettings:
+    @pytest.mark.parametrize("sigma", [2, 3, 4, 5, 6])
+    def test_composition_is_effective(self, sigma):
+        setting = multi_group_setting_for_sigma(sigma)
+        assert len(setting.counts) == sigma
+        minorities = [c for v, c in setting.counts.items() if v != "majority"]
+        assert len(minorities) == sigma - 1
+        assert all(0 < c < TAU for c in minorities)
+        assert sum(minorities) < TAU
+
+    def test_invalid_sigma(self):
+        with pytest.raises(InvalidParameterError):
+            multi_group_setting_for_sigma(1)
+
+
+class TestIntersectionalSettings:
+    @pytest.mark.parametrize("cards", [(2, 2, 2), (2, 4)])
+    def test_totals_and_regimes(self, cards):
+        settings = intersectional_settings(cards)
+        assert [s.name for s in settings] == [
+            "effective 1", "effective 2", "ineffective", "adversarial",
+        ]
+        for setting in settings:
+            assert setting.n_total == 10_000
+            assert len(setting.joint_counts) == 8  # both schemas: 8 leaves
+
+    def test_effective1_minority_mass(self):
+        setting = intersectional_settings((2, 2, 2))[0]
+        small = [c for c in setting.joint_counts.values() if c < TAU]
+        assert sum(small) < TAU
+
+    def test_adversarial_minority_mass(self):
+        setting = intersectional_settings((2, 2, 2))[3]
+        small = [c for c in setting.joint_counts.values() if c < TAU]
+        assert sum(small) >= TAU
+
+    def test_schema_builder(self):
+        schema = intersectional_schema((2, 4))
+        assert schema.cardinalities == (2, 4)
+        assert schema.names == ("x1", "x2")

@@ -1,0 +1,155 @@
+"""Unit tests for the Pattern-Combiner roll-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+from repro.patterns.combiner import LeafCoverage, combine_leaf_coverage
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture
+def graph():
+    return PatternGraph(
+        Schema.from_dict({"gender": ["male", "female"], "race": ["white", "black"]})
+    )
+
+
+def _leaf(graph, **conditions):
+    return Pattern.from_mapping(graph.schema, conditions)
+
+
+def _full_results(graph, counts, tau):
+    return {
+        leaf: LeafCoverage(covered=counts[leaf.describe()] >= tau,
+                           count=min(counts[leaf.describe()], tau)
+                           if counts[leaf.describe()] >= tau
+                           else counts[leaf.describe()])
+        for leaf in graph.leaves()
+    }
+
+
+class TestRollUp:
+    def test_paper_example_mup(self, graph):
+        """female-black uncovered with covered parents => MUP (the paper's
+        running example around Figure 5)."""
+        results = _full_results(
+            graph,
+            {"male-white": 100, "female-white": 60, "male-black": 55, "female-black": 3},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        assert [m.describe() for m in report.mups] == ["female-black"]
+        assert report.verdict(_leaf(graph, gender="female", race="black")).covered is False
+        assert report.verdict(_leaf(graph, race="black")).covered  # 55 + cert
+
+    def test_sibling_counts_combine(self, graph):
+        """15 Asian-Female + 20 Asian-Male style example: two uncovered
+        siblings whose sum stays uncovered make the parent uncovered too
+        (paper's 35 < 50 example, transposed to black)."""
+        results = _full_results(
+            graph,
+            {"male-white": 5000, "female-white": 80, "male-black": 20, "female-black": 15},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        black = report.verdict(_leaf(graph, race="black"))
+        assert not black.covered
+        assert black.count_lower_bound == 35
+        assert black.count_is_exact
+        # X-black is the MUP; its children are uncovered but not maximal.
+        assert _leaf(graph, race="black") in report.mups
+        assert _leaf(graph, gender="female", race="black") not in report.mups
+
+    def test_uncovered_siblings_with_covering_sum(self, graph):
+        """28 + 32 >= 50: parent covered without extra tasks (paper's other
+        example)."""
+        results = _full_results(
+            graph,
+            {"male-white": 5000, "female-white": 80, "male-black": 32, "female-black": 28},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        assert report.verdict(_leaf(graph, race="black")).covered
+        assert {m.describe() for m in report.mups} == {"male-black", "female-black"}
+
+    def test_root_can_be_mup(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 10, "female-white": 5, "male-black": 3, "female-black": 1},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        assert Pattern.root(graph.schema) in report.mups
+        assert len(report.mups) == 1  # nothing below the root is maximal
+
+    def test_all_covered_no_mups(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 60, "female-white": 60, "male-black": 60, "female-black": 60},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        assert report.mups == ()
+        assert len(report.covered) == graph.n_patterns
+
+    def test_count_exactness_flag(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 100, "female-white": 10, "male-black": 5, "female-black": 3},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        # female-X spans one uncovered pair only -> exact.
+        female = report.verdict(_leaf(graph, gender="female"))
+        assert female.count_is_exact and female.count_lower_bound == 13
+        # X-white includes a covered leaf -> lower bound only.
+        white = report.verdict(_leaf(graph, race="white"))
+        assert not white.count_is_exact
+
+
+class TestValidation:
+    def test_missing_leaf_rejected(self, graph):
+        results = {graph.leaves()[0]: LeafCoverage(covered=False, count=0)}
+        with pytest.raises(InvalidParameterError):
+            combine_leaf_coverage(graph, results, tau=50)
+
+    def test_non_leaf_key_rejected(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 60, "female-white": 60, "male-black": 60, "female-black": 60},
+            tau=50,
+        )
+        results[Pattern.root(graph.schema)] = LeafCoverage(covered=True, count=50)
+        with pytest.raises(InvalidParameterError):
+            combine_leaf_coverage(graph, results, tau=50)
+
+    def test_inconsistent_certificates_rejected(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 60, "female-white": 60, "male-black": 60, "female-black": 60},
+            tau=50,
+        )
+        bad_leaf = graph.leaves()[0]
+        results[bad_leaf] = LeafCoverage(covered=True, count=10)  # covered but < tau
+        with pytest.raises(InvalidParameterError):
+            combine_leaf_coverage(graph, results, tau=50)
+        results[bad_leaf] = LeafCoverage(covered=False, count=60)  # uncovered but >= tau
+        with pytest.raises(InvalidParameterError):
+            combine_leaf_coverage(graph, results, tau=50)
+
+    def test_invalid_tau(self, graph):
+        with pytest.raises(InvalidParameterError):
+            combine_leaf_coverage(graph, {}, tau=0)
+
+    def test_describe_contains_mup_marker(self, graph):
+        results = _full_results(
+            graph,
+            {"male-white": 100, "female-white": 60, "male-black": 55, "female-black": 3},
+            tau=50,
+        )
+        report = combine_leaf_coverage(graph, results, tau=50)
+        assert "<-- MUP" in report.describe()

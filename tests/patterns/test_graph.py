@@ -1,0 +1,88 @@
+"""Unit tests for the pattern graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture
+def graph():
+    return PatternGraph(
+        Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+        )
+    )
+
+
+class TestEnumeration:
+    def test_total_count(self, graph):
+        assert graph.n_patterns == (2 + 1) * (3 + 1)
+        assert len(graph) == 12
+
+    def test_levels(self, graph):
+        assert len(graph.at_level(0)) == 1
+        assert len(graph.at_level(1)) == 5
+        assert len(graph.at_level(2)) == 6
+        assert graph.max_level == 2
+
+    def test_leaves_are_fully_specified(self, graph):
+        leaves = graph.leaves()
+        assert len(leaves) == 6
+        assert all(leaf.is_fully_specified for leaf in leaves)
+
+    def test_level_out_of_range(self, graph):
+        with pytest.raises(InvalidParameterError):
+            graph.at_level(3)
+
+
+class TestAdjacency:
+    def test_root_children(self, graph):
+        assert len(graph.children(graph.root)) == 5
+
+    def test_leaf_parents(self, graph):
+        leaf = Pattern.from_mapping(
+            graph.schema, {"gender": "female", "race": "black"}
+        )
+        assert {p.describe() for p in graph.parents(leaf)} == {"female-X", "X-black"}
+
+    def test_figure5_shape(self, graph):
+        """Spot-check the paper's Figure 5 relationships."""
+        female_x = Pattern.from_mapping(graph.schema, {"gender": "female"})
+        female_black = Pattern.from_mapping(
+            graph.schema, {"gender": "female", "race": "black"}
+        )
+        assert female_black in graph.children(female_x)
+        assert female_x in graph.parents(female_black)
+
+    def test_ancestors(self, graph):
+        leaf = Pattern.from_mapping(
+            graph.schema, {"gender": "female", "race": "black"}
+        )
+        ancestors = {p.describe() for p in graph.ancestors(leaf)}
+        assert ancestors == {"female-X", "X-black", "X-X"}
+
+    def test_matching_leaves_partition(self, graph):
+        """Every pattern's matching leaves form a disjoint cover; the root's
+        matching leaves are all of them."""
+        assert set(graph.matching_leaves(graph.root)) == set(graph.leaves())
+        female_x = Pattern.from_mapping(graph.schema, {"gender": "female"})
+        leaves = graph.matching_leaves(female_x)
+        assert len(leaves) == 3
+        assert all(leaf.values[0] == "female" for leaf in leaves)
+
+    def test_leaf_matches_only_itself(self, graph):
+        leaf = graph.leaves()[0]
+        assert graph.matching_leaves(leaf) == (leaf,)
+
+
+class TestSingleAttribute:
+    def test_binary_attribute_graph(self):
+        graph = PatternGraph(Schema.from_dict({"gender": ["male", "female"]}))
+        assert graph.n_patterns == 3
+        assert len(graph.leaves()) == 2
+        assert graph.parents(graph.leaves()[0]) == (graph.root,)

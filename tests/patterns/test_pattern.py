@@ -1,0 +1,102 @@
+"""Unit tests for repro.patterns.pattern."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, UnknownGroupError
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+    )
+
+
+class TestConstruction:
+    def test_root(self, schema):
+        root = Pattern.root(schema)
+        assert root.is_root
+        assert root.level == 0
+        assert root.describe() == "X-X"
+
+    def test_from_mapping(self, schema):
+        pattern = Pattern.from_mapping(schema, {"race": "black"})
+        assert pattern.describe() == "X-black"
+        assert pattern.level == 1
+
+    def test_from_group(self, schema):
+        pattern = Pattern.from_group(schema, group(gender="female", race="asian"))
+        assert pattern.describe() == "female-asian"
+        assert pattern.is_fully_specified
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(InvalidParameterError):
+            Pattern(schema, ("female",))
+
+    def test_unknown_value_rejected(self, schema):
+        with pytest.raises(UnknownGroupError):
+            Pattern(schema, ("female", "martian"))
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(UnknownGroupError):
+            Pattern.from_mapping(schema, {"age": "old"})
+
+
+class TestStructure:
+    def test_parents_of_level2(self, schema):
+        pattern = Pattern.from_mapping(schema, {"gender": "female", "race": "black"})
+        parents = {p.describe() for p in pattern.parents()}
+        assert parents == {"X-black", "female-X"}
+
+    def test_parents_of_root_is_empty(self, schema):
+        assert list(Pattern.root(schema).parents()) == []
+
+    def test_children_of_root(self, schema):
+        children = {p.describe() for p in Pattern.root(schema).children()}
+        assert children == {"male-X", "female-X", "X-white", "X-black", "X-asian"}
+
+    def test_is_parent_of(self, schema):
+        parent = Pattern.from_mapping(schema, {"race": "black"})
+        child = Pattern.from_mapping(schema, {"gender": "female", "race": "black"})
+        assert parent.is_parent_of(child)
+        assert not child.is_parent_of(parent)
+        assert not parent.is_parent_of(parent)
+        sibling = Pattern.from_mapping(schema, {"race": "white"})
+        assert not sibling.is_parent_of(child)
+
+    def test_generalizes(self, schema):
+        root = Pattern.root(schema)
+        mid = Pattern.from_mapping(schema, {"race": "black"})
+        leaf = Pattern.from_mapping(schema, {"gender": "female", "race": "black"})
+        assert root.generalizes(leaf)
+        assert mid.generalizes(leaf)
+        assert mid.generalizes(mid)
+        assert not leaf.generalizes(mid)
+
+
+class TestSemantics:
+    def test_matches_row(self, schema):
+        pattern = Pattern.from_mapping(schema, {"race": "black"})
+        assert pattern.matches_row({"gender": "male", "race": "black"})
+        assert not pattern.matches_row({"gender": "male", "race": "white"})
+
+    def test_root_matches_everything(self, schema):
+        assert Pattern.root(schema).matches_row({"gender": "male", "race": "white"})
+
+    def test_to_group_roundtrip(self, schema):
+        pattern = Pattern.from_mapping(schema, {"gender": "female", "race": "black"})
+        assert pattern.to_group() == group(gender="female", race="black")
+
+    def test_root_to_group_rejected(self, schema):
+        with pytest.raises(InvalidParameterError):
+            Pattern.root(schema).to_group()
+
+    def test_hashable_value_semantics(self, schema):
+        a = Pattern.from_mapping(schema, {"race": "black"})
+        b = Pattern.from_mapping(schema, {"race": "black"})
+        assert a == b and hash(a) == hash(b)

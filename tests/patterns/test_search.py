@@ -1,0 +1,124 @@
+"""Unit tests for the level-wise MUP search (pruned top-down traversal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
+from repro.errors import InvalidParameterError
+from repro.patterns.graph import PatternGraph
+from repro.patterns.pattern import Pattern
+from repro.patterns.search import find_mups_levelwise
+from repro.patterns.tabular import assess_tabular_coverage
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+    )
+
+
+def build(schema, counts):
+    return intersectional_dataset(schema, counts, shuffle=False)
+
+
+class TestCorrectness:
+    def test_matches_exhaustive_reference(self, schema):
+        dataset = build(
+            schema,
+            {
+                ("male", "white"): 900,
+                ("female", "white"): 200,
+                ("male", "black"): 70,
+                ("female", "black"): 10,
+                ("male", "asian"): 20,
+                ("female", "asian"): 5,
+            },
+        )
+        result = find_mups_levelwise(dataset, tau=50)
+        reference = assess_tabular_coverage(dataset, tau=50)
+        assert set(result.mups) == set(reference.mups)
+
+    def test_root_uncovered_short_circuits(self, schema):
+        dataset = build(schema, {("male", "white"): 10})
+        result = find_mups_levelwise(dataset, tau=50)
+        assert result.mups == (Pattern.root(schema),)
+        assert result.n_patterns_counted == 1  # only the root was counted
+
+    def test_everything_covered_no_mups(self, schema):
+        dataset = build(
+            schema,
+            {values: 100 for values in (
+                ("male", "white"), ("female", "white"),
+                ("male", "black"), ("female", "black"),
+                ("male", "asian"), ("female", "asian"),
+            )},
+        )
+        result = find_mups_levelwise(dataset, tau=50)
+        assert result.mups == ()
+
+    def test_is_covered_accessor(self, schema):
+        dataset = build(
+            schema,
+            {
+                ("male", "white"): 900,
+                ("female", "white"): 200,
+                ("male", "black"): 5,
+                ("female", "black"): 5,
+                ("male", "asian"): 100,
+                ("female", "asian"): 100,
+            },
+        )
+        result = find_mups_levelwise(dataset, tau=50)
+        reference = assess_tabular_coverage(dataset, tau=50)
+        for pattern in PatternGraph(schema):
+            assert result.is_covered(pattern) == reference.verdict(pattern).covered
+
+
+class TestPruning:
+    def test_counts_fewer_patterns_when_uncovered_region_is_large(self, schema):
+        """With one dominant group, most patterns sit under uncovered
+        level-1 ancestors and must never be counted."""
+        dataset = build(schema, {("male", "white"): 10_000})
+        result = find_mups_levelwise(dataset, tau=50)
+        graph = PatternGraph(schema)
+        assert result.n_patterns_counted < graph.n_patterns
+        # MUPs here: every level-1 value pattern except male-X / X-white
+        # ... is uncovered; check against the reference.
+        reference = assess_tabular_coverage(dataset, tau=50)
+        assert set(result.mups) == set(reference.mups)
+
+    def test_never_counts_children_of_uncovered(self, schema):
+        dataset = build(
+            schema,
+            {
+                ("male", "white"): 900,
+                ("female", "white"): 10,  # female-X uncovered overall? no:
+                ("female", "black"): 10,  # female total = 25 < 50
+                ("female", "asian"): 5,
+            },
+        )
+        result = find_mups_levelwise(dataset, tau=50)
+        female_x = Pattern.from_mapping(schema, {"gender": "female"})
+        assert female_x in result.mups
+        # No fully-specified female pattern was ever counted.
+        for pattern in result.counts:
+            if pattern.level == 2:
+                assert pattern.values[0] != "female"
+
+
+class TestValidation:
+    def test_invalid_tau(self, schema):
+        dataset = build(schema, {("male", "white"): 10})
+        with pytest.raises(InvalidParameterError):
+            find_mups_levelwise(dataset, tau=0)
+
+    def test_graph_schema_mismatch(self, schema):
+        dataset = build(schema, {("male", "white"): 10})
+        with pytest.raises(InvalidParameterError):
+            find_mups_levelwise(
+                dataset, tau=5, graph=PatternGraph(Schema.from_dict({"x": ["0", "1"]}))
+            )

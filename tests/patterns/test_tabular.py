@@ -1,0 +1,85 @@
+"""Unit tests for the tabular coverage reference implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
+from repro.errors import InvalidParameterError
+from repro.patterns.pattern import Pattern
+from repro.patterns.tabular import assess_tabular_coverage, pattern_count
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black"]}
+    )
+
+
+@pytest.fixture
+def dataset(schema):
+    return intersectional_dataset(
+        schema,
+        {
+            ("male", "white"): 100,
+            ("female", "white"): 60,
+            ("male", "black"): 55,
+            ("female", "black"): 3,
+        },
+        shuffle=False,
+    )
+
+
+class TestPatternCount:
+    def test_leaf_counts(self, dataset, schema):
+        leaf = Pattern.from_mapping(schema, {"gender": "female", "race": "black"})
+        assert pattern_count(dataset, leaf) == 3
+
+    def test_partial_pattern_counts(self, dataset, schema):
+        assert pattern_count(dataset, Pattern.from_mapping(schema, {"race": "black"})) == 58
+        assert pattern_count(dataset, Pattern.from_mapping(schema, {"gender": "female"})) == 63
+
+    def test_root_counts_everything(self, dataset, schema):
+        assert pattern_count(dataset, Pattern.root(schema)) == len(dataset)
+
+
+class TestAssessCoverage:
+    def test_verdicts_and_mups(self, dataset):
+        report = assess_tabular_coverage(dataset, tau=50)
+        assert [m.describe() for m in report.mups] == ["female-black"]
+        assert all(v.count_is_exact for v in report.verdicts.values())
+
+    def test_counts_are_exact(self, dataset, schema):
+        report = assess_tabular_coverage(dataset, tau=50)
+        for pattern, verdict in report.verdicts.items():
+            assert verdict.count_lower_bound == pattern_count(dataset, pattern)
+
+    def test_mups_cover_the_uncovered_region(self, dataset):
+        """Every uncovered pattern must be a specialization of some MUP
+        (or a MUP itself) — maximality."""
+        report = assess_tabular_coverage(dataset, tau=50)
+        for pattern in report.uncovered:
+            assert any(mup.generalizes(pattern) for mup in report.mups)
+
+    def test_tau_larger_than_dataset(self, dataset):
+        report = assess_tabular_coverage(dataset, tau=10_000)
+        # Everything uncovered; the root is the single MUP.
+        assert len(report.mups) == 1
+        assert report.mups[0].is_root
+
+    def test_tau_one(self, dataset):
+        report = assess_tabular_coverage(dataset, tau=1)
+        assert report.mups == ()  # every group has at least one object
+
+    def test_invalid_tau(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            assess_tabular_coverage(dataset, tau=0)
+
+    def test_graph_schema_mismatch_rejected(self, dataset):
+        from repro.patterns.graph import PatternGraph
+
+        other = PatternGraph(Schema.from_dict({"x": ["0", "1"]}))
+        with pytest.raises(InvalidParameterError):
+            assess_tabular_coverage(dataset, tau=5, graph=other)

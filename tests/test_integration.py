@@ -1,0 +1,183 @@
+"""End-to-end integration tests: full audits through the noisy platform.
+
+These exercise the complete stack — corpus builder -> worker pool ->
+quality control -> platform -> oracle -> algorithm -> report — the way a
+downstream user would run it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    base_coverage,
+    classifier_coverage,
+    group_coverage,
+    intersectional_coverage,
+    multiple_coverage,
+    upper_bound_tasks,
+)
+from repro.classifiers import ProfileClassifier
+from repro.crowd import (
+    CrowdOracle,
+    CrowdPlatform,
+    FlakyOracle,
+    GroundTruthOracle,
+    make_worker_pool,
+    qc_with_rating,
+)
+from repro.data import (
+    Schema,
+    binary_dataset,
+    feret_mturk_slice,
+    group,
+    intersectional_dataset,
+    single_attribute_dataset,
+)
+from repro.errors import BudgetExceededError
+from repro.patterns import assess_tabular_coverage
+
+FEMALE = group(gender="female")
+
+
+class TestMTurkStyleAudit:
+    """The Table 1 pipeline end to end, with a noisy screened crowd."""
+
+    def test_full_feret_audit(self):
+        rng = np.random.default_rng(0)
+        dataset = feret_mturk_slice(rng)
+        workers = make_worker_pool(40, rng, error_rate=0.0136, spammer_fraction=0.2)
+        platform = CrowdPlatform(dataset, workers, rng, screening=qc_with_rating())
+        oracle = CrowdOracle(platform)
+
+        result = group_coverage(oracle, FEMALE, 50, n=50, dataset_size=len(dataset))
+        assert result.covered  # 215 females >= 50
+        assert result.tasks.total < upper_bound_tasks(len(dataset), 50, 50)
+        # The ledger, the platform, and the result agree.
+        assert oracle.ledger.total == platform.ledger.n_hits == result.tasks.total
+        assert platform.ledger.total_cost > 0
+
+    def test_noisy_crowd_still_beats_baseline(self):
+        rng = np.random.default_rng(1)
+        dataset = feret_mturk_slice(rng)
+        workers = make_worker_pool(30, rng, error_rate=0.0136)
+
+        group_platform = CrowdPlatform(dataset, workers, rng)
+        group_result = group_coverage(
+            CrowdOracle(group_platform), FEMALE, 50, n=50, dataset_size=len(dataset)
+        )
+        base_platform = CrowdPlatform(dataset, workers, rng)
+        base_result = base_coverage(
+            CrowdOracle(base_platform), FEMALE, 50, dataset_size=len(dataset)
+        )
+        assert group_result.covered and base_result.covered
+        assert group_result.tasks.total < base_result.tasks.total / 3
+
+
+class TestBaselinePipeline:
+    """The paper's strawman: label everything, then run tabular coverage."""
+
+    def test_label_all_then_tabular(self, rng):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 300,
+                ("female", "white"): 80,
+                ("male", "black"): 60,
+                ("female", "black"): 4,
+            },
+            rng=rng,
+        )
+        oracle = GroundTruthOracle(dataset)
+        labeled_rows = [oracle.ask_point(i) for i in range(len(dataset))]
+        relabeled = type(dataset).from_value_rows(schema, labeled_rows)
+        report = assess_tabular_coverage(relabeled, tau=50)
+        assert [m.describe() for m in report.mups] == ["female-black"]
+        # Cost of the strawman: one task per object.
+        assert oracle.ledger.total == len(dataset)
+
+    def test_crowdsourced_route_is_cheaper_and_agrees(self, rng):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 3000,
+                ("female", "white"): 800,
+                ("male", "black"): 600,
+                ("female", "black"): 4,
+            },
+            rng=rng,
+        )
+        report = intersectional_coverage(
+            GroundTruthOracle(dataset), schema, 50, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        reference = assess_tabular_coverage(dataset, tau=50)
+        assert set(report.mups) == set(reference.mups)
+        assert report.tasks.total < len(dataset)
+
+
+class TestClassifierAssistedAudit:
+    def test_profile_classifier_to_coverage(self, rng):
+        dataset = binary_dataset(994, 403, rng=rng)
+        classifier = ProfileClassifier(
+            name="DeepFace-like", target_group=FEMALE, accuracy=0.8, precision=0.99
+        )
+        predicted = classifier.predicted_positive_indices(dataset, rng)
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=50, rng=rng,
+            dataset_size=len(dataset),
+        )
+        baseline = group_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, n=50, dataset_size=len(dataset)
+        )
+        assert result.covered and baseline.covered
+        assert result.strategy == "partition"
+        assert result.tasks.total < baseline.tasks.total
+
+
+class TestRobustness:
+    def test_budget_aborts_expensive_audit(self, rng):
+        dataset = binary_dataset(10_000, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset, budget=50)
+        with pytest.raises(BudgetExceededError):
+            group_coverage(oracle, FEMALE, 50, n=50, dataset_size=len(dataset))
+        assert oracle.ledger.total == 50
+
+    def test_flaky_oracle_at_low_error_usually_agrees(self):
+        """Without redundancy, small answer noise rarely flips the verdict
+        on a clearly covered group (sanity of the noise model, not a
+        guarantee)."""
+        agreements = 0
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            dataset = binary_dataset(2000, 600, rng=rng)
+            oracle = FlakyOracle(dataset, rng, set_error_rate=0.01)
+            result = group_coverage(oracle, FEMALE, 50, n=50, dataset_size=2000)
+            agreements += int(result.covered)
+        assert agreements >= 8
+
+    def test_multiple_coverage_with_noisy_crowd(self):
+        rng = np.random.default_rng(4)
+        dataset = single_attribute_dataset(
+            {"white": 4000, "black": 700, "asian": 25}, rng=rng
+        )
+        workers = make_worker_pool(30, rng, error_rate=0.01)
+        platform = CrowdPlatform(dataset, workers, rng)
+        report = multiple_coverage(
+            CrowdOracle(platform),
+            [group(race=v) for v in ("white", "black", "asian")],
+            50,
+            n=50,
+            rng=rng,
+            dataset_size=len(dataset),
+        )
+        assert report.entry_for(group(race="white")).covered
+        assert report.entry_for(group(race="black")).covered
+        assert not report.entry_for(group(race="asian")).covered

@@ -1,0 +1,119 @@
+"""Unit tests for report serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    classifier_coverage,
+    group_coverage,
+    intersectional_coverage,
+    multiple_coverage,
+)
+from repro.crowd import GroundTruthOracle
+from repro.data import (
+    Group,
+    Schema,
+    binary_dataset,
+    group,
+    intersectional_dataset,
+    single_attribute_dataset,
+)
+from repro.errors import InvalidParameterError
+from repro.io import report_to_dict, report_to_json
+
+FEMALE = group(gender="female")
+
+
+class TestGroupCoverageExport:
+    def test_roundtrips_through_json(self, rng):
+        dataset = binary_dataset(500, 20, rng=rng)
+        result = group_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, n=25, dataset_size=500
+        )
+        payload = json.loads(report_to_json(result))
+        assert payload["kind"] == "group-coverage"
+        assert payload["covered"] is False
+        assert payload["count"] == 20
+        assert payload["count_is_exact"] is True
+        assert payload["tasks"]["total"] == result.tasks.total
+        assert len(payload["discovered_indices"]) == 20
+
+    def test_covered_run_marks_count_as_bound(self, rng):
+        dataset = binary_dataset(500, 200, rng=rng)
+        result = group_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, n=25, dataset_size=500
+        )
+        payload = report_to_dict(result)
+        assert payload["covered"] is True
+        assert payload["count_is_exact"] is False
+
+
+class TestMultipleCoverageExport:
+    def test_entries_and_supergroups(self, rng):
+        counts = {"white": 2_000, "black": 30, "asian": 12}
+        dataset = single_attribute_dataset(counts, attribute="race", rng=rng)
+        report = multiple_coverage(
+            GroundTruthOracle(dataset),
+            [Group({"race": v}) for v in counts],
+            50,
+            rng=rng,
+            dataset_size=len(dataset),
+        )
+        payload = report_to_dict(report)
+        assert payload["kind"] == "multiple-coverage"
+        assert len(payload["entries"]) == 3
+        by_group = {entry["group"]: entry for entry in payload["entries"]}
+        assert by_group["race=white"]["covered"] is True
+        assert by_group["race=asian"]["covered"] is False
+        json.dumps(payload)  # fully serializable
+
+
+class TestIntersectionalExport:
+    def test_mups_and_nested_reports(self, rng):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 2_000,
+                ("female", "white"): 500,
+                ("male", "black"): 90,
+                ("female", "black"): 6,
+            },
+            rng=rng,
+        )
+        report = intersectional_coverage(
+            GroundTruthOracle(dataset), schema, 50, rng=rng, dataset_size=len(dataset)
+        )
+        payload = report_to_dict(report)
+        assert payload["kind"] == "intersectional-coverage"
+        assert payload["mups"] == ["female-black"]
+        assert payload["pattern_report"]["verdicts"]["female-black"]["covered"] is False
+        assert payload["leaf_report"]["kind"] == "multiple-coverage"
+        json.dumps(payload)
+
+
+class TestClassifierExport:
+    def test_strategy_and_fallback(self, rng):
+        dataset = binary_dataset(1_000, 30, rng=rng)
+        predicted = dataset.positions(FEMALE)[:20]
+        result = classifier_coverage(
+            GroundTruthOracle(dataset), FEMALE, 50, predicted, n=25, rng=rng,
+            dataset_size=len(dataset),
+        )
+        payload = report_to_dict(result)
+        assert payload["kind"] == "classifier-coverage"
+        assert payload["strategy"] in ("partition", "label")
+        assert payload["fallback"]["kind"] == "group-coverage"
+        json.dumps(payload)
+
+
+class TestValidation:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            report_to_dict({"not": "a report"})

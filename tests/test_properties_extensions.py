@@ -1,0 +1,95 @@
+"""Property-based tests for the extension modules (search, cost, resolve)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_aware import choose_set_size, dollar_cost_upper_bound
+from repro.core.resolution import find_members
+from repro.crowd.oracle import GroundTruthOracle
+from repro.crowd.pricing import SizeDependentPricing
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
+from repro.patterns.graph import PatternGraph
+from repro.patterns.search import find_mups_levelwise
+from repro.patterns.tabular import assess_tabular_coverage
+
+FEMALE = group(gender="female")
+GENDER_SCHEMA = Schema.from_dict({"gender": ["male", "female"]})
+
+
+@st.composite
+def schema_and_counts(draw):
+    n_attributes = draw(st.integers(min_value=1, max_value=3))
+    cards = [draw(st.integers(min_value=2, max_value=3)) for _ in range(n_attributes)]
+    schema = Schema.from_dict(
+        {f"a{i}": [f"v{i}_{j}" for j in range(card)] for i, card in enumerate(cards)}
+    )
+    graph = PatternGraph(schema)
+    counts = {
+        tuple(leaf.values): draw(st.integers(min_value=0, max_value=120))
+        for leaf in graph.leaves()
+    }
+    tau = draw(st.integers(min_value=1, max_value=80))
+    return schema, counts, tau
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_and_counts())
+def test_levelwise_search_equals_exhaustive_reference(case):
+    """For any composition, the pruned search and the exhaustive reference
+    agree on the MUP set, and the search never counts more patterns than
+    the graph holds."""
+    schema, counts, tau = case
+    dataset = intersectional_dataset(schema, counts, shuffle=False)
+    graph = PatternGraph(schema)
+    result = find_mups_levelwise(dataset, tau, graph=graph)
+    reference = assess_tabular_coverage(dataset, tau, graph=graph)
+    assert set(result.mups) == set(reference.mups)
+    assert result.n_patterns_counted <= graph.n_patterns
+    # Every counted value is the true count.
+    for pattern, count in result.counts.items():
+        assert count == reference.verdict(pattern).count_lower_bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    N=st.integers(min_value=1, max_value=1_000_000),
+    tau=st.integers(min_value=0, max_value=200),
+    base=st.floats(min_value=0.0, max_value=1.0),
+    slope=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_choose_set_size_is_argmin_of_the_bound(N, tau, base, slope):
+    pricing = SizeDependentPricing(base_price=base, per_image=slope)
+    chosen = choose_set_size(N, tau, pricing)
+    chosen_cost = dollar_cost_upper_bound(N, chosen, tau, pricing)
+    for candidate in (1, 2, 5, 10, 20, 30, 50, 75, 100, 150, 200, 300, 400):
+        assert chosen_cost <= dollar_cost_upper_bound(N, candidate, tau, pricing) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    members=st.lists(st.booleans(), min_size=1, max_size=120),
+    k=st.integers(min_value=0, max_value=30),
+    n=st.integers(min_value=1, max_value=32),
+    strategy=st.sampled_from(["auto", "search", "scan"]),
+)
+def test_find_members_soundness_and_completeness(members, k, n, strategy):
+    """Whatever the strategy: only true members are returned, up to k of
+    them, and all of them when the pool holds fewer than k."""
+    codes = np.array(members, dtype=np.int16).reshape(-1, 1)
+    pool = LabeledDataset(GENDER_SCHEMA, codes)
+    found, usage = find_members(
+        GroundTruthOracle(pool), FEMALE, k, pool_size=len(pool), n=n,
+        strategy=strategy, rng=np.random.default_rng(0),
+    )
+    true_members = {i for i, m in enumerate(members) if m}
+    assert set(found) <= true_members
+    assert len(found) == len(set(found))  # no duplicates
+    assert len(found) == min(k, len(true_members))
+    if k:
+        assert usage.total >= 0

@@ -1,0 +1,72 @@
+"""Public-API sanity: imports, __all__ hygiene, and module doctests."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+import repro
+
+DOCTEST_MODULES = [
+    "repro.core.group_coverage",
+    "repro.core.base_coverage",
+    "repro.core.sampling",
+    "repro.core.aggregate",
+    "repro.core.bounds",
+    "repro.core.intersectional_coverage",
+    "repro.core.cost_aware",
+    "repro.core.resolution",
+    "repro.patterns.search",
+    "repro.classifiers.metrics",
+    "repro.classifiers.simulated",
+    "repro.data.schema",
+    "repro.data.groups",
+    "repro.data.synthetic",
+    "repro.data.images",
+    "repro.patterns.graph",
+    "repro.patterns.tabular",
+    "repro.experiments.reporting",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.core",
+        "repro.crowd",
+        "repro.data",
+        "repro.patterns",
+        "repro.classifiers",
+        "repro.downstream",
+        "repro.experiments",
+    ],
+)
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _ = doctest.testmod(module)
+    assert failures == 0
+
+
+def test_readme_quickstart_snippet():
+    """The package docstring's quick tour must stay runnable."""
+    failures, tested = doctest.testmod(repro)
+    assert tested > 0
+    assert failures == 0
