@@ -18,6 +18,7 @@ Quick tour
 Packages
 --------
 * :mod:`repro.core` — the paper's algorithms (Group-Coverage and friends).
+* :mod:`repro.engine` — batched query execution: scheduler, answer cache.
 * :mod:`repro.crowd` — the crowdsourcing platform simulator and oracles.
 * :mod:`repro.data` — schemas, group predicates, datasets, generators.
 * :mod:`repro.patterns` — pattern graph, Pattern-Combiner, MUPs.
@@ -29,6 +30,7 @@ Packages
 from repro.core import (
     ClassifierCoverageResult,
     GroupCoverageResult,
+    GroupCoverageStepper,
     GroupEntry,
     IntersectionalCoverageReport,
     MultipleCoverageReport,
@@ -41,6 +43,7 @@ from repro.core import (
     multiple_coverage,
     upper_bound_tasks,
 )
+from repro.engine import AnswerCache, EngineStats, QueryEngine
 from repro.crowd import (
     CrowdOracle,
     CrowdPlatform,
@@ -88,6 +91,11 @@ __all__ = [
     "MultipleCoverageReport",
     "IntersectionalCoverageReport",
     "ClassifierCoverageResult",
+    "GroupCoverageStepper",
+    # engine
+    "QueryEngine",
+    "AnswerCache",
+    "EngineStats",
     # crowd
     "Oracle",
     "GroundTruthOracle",

@@ -20,7 +20,7 @@ from repro.core.cost_aware import (
     cost_aware_group_coverage,
     dollar_cost_upper_bound,
 )
-from repro.core.group_coverage import group_coverage
+from repro.core.group_coverage import GroupCoverageStepper, group_coverage
 from repro.core.resolution import (
     AcquisitionPlan,
     acquisition_plan,
@@ -42,6 +42,7 @@ from repro.core.tree import PrunableQueue, TreeNode
 
 __all__ = [
     "group_coverage",
+    "GroupCoverageStepper",
     "base_coverage",
     "multiple_coverage",
     "intersectional_coverage",

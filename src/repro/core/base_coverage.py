@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crowd.oracle import Oracle
+from repro.core.views import resolve_view
 from repro.core.results import GroupCoverageResult, TaskUsage
 from repro.data.groups import GroupPredicate
 from repro.errors import InvalidParameterError
@@ -43,15 +44,14 @@ def base_coverage(
     """
     if tau < 0:
         raise InvalidParameterError(f"tau must be >= 0, got {tau}")
-    if view is None:
-        if dataset_size is None:
-            raise InvalidParameterError("provide either view or dataset_size")
-        view = np.arange(dataset_size, dtype=np.int64)
-    else:
-        view = np.asarray(view, dtype=np.int64)
+    view = resolve_view(view, dataset_size)
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
 
     cnt = 0
     discovered: list[int] = []
@@ -73,6 +73,7 @@ def base_coverage(
         tasks=TaskUsage(
             ledger.n_set_queries - start_sets,
             ledger.n_point_queries - start_points,
+            ledger.n_rounds - start_rounds,
         ),
         discovered_indices=tuple(discovered),
     )

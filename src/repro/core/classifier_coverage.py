@@ -162,12 +162,17 @@ def classifier_coverage(
     predicted_positive = np.asarray(predicted_positive, dtype=np.int64)
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
 
     def usage() -> TaskUsage:
         return TaskUsage(
             ledger.n_set_queries - start_sets,
             ledger.n_point_queries - start_points,
+            ledger.n_rounds - start_rounds,
         )
 
     if len(predicted_positive) == 0:

@@ -21,19 +21,38 @@ The algorithm is a group-testing style divide and conquer:
 Cost: Θ(N/n + τ·log n) set queries in the worst case (Theorem 3.2 /
 Lemma 3.3), against the Θ(N/n) lower bound any algorithm must pay when the
 group is uncovered.
+
+The algorithm lives in :class:`GroupCoverageStepper`, a *resumable*
+formulation that emits pending set queries and consumes answers. The
+:func:`group_coverage` entry point drives the same stepper in two modes:
+legacy sequential (one oracle ask per query, the paper's execution
+model), or through a :class:`repro.engine.QueryEngine`, which batches the
+ready frontier of every tree into few oracle round-trips and shares
+answers with concurrent runs. Under a deterministic oracle both modes
+produce identical verdicts, counts, and discovered members; engine mode
+may consume a slightly different number of tasks (cache hits save
+queries, speculative final-round batches waste some around early stops).
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Mapping
+
 import numpy as np
 
-from repro.crowd.oracle import Oracle
 from repro.core.results import GroupCoverageResult, TaskUsage
 from repro.core.tree import PrunableQueue, TreeNode
+from repro.core.views import resolve_view
+from repro.crowd.oracle import Oracle
 from repro.data.groups import GroupPredicate
+from repro.engine.requests import QueryKey, SetRequest
 from repro.errors import InvalidParameterError
 
-__all__ = ["group_coverage"]
+if TYPE_CHECKING:
+    from repro.engine.scheduler import QueryEngine
+    from repro.engine.stats import EngineStats
+
+__all__ = ["GroupCoverageStepper", "group_coverage"]
 
 
 def _validate(n: int, tau: int) -> None:
@@ -41,6 +60,220 @@ def _validate(n: int, tau: int) -> None:
         raise InvalidParameterError(f"set-query size bound n must be >= 1, got {n}")
     if tau < 0:
         raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+
+
+class GroupCoverageStepper:
+    """Algorithm 1 as a resumable state machine.
+
+    The stepper owns the execution trees and the FIFO discipline of the
+    sequential algorithm but externalises the oracle: callers pull ready
+    queries from :meth:`pending` and push answers through :meth:`feed`
+    until :attr:`done`.
+
+    *Ready* means dispatchable now: every queued root and left child, plus
+    each right child whose left sibling already answered "yes" (a left
+    sibling's "no" implies the right child's "yes" for free, so asking it
+    early would waste a task). That is exactly the per-tree frontier —
+    trees never depend on each other — which is what lets an engine batch
+    across trees and across concurrent runs.
+
+    Answers are *applied* in the sequential algorithm's global FIFO order
+    regardless of arrival order, so ``covered``/``count``/``discovered``
+    match the sequential execution exactly under a deterministic oracle.
+    """
+
+    def __init__(
+        self,
+        predicate: GroupPredicate,
+        tau: int,
+        *,
+        n: int = 50,
+        view: np.ndarray,
+        speculation: int = 0,
+    ) -> None:
+        _validate(n, tau)
+        if speculation < 0:
+            raise InvalidParameterError(
+                f"speculation must be >= 0, got {speculation}"
+            )
+        self.predicate = predicate
+        self.tau = tau
+        self.n = n
+        self.speculation = speculation
+        # Bounds-checks negativity (the stepper has no dataset_size to
+        # check the upper bound against; group_coverage does that).
+        self._view = resolve_view(view, None)
+        self._cnt = 0
+        self._discovered: list[int] = []
+        self._unapplied = 0  # answers fed but not yet consumed by _advance
+        self._queue = PrunableQueue()
+        # Keyed by node object (identity hash): keys keep their nodes
+        # alive, so a recycled memory address can never alias a stale
+        # answer onto a fresh node.
+        self._answers: dict[TreeNode, bool] = {}
+        self._requests: dict[QueryKey, TreeNode] = {}
+        self._done = False
+        self._covered = False
+        if tau == 0:
+            self._done = True
+            self._covered = True
+        elif len(self._view) == 0:
+            self._done = True
+        else:
+            total = len(self._view)
+            for begin in range(0, total, n):  # init roots of the subtrees
+                self._queue.add(TreeNode(begin, min(begin + n, total) - 1))
+
+    # -- stepper protocol ------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def covered(self) -> bool:
+        return self._covered
+
+    @property
+    def count(self) -> int:
+        return self._cnt
+
+    @property
+    def discovered_indices(self) -> tuple[int, ...]:
+        return tuple(self._discovered)
+
+    def pending(self, limit: int | None = None) -> list[SetRequest]:
+        """Every queued query that is ready to dispatch, in FIFO order.
+
+        ``limit`` caps the scan (``limit=1`` is the sequential driver's
+        O(1) "next query" — the FIFO front is always ready).
+
+        Emission is additionally capped so that total *outstanding* work
+        (queries in flight plus answers not yet consumed) never exceeds
+        the certification deficit ``tau - count`` plus the
+        ``speculation`` budget. One consumed answer raises the count by
+        at most one, so a stop at ``count == tau`` leaves at most
+        ``speculation`` paid-but-unused queries behind — the waste a
+        covered run can incur is bounded by the speculation budget.
+        Engine-mode callers set ``speculation`` to the engine's batch
+        size: one batch of speculative look-ahead, which keeps uncovered
+        groups and small-deficit runs batching wide (every query there
+        is needed regardless). The FIFO front is always allowed through
+        so progress never stalls."""
+        if self._done:
+            return []
+        outstanding = len(self._requests) + self._unapplied
+        emission_cap = max(
+            (self.tau - self._cnt) + self.speculation - outstanding, 1
+        )
+        if limit is None or limit > emission_cap:
+            limit = emission_cap
+        ready: list[SetRequest] = []
+        in_flight = set(self._requests.values())
+        for node in self._queue:
+            if len(ready) >= limit:
+                break
+            if node in self._answers or node in in_flight:
+                # Answered, or emitted earlier and still awaiting its
+                # answer — re-emitting would double-charge the oracle.
+                continue
+            parent = node.parent
+            if (
+                parent is not None
+                and parent.right is node
+                and self._answers.get(parent.left) is not True
+            ):
+                # A right child is only ever *asked* after its left
+                # sibling answered "yes"; on "no" its answer is implied.
+                continue
+            request = SetRequest(
+                self._view[node.b_index : node.e_index + 1], self.predicate
+            )
+            self._requests[request.key] = node
+            ready.append(request)
+        return ready
+
+    def feed(self, answers: Mapping[QueryKey, bool]) -> None:
+        """Record answers for previously pending queries and advance."""
+        for key, answer in answers.items():
+            node = self._requests.pop(key, None)
+            if node is None:
+                raise InvalidParameterError(
+                    "answer fed for a query this stepper never requested"
+                )
+            self._answers[node] = bool(answer)
+            self._unapplied += 1
+        self._advance()
+
+    # -- result ----------------------------------------------------------
+    def result(
+        self,
+        tasks: TaskUsage = TaskUsage(),
+        engine_stats: "EngineStats | None" = None,
+    ) -> GroupCoverageResult:
+        if not self._done:
+            raise InvalidParameterError(
+                "stepper has not finished; result() is only valid when done"
+            )
+        return GroupCoverageResult(
+            predicate=self.predicate,
+            covered=self._covered,
+            count=self._cnt,
+            tau=self.tau,
+            tasks=tasks,
+            discovered_indices=tuple(self._discovered),
+            engine_stats=engine_stats,
+        )
+
+    # -- internals -------------------------------------------------------
+    def _advance(self) -> None:
+        """Process answered nodes in global FIFO order (the sequential
+        algorithm's exact pop order) until blocked, covered, or drained."""
+        while not self._done:
+            front = self._queue.peek()
+            if front is None:
+                # Queue drained below the threshold: every "yes" range was
+                # driven down to singletons, so cnt is the exact member
+                # count (Lemma 3.1).
+                self._done = True
+                return
+            if front not in self._answers:
+                return  # blocked on an unanswered query
+            node = self._queue.pop()
+            answer = self._answers[node]
+            self._unapplied -= 1
+            if node.is_root:
+                if not answer:
+                    continue  # prune the whole chunk
+                self._cnt += 1
+            else:
+                if not answer:
+                    if node.is_left_child:
+                        # The parent held a member and the left half does
+                        # not: the right sibling's answer is "yes" for free.
+                        assert node.parent is not None and node.parent.right is not None
+                        node = self._queue.remove(node.parent.right)
+                    else:
+                        # Right child "no": the left sibling already
+                        # certified the parent's member; nothing new.
+                        continue
+                # `node` now carries a (possibly implied) "yes" answer.
+                assert node.parent is not None
+                if node.parent.checked:
+                    # Both children contain members; disjoint ranges make
+                    # that one additional certain member.
+                    self._cnt += 1
+                else:
+                    node.parent.checked = True
+            if node.size == 1:
+                self._discovered.append(int(self._view[node.b_index]))
+            if self._cnt == self.tau:
+                self._done = True
+                self._covered = True
+                return
+            if node.size > 1:
+                left, right = node.split()
+                self._queue.add(left)
+                self._queue.add(right)
 
 
 def group_coverage(
@@ -51,6 +284,7 @@ def group_coverage(
     n: int = 50,
     view: np.ndarray | None = None,
     dataset_size: int | None = None,
+    engine: "QueryEngine | None" = None,
 ) -> GroupCoverageResult:
     """Run Algorithm 1.
 
@@ -69,13 +303,23 @@ def group_coverage(
     view:
         Dataset indices to search, in physical order. Defaults to
         ``arange(dataset_size)``; ``dataset_size`` is required only when
-        ``view`` is omitted.
+        ``view`` is omitted. Entries must be valid dataset indices:
+        negative entries raise :class:`InvalidParameterError`, and when
+        ``dataset_size`` is supplied alongside ``view``, entries
+        ``>= dataset_size`` do too.
+    engine:
+        A :class:`repro.engine.QueryEngine` bound to ``oracle``. When
+        given, the run's ready queries are batched into few oracle
+        round-trips and answers are shared (via the engine's cache) with
+        any other runs on the same engine. When omitted, queries are
+        asked strictly sequentially — the paper's execution model.
 
     Returns
     -------
     GroupCoverageResult
         Verdict, count lower bound (exact when uncovered), tasks used, and
-        the indices of individually isolated members.
+        the indices of individually isolated members. Engine runs attach
+        :class:`~repro.engine.stats.EngineStats`.
 
     Examples
     --------
@@ -88,84 +332,55 @@ def group_coverage(
     ...     n=50, dataset_size=len(ds))
     >>> (result.covered, result.count)
     (False, 8)
+
+    The same audit through the engine issues the same queries in far
+    fewer oracle round-trips:
+
+    >>> from repro.engine import QueryEngine
+    >>> oracle = GroundTruthOracle(ds)
+    >>> batched = group_coverage(
+    ...     oracle, group(gender="female"), tau=50, n=50,
+    ...     dataset_size=len(ds), engine=QueryEngine(oracle))
+    >>> (batched.covered, batched.count) == (result.covered, result.count)
+    True
+    >>> batched.tasks.n_rounds < result.tasks.n_rounds
+    True
     """
     _validate(n, tau)
-    if view is None:
-        if dataset_size is None:
-            raise InvalidParameterError("provide either view or dataset_size")
-        view = np.arange(dataset_size, dtype=np.int64)
-    else:
-        view = np.asarray(view, dtype=np.int64)
+    view = resolve_view(view, dataset_size)
+    if engine is not None:
+        engine.ensure_executes_for(oracle)
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
 
-    def usage() -> TaskUsage:
-        return TaskUsage(
-            ledger.n_set_queries - start_sets,
-            ledger.n_point_queries - start_points,
-        )
+    stepper = GroupCoverageStepper(
+        predicate,
+        tau,
+        n=n,
+        view=view,
+        speculation=engine.speculation if engine is not None else 0,
+    )
+    engine_stats: "EngineStats | None" = None
+    if engine is None:
+        # Legacy sequential mode: ask the front of the FIFO, one query per
+        # round-trip, exactly as the paper executes Algorithm 1.
+        while not stepper.done:
+            request = stepper.pending(limit=1)[0]
+            answer = oracle.ask_set(request.indices, predicate)
+            stepper.feed({request.key: answer})
+    else:
+        snapshot = engine.snapshot()
+        engine.drive(stepper)
+        engine_stats = engine.stats_since(snapshot)
 
-    def result(covered: bool, cnt: int, discovered: list[int]) -> GroupCoverageResult:
-        return GroupCoverageResult(
-            predicate=predicate,
-            covered=covered,
-            count=cnt,
-            tau=tau,
-            tasks=usage(),
-            discovered_indices=tuple(discovered),
-        )
-
-    if tau == 0:
-        return result(True, 0, [])
-    total = len(view)
-    if total == 0:
-        return result(False, 0, [])
-
-    cnt = 0
-    discovered: list[int] = []
-    queue = PrunableQueue()
-    for begin in range(0, total, n):  # init roots of the subtrees
-        queue.add(TreeNode(begin, min(begin + n, total) - 1))
-
-    while queue:
-        node = queue.pop()
-        answer = oracle.ask_set(
-            view[node.b_index : node.e_index + 1], predicate
-        )
-        if node.is_root:
-            if answer:
-                cnt += 1
-            else:
-                continue  # prune the whole chunk
-        else:
-            if not answer:
-                if node.is_left_child:
-                    # The parent held a member and the left half does not:
-                    # the right sibling's answer is "yes" for free.
-                    assert node.parent is not None and node.parent.right is not None
-                    node = queue.remove(node.parent.right)
-                else:
-                    # Right child "no": the left sibling already certified
-                    # the parent's member; nothing new to learn.
-                    continue
-            # `node` now carries a (possibly implied) "yes" answer.
-            assert node.parent is not None
-            if node.parent.checked:
-                # Both children of this parent contain members; the ranges
-                # are disjoint, so that is one additional certain member.
-                cnt += 1
-            else:
-                node.parent.checked = True
-        if node.size == 1:
-            discovered.append(int(view[node.b_index]))
-        if cnt == tau:
-            return result(True, cnt, discovered)
-        if node.size > 1:
-            left, right = node.split()
-            queue.add(left)
-            queue.add(right)
-
-    # Queue drained below the threshold: every "yes" range was driven down
-    # to singletons, so cnt is the exact member count (Lemma 3.1).
-    return result(False, cnt, discovered)
+    tasks = TaskUsage(
+        ledger.n_set_queries - start_sets,
+        ledger.n_point_queries - start_points,
+        ledger.n_rounds - start_rounds,
+    )
+    return stepper.result(tasks=tasks, engine_stats=engine_stats)

@@ -18,6 +18,8 @@ members isolated inside uncovered super-groups with one point query each
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.multiple_coverage import multiple_coverage
@@ -27,6 +29,9 @@ from repro.data.schema import Schema
 from repro.errors import InvalidParameterError
 from repro.patterns.combiner import LeafCoverage, combine_leaf_coverage
 from repro.patterns.graph import PatternGraph
+
+if TYPE_CHECKING:
+    from repro.engine.scheduler import QueryEngine
 
 __all__ = ["intersectional_coverage"]
 
@@ -41,12 +46,16 @@ def intersectional_coverage(
     rng: np.random.Generator,
     view: np.ndarray | None = None,
     dataset_size: int | None = None,
+    engine: "QueryEngine | None" = None,
 ) -> IntersectionalCoverageReport:
     """Run Algorithm 3 over all attributes of ``schema``.
 
     Parameters mirror :func:`~repro.core.multiple_coverage.multiple_coverage`;
     the target groups are derived internally as the fully-specified
-    subgroups (the Cartesian product of all attribute values).
+    subgroups (the Cartesian product of all attribute values). Passing an
+    ``engine`` batches and deduplicates the leaf-level crowd work — the
+    sibling-constrained super-groups then share cached answers — without
+    changing verdicts under a deterministic oracle.
 
     Returns
     -------
@@ -78,7 +87,11 @@ def intersectional_coverage(
     leaf_groups = [leaf.to_group() for leaf in leaves]
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
 
     leaf_report = multiple_coverage(
         oracle,
@@ -91,6 +104,7 @@ def intersectional_coverage(
         dataset_size=dataset_size,
         multi=True,
         attribute_supergroup_members=True,
+        engine=engine,
     )
 
     leaf_results = {}
@@ -105,9 +119,11 @@ def intersectional_coverage(
     tasks = TaskUsage(
         ledger.n_set_queries - start_sets,
         ledger.n_point_queries - start_points,
+        ledger.n_rounds - start_rounds,
     )
     return IntersectionalCoverageReport(
         leaf_report=leaf_report,
         pattern_report=pattern_report,
         tasks=tasks,
+        engine_stats=leaf_report.engine_stats,
     )

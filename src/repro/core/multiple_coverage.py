@@ -11,23 +11,243 @@ The known failure mode (§6.5.2, the "adversarial" setting) is faithfully
 reproduced: when a super-group turns out to be *covered*, nothing is
 learned about its individual members and the algorithm must re-run
 Group-Coverage for each of them — the aggregation penalty.
+
+Execution modes
+---------------
+Sequential (default) issues every query one at a time, exactly as the
+paper's pseudo-code. Passing an ``engine``
+(:class:`repro.engine.QueryEngine`) instead:
+
+* batches the sampling phase into one point-query round-trip,
+* runs every super-group's Group-Coverage tree concurrently, batching the
+  ready frontiers across runs,
+* registers the super-group -> member implication with the engine's
+  answer cache, so the covered-super-group penalty re-runs get every
+  chunk the super-group run pruned answered for free, and
+* batches the member-attribution point queries of uncovered super-groups.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.aggregate import aggregate_groups
-from repro.core.group_coverage import group_coverage
-from repro.core.results import GroupEntry, MultipleCoverageReport, TaskUsage
+from repro.core.group_coverage import GroupCoverageStepper, group_coverage
+from repro.core.views import resolve_view
+from repro.core.results import GroupCoverageResult, GroupEntry, MultipleCoverageReport, TaskUsage
 from repro.core.sampling import LabeledPool, label_samples
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, SuperGroup
 from repro.errors import InvalidParameterError
 
+if TYPE_CHECKING:
+    from repro.engine.scheduler import QueryEngine
+
 __all__ = ["multiple_coverage"]
+
+
+def _singleton_entry(
+    entries: dict[Group, GroupEntry],
+    super_group: SuperGroup,
+    run: GroupCoverageResult,
+    pool: LabeledPool,
+) -> None:
+    member = super_group.members[0]
+    entries[member] = GroupEntry(
+        group=member,
+        covered=run.covered,
+        count=pool.count(member) + run.count,
+        count_is_exact=not run.covered,
+        via_supergroup=super_group,
+    )
+
+
+def _covered_supergroup_entries(
+    entries: dict[Group, GroupEntry],
+    super_group: SuperGroup,
+    member_runs: dict[Group, GroupCoverageResult],
+    pool: LabeledPool,
+) -> None:
+    for member in super_group:
+        member_run = member_runs[member]
+        entries[member] = GroupEntry(
+            group=member,
+            covered=member_run.covered,
+            count=pool.count(member) + member_run.count,
+            count_is_exact=not member_run.covered,
+            via_supergroup=super_group,
+        )
+
+
+def _uncovered_supergroup_entries(
+    entries: dict[Group, GroupEntry],
+    oracle: Oracle,
+    super_group: SuperGroup,
+    run: GroupCoverageResult,
+    pool: LabeledPool,
+    *,
+    attribute_members: bool,
+    batched: bool,
+) -> None:
+    member_counts = {member: pool.count(member) for member in super_group}
+    exact = False
+    if attribute_members:
+        # Attribute every isolated member to its group with one point
+        # query each; counts become exact.
+        if batched:
+            rows = oracle.ask_point_batch(list(run.discovered_indices))
+        else:
+            rows = [oracle.ask_point(index) for index in run.discovered_indices]
+        for labels in rows:
+            for member in super_group:
+                if member.matches_row(labels):
+                    member_counts[member] += 1
+                    break
+        exact = True
+    for member in super_group:
+        entries[member] = GroupEntry(
+            group=member,
+            covered=False,
+            count=member_counts[member],
+            count_is_exact=exact,
+            via_supergroup=super_group,
+        )
+
+
+def _run_supergroups_sequential(
+    oracle: Oracle,
+    super_groups: Sequence[SuperGroup],
+    pool: LabeledPool,
+    tau: int,
+    n: int,
+    remaining_view: np.ndarray,
+    attribute_supergroup_members: bool,
+) -> dict[Group, GroupEntry]:
+    """Phase 3, paper order: one Group-Coverage run per super-group, plus
+    per-member re-runs when a genuine super-group comes back covered."""
+    entries: dict[Group, GroupEntry] = {}
+    for super_group in super_groups:
+        labeled_credit = sum(pool.count(member) for member in super_group)
+        tau_prime = tau - labeled_credit
+        run = group_coverage(
+            oracle,
+            super_group if len(super_group) > 1 else super_group.members[0],
+            max(tau_prime, 0),
+            n=n,
+            view=remaining_view,
+        )
+        if len(super_group) == 1:
+            _singleton_entry(entries, super_group, run, pool)
+            continue
+        if run.covered:
+            # Penalty path: the merged minorities are jointly covered, so
+            # each member must be examined individually (sample credits
+            # still apply).
+            member_runs = {
+                member: group_coverage(
+                    oracle,
+                    member,
+                    max(tau - pool.count(member), 0),
+                    n=n,
+                    view=remaining_view,
+                )
+                for member in super_group
+            }
+            _covered_supergroup_entries(entries, super_group, member_runs, pool)
+        else:
+            _uncovered_supergroup_entries(
+                entries,
+                oracle,
+                super_group,
+                run,
+                pool,
+                attribute_members=attribute_supergroup_members,
+                batched=False,
+            )
+    return entries
+
+
+def _run_supergroups_engine(
+    oracle: Oracle,
+    engine: "QueryEngine",
+    super_groups: Sequence[SuperGroup],
+    pool: LabeledPool,
+    tau: int,
+    n: int,
+    remaining_view: np.ndarray,
+    attribute_supergroup_members: bool,
+) -> dict[Group, GroupEntry]:
+    """Phase 3, engine order: all super-group trees advance concurrently;
+    covered super-groups spawn their penalty re-runs mid-flight."""
+    runs: dict[SuperGroup, GroupCoverageResult] = {}
+    member_runs: dict[SuperGroup, dict[Group, GroupCoverageResult]] = {}
+    roles: dict[GroupCoverageStepper, tuple[SuperGroup, Group | None]] = {}
+
+    def make_stepper(predicate, tau_prime: int) -> GroupCoverageStepper:
+        return GroupCoverageStepper(
+            predicate,
+            max(tau_prime, 0),
+            n=n,
+            view=remaining_view,
+            speculation=engine.speculation,
+        )
+
+    roots: list[GroupCoverageStepper] = []
+    for super_group in super_groups:
+        if len(super_group) > 1:
+            # A "no" for the super-group over a range rules out every
+            # member on that range — the penalty re-runs cash this in.
+            engine.cache.register_implication(super_group, super_group.members)
+        labeled_credit = sum(pool.count(member) for member in super_group)
+        stepper = make_stepper(
+            super_group if len(super_group) > 1 else super_group.members[0],
+            tau - labeled_credit,
+        )
+        roles[stepper] = (super_group, None)
+        roots.append(stepper)
+
+    def on_complete(stepper):
+        super_group, member = roles[stepper]
+        run = stepper.result()
+        if member is None:
+            runs[super_group] = run
+            if len(super_group) > 1 and run.covered:
+                spawned = []
+                for sibling in super_group:
+                    sibling_stepper = make_stepper(
+                        sibling, tau - pool.count(sibling)
+                    )
+                    roles[sibling_stepper] = (super_group, sibling)
+                    spawned.append(sibling_stepper)
+                return spawned
+        else:
+            member_runs.setdefault(super_group, {})[member] = run
+        return None
+
+    engine.run(roots, on_complete=on_complete)
+
+    entries: dict[Group, GroupEntry] = {}
+    for super_group in super_groups:
+        run = runs[super_group]
+        if len(super_group) == 1:
+            _singleton_entry(entries, super_group, run, pool)
+        elif run.covered:
+            _covered_supergroup_entries(
+                entries, super_group, member_runs[super_group], pool
+            )
+        else:
+            _uncovered_supergroup_entries(
+                entries,
+                oracle,
+                super_group,
+                run,
+                pool,
+                attribute_members=attribute_supergroup_members,
+                batched=True,
+            )
+    return entries
 
 
 def multiple_coverage(
@@ -42,6 +262,7 @@ def multiple_coverage(
     dataset_size: int | None = None,
     multi: bool = False,
     attribute_supergroup_members: bool = False,
+    engine: "QueryEngine | None" = None,
 ) -> MultipleCoverageReport:
     """Run Algorithm 2.
 
@@ -72,6 +293,11 @@ def multiple_coverage(
         by Intersectional-Coverage, whose pattern roll-up needs exact leaf
         counts (DESIGN.md §4); costs at most ``tau - 1`` extra point
         queries per uncovered super-group.
+    engine:
+        A :class:`repro.engine.QueryEngine` bound to ``oracle``. When
+        given, all phases batch their queries and the super-group runs
+        execute concurrently with shared cached answers; verdicts and
+        counts match the sequential mode under a deterministic oracle.
 
     Returns
     -------
@@ -81,18 +307,22 @@ def multiple_coverage(
         raise InvalidParameterError(f"tau must be positive, got {tau}")
     if not groups:
         raise InvalidParameterError("multiple_coverage needs at least one group")
-    if view is None:
-        if dataset_size is None:
-            raise InvalidParameterError("provide either view or dataset_size")
-        view = np.arange(dataset_size, dtype=np.int64)
-    else:
-        view = np.asarray(view, dtype=np.int64)
+    view = resolve_view(view, dataset_size)
+    if engine is not None:
+        engine.ensure_executes_for(oracle)
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
+    engine_snapshot = engine.snapshot() if engine is not None else None
 
     # Phase 1: sampling. Labeled objects leave the unlabeled pool for good.
-    remaining_view, pool = label_samples(oracle, view, tau, c=c, rng=rng)
+    remaining_view, pool = label_samples(
+        oracle, view, tau, c=c, rng=rng, batched=engine is not None
+    )
 
     # Phase 2: super-group formation from the sampled estimates. N in the
     # expectation formula is the full (pre-sampling) search-space size, as
@@ -101,74 +331,29 @@ def multiple_coverage(
         pool, len(view), tau, list(groups), multi=multi
     )
 
-    # Phase 3: one Group-Coverage run per super-group, plus per-member
-    # re-runs when a genuine super-group comes back covered.
-    entries: dict[Group, GroupEntry] = {}
-    for super_group in super_groups:
-        labeled_credit = sum(pool.count(member) for member in super_group)
-        tau_prime = tau - labeled_credit
-        run = group_coverage(
-            oracle,
-            super_group if len(super_group) > 1 else super_group.members[0],
-            max(tau_prime, 0),
-            n=n,
-            view=remaining_view,
+    # Phase 3: the Group-Coverage runs.
+    if engine is None:
+        entries = _run_supergroups_sequential(
+            oracle, super_groups, pool, tau, n,
+            remaining_view, attribute_supergroup_members,
         )
-        if len(super_group) == 1:
-            member = super_group.members[0]
-            entries[member] = GroupEntry(
-                group=member,
-                covered=run.covered,
-                count=pool.count(member) + run.count,
-                count_is_exact=not run.covered,
-                via_supergroup=super_group,
-            )
-            continue
-        if run.covered:
-            # Penalty path: the merged minorities are jointly covered, so
-            # each member must be examined individually (sample credits
-            # still apply).
-            for member in super_group:
-                member_tau = tau - pool.count(member)
-                member_run = group_coverage(
-                    oracle, member, max(member_tau, 0), n=n, view=remaining_view
-                )
-                entries[member] = GroupEntry(
-                    group=member,
-                    covered=member_run.covered,
-                    count=pool.count(member) + member_run.count,
-                    count_is_exact=not member_run.covered,
-                    via_supergroup=super_group,
-                )
-        else:
-            member_counts = {member: pool.count(member) for member in super_group}
-            exact = False
-            if attribute_supergroup_members:
-                # Attribute every isolated member to its group with one
-                # point query each; counts become exact.
-                for index in run.discovered_indices:
-                    labels = oracle.ask_point(index)
-                    for member in super_group:
-                        if member.matches_row(labels):
-                            member_counts[member] += 1
-                            break
-                exact = True
-            for member in super_group:
-                entries[member] = GroupEntry(
-                    group=member,
-                    covered=False,
-                    count=member_counts[member],
-                    count_is_exact=exact,
-                    via_supergroup=super_group,
-                )
+    else:
+        entries = _run_supergroups_engine(
+            oracle, engine, super_groups, pool, tau, n,
+            remaining_view, attribute_supergroup_members,
+        )
 
     tasks = TaskUsage(
         ledger.n_set_queries - start_sets,
         ledger.n_point_queries - start_points,
+        ledger.n_rounds - start_rounds,
     )
     return MultipleCoverageReport(
         entries=tuple(entries[g] for g in groups),
         super_groups=super_groups,
         sampled_counts={g: pool.count(g) for g in groups},
         tasks=tasks,
+        engine_stats=(
+            engine.stats_since(engine_snapshot) if engine is not None else None
+        ),
     )

@@ -30,6 +30,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.views import resolve_view
 from repro.core.results import MultipleCoverageReport, TaskUsage
 from repro.core.tree import PrunableQueue, TreeNode
 from repro.crowd.oracle import Oracle
@@ -127,20 +128,22 @@ def find_members(
         raise InvalidParameterError(f"n must be >= 1, got {n}")
     if strategy not in ("auto", "search", "scan"):
         raise InvalidParameterError(f"unknown strategy {strategy!r}")
-    if view is None:
-        if pool_size is None:
-            raise InvalidParameterError("provide either view or pool_size")
-        view = np.arange(pool_size, dtype=np.int64)
-    else:
-        view = np.asarray(view, dtype=np.int64)
+    if view is None and pool_size is None:
+        raise InvalidParameterError("provide either view or pool_size")
+    view = resolve_view(view, pool_size)
 
     ledger = oracle.ledger
-    start_sets, start_points = ledger.n_set_queries, ledger.n_point_queries
+    start_sets, start_points, start_rounds = (
+        ledger.n_set_queries,
+        ledger.n_point_queries,
+        ledger.n_rounds,
+    )
 
     def usage() -> TaskUsage:
         return TaskUsage(
             ledger.n_set_queries - start_sets,
             ledger.n_point_queries - start_points,
+            ledger.n_rounds - start_rounds,
         )
 
     found: list[int] = []

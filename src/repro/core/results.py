@@ -8,11 +8,14 @@ the run, so nested algorithm calls attribute consistently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Literal, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Literal, Mapping
 
 from repro.data.groups import Group, GroupPredicate, SuperGroup
 from repro.patterns.combiner import PatternCoverageReport
+
+if TYPE_CHECKING:  # avoid a runtime core -> engine import cycle
+    from repro.engine.stats import EngineStats
 
 __all__ = [
     "TaskUsage",
@@ -26,10 +29,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TaskUsage:
-    """Tasks consumed by one algorithm run, by query type."""
+    """Tasks consumed by one algorithm run, by query type.
+
+    ``n_rounds`` counts oracle round-trips (one per single ask, one per
+    batch): the latency cost, as opposed to the paper's dollar cost of
+    ``total`` tasks. Sequential runs have ``n_rounds == total``; engine
+    runs strictly fewer.
+    """
 
     n_set_queries: int = 0
     n_point_queries: int = 0
+    n_rounds: int = 0
 
     @property
     def total(self) -> int:
@@ -39,6 +49,7 @@ class TaskUsage:
         return TaskUsage(
             self.n_set_queries + other.n_set_queries,
             self.n_point_queries + other.n_point_queries,
+            self.n_rounds + other.n_rounds,
         )
 
 
@@ -66,6 +77,9 @@ class GroupCoverageResult:
         (size-1 "yes" nodes). For uncovered groups this is every member in
         the searched view; for covered groups it is whatever had been
         isolated before early stop.
+    engine_stats:
+        Batching/caching statistics when the run went through a
+        :class:`repro.engine.QueryEngine`; ``None`` for sequential runs.
     """
 
     predicate: GroupPredicate
@@ -74,6 +88,7 @@ class GroupCoverageResult:
     tau: int
     tasks: TaskUsage
     discovered_indices: tuple[int, ...] = ()
+    engine_stats: "EngineStats | None" = None
 
     def describe(self) -> str:
         status = "covered" if self.covered else "UNCOVERED"
@@ -124,12 +139,16 @@ class MultipleCoverageReport:
         Per-group counts observed in the sampling phase.
     tasks:
         Total tasks including the sampling phase.
+    engine_stats:
+        Batching/caching statistics when run through a
+        :class:`repro.engine.QueryEngine`; ``None`` for sequential runs.
     """
 
     entries: tuple[GroupEntry, ...]
     super_groups: tuple[SuperGroup, ...]
     sampled_counts: Mapping[Group, int]
     tasks: TaskUsage
+    engine_stats: "EngineStats | None" = None
 
     def entry_for(self, group: Group) -> GroupEntry:
         for entry in self.entries:
@@ -158,6 +177,7 @@ class IntersectionalCoverageReport:
     leaf_report: MultipleCoverageReport
     pattern_report: PatternCoverageReport
     tasks: TaskUsage
+    engine_stats: "EngineStats | None" = None
 
     @property
     def mups(self):

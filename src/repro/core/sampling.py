@@ -66,6 +66,7 @@ def label_samples(
     c: float = 2.0,
     rng: np.random.Generator,
     pool: LabeledPool | None = None,
+    batched: bool = False,
 ) -> tuple[np.ndarray, LabeledPool]:
     """Label ``min(c·tau, |view|)`` random objects of ``view``.
 
@@ -76,6 +77,11 @@ def label_samples(
     ----------
     pool:
         An existing pool to extend; a fresh one is created when omitted.
+    batched:
+        Publish all point queries in one oracle round-trip
+        (:meth:`~repro.crowd.oracle.Oracle.ask_point_batch`) instead of
+        one at a time. Same tasks, same labels under a deterministic
+        oracle; engine-mode Multiple-Coverage sets this.
 
     >>> import numpy as np
     >>> from repro.crowd import GroundTruthOracle
@@ -98,9 +104,16 @@ def label_samples(
     if sample_size == 0:
         return view, pool
     chosen_positions = rng.choice(len(view), size=sample_size, replace=False)
-    for position in chosen_positions:
-        index = int(view[position])
-        pool.add(index, oracle.ask_point(index))
+    if batched:
+        chosen_indices = [int(view[position]) for position in chosen_positions]
+        for index, labels in zip(
+            chosen_indices, oracle.ask_point_batch(chosen_indices)
+        ):
+            pool.add(index, labels)
+    else:
+        for position in chosen_positions:
+            index = int(view[position])
+            pool.add(index, oracle.ask_point(index))
     keep = np.ones(len(view), dtype=bool)
     keep[chosen_positions] = False
     return view[keep], pool

@@ -113,6 +113,39 @@ class PrunableQueue:
             return node
         raise IndexError("pop from empty PrunableQueue")
 
+    def peek(self) -> TreeNode | None:
+        """The oldest live node without removing it, or ``None`` when
+        empty. Stale front entries are drained as a side effect (the
+        observable FIFO state is unchanged)."""
+        while self._items:
+            node = self._items[0]
+            stale = self._removed.get(id(node), 0)
+            if stale:
+                self._items.popleft()
+                if stale == 1:
+                    del self._removed[id(node)]
+                else:
+                    self._removed[id(node)] = stale - 1
+                continue
+            return node
+        return None
+
+    def __iter__(self):
+        """Yield the live nodes in FIFO order without consuming them.
+
+        When a node was removed and re-added, the *older* deque entry is
+        the stale one (``pop`` drains in the same order), so the first
+        occurrences are skipped until the stale count is used up.
+        """
+        seen_stale: dict[int, int] = {}
+        for node in self._items:
+            stale_total = self._removed.get(id(node), 0)
+            used = seen_stale.get(id(node), 0)
+            if used < stale_total:
+                seen_stale[id(node)] = used + 1
+                continue
+            yield node
+
     def remove(self, node: TreeNode) -> TreeNode:
         """Remove a specific enqueued node (the ``Q.del`` of Algorithm 1)
         and return it.

@@ -1,0 +1,46 @@
+"""Search-space ("view") resolution shared by the coverage entry points.
+
+Every algorithm takes either an explicit ``view`` (dataset indices to
+search, in physical order) or a ``dataset_size`` from which the full
+view is derived. Validation lives here once: negative indices always
+raise, and indices beyond ``dataset_size`` raise whenever the size is
+known — numpy's negative-index wraparound would otherwise silently
+answer questions about the wrong objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["resolve_view"]
+
+
+def resolve_view(view: np.ndarray | None, dataset_size: int | None) -> np.ndarray:
+    """Materialize and bounds-check the search space.
+
+    ``view`` entries must be valid dataset indices: non-negative always,
+    and ``< dataset_size`` whenever ``dataset_size`` is given alongside.
+    """
+    if view is None:
+        if dataset_size is None:
+            raise InvalidParameterError("provide either view or dataset_size")
+        if dataset_size < 0:
+            raise InvalidParameterError(
+                f"dataset_size must be >= 0, got {dataset_size}"
+            )
+        return np.arange(dataset_size, dtype=np.int64)
+    view = np.asarray(view, dtype=np.int64)
+    if view.size:
+        lowest, highest = int(view.min()), int(view.max())
+        if lowest < 0:
+            raise InvalidParameterError(
+                f"view contains negative dataset index {lowest}"
+            )
+        if dataset_size is not None and highest >= dataset_size:
+            raise InvalidParameterError(
+                f"view contains index {highest} out of range for "
+                f"dataset_size {dataset_size}"
+            )
+    return view

@@ -46,15 +46,25 @@ class TaskLedger:
     The paper's cost model is fixed-price, so *number of tasks* is the
     cost; algorithms snapshot the ledger before/after a run to report the
     tasks they consumed.
+
+    ``n_rounds`` additionally counts *oracle round-trips*: one per
+    single-query ask, and one per batch regardless of batch size. Tasks
+    are the dollar cost; rounds are the latency cost a real platform pays
+    per published batch of HITs.
     """
 
     n_set_queries: int = 0
     n_point_queries: int = 0
     budget: int | None = None
+    n_rounds: int = 0
 
     @property
     def total(self) -> int:
         return self.n_set_queries + self.n_point_queries
+
+    def note_round(self) -> None:
+        """Record one oracle round-trip (rounds are free; tasks cost)."""
+        self.n_rounds += 1
 
     def charge_set(self) -> None:
         self._check_budget()
@@ -63,6 +73,26 @@ class TaskLedger:
     def charge_point(self) -> None:
         self._check_budget()
         self.n_point_queries += 1
+
+    def charge_set_batch(self, n: int) -> None:
+        """Charge ``n`` set tasks atomically: either the whole batch fits
+        in the remaining budget or nothing is charged — the ledger never
+        bills queries whose answers were not produced."""
+        self._check_batch_budget(n)
+        self.n_set_queries += n
+
+    def charge_point_batch(self, n: int) -> None:
+        """Atomic batch variant of :meth:`charge_point`."""
+        self._check_batch_budget(n)
+        self.n_point_queries += n
+
+    def _check_batch_budget(self, n: int) -> None:
+        if self.budget is not None and self.total + n > self.budget:
+            raise BudgetExceededError(
+                f"task budget of {self.budget} cannot absorb a batch of {n} "
+                f"({self.n_set_queries} set + {self.n_point_queries} point "
+                f"queries already charged)"
+            )
 
     def _check_budget(self) -> None:
         if self.budget is not None and self.total >= self.budget:
@@ -87,15 +117,54 @@ class Oracle(ABC):
     # -- public API ------------------------------------------------------
     def ask_set(self, indices: Sequence[int] | np.ndarray, predicate: GroupPredicate) -> bool:
         """One set query: does ``indices`` contain >=1 object matching
-        ``predicate``? Charges one set task."""
-        self.ledger.charge_set()
+        ``predicate``? Charges one set task and one round-trip."""
+        self.ledger.charge_set()  # budget check first: a refused query is no round
+        self.ledger.note_round()
         return self._answer_set(np.asarray(indices, dtype=np.int64), predicate)
 
     def ask_point(self, index: int) -> dict[str, str]:
         """One point query: the attribute values of object ``index``.
-        Charges one point task."""
+        Charges one point task and one round-trip."""
         self.ledger.charge_point()
+        self.ledger.note_round()
         return self._answer_point(int(index))
+
+    def ask_set_batch(
+        self,
+        queries: Sequence[tuple[Sequence[int] | np.ndarray, GroupPredicate]],
+    ) -> list[bool]:
+        """Answer many set queries in one oracle round-trip.
+
+        Each query is still charged one set task (the fixed-price cost
+        model is unchanged); the batch costs a single round-trip, which is
+        what :mod:`repro.engine` minimises. Budget enforcement is atomic
+        per batch: a batch the remaining budget cannot absorb raises
+        ``BudgetExceededError`` before anything is charged or answered,
+        so the ledger never pays for answers the caller did not receive.
+        """
+        if not queries:
+            return []
+        prepared = [
+            (np.asarray(indices, dtype=np.int64), predicate)
+            for indices, predicate in queries
+        ]
+        self.ledger.charge_set_batch(len(prepared))
+        self.ledger.note_round()
+        return [bool(answer) for answer in self._answer_set_batch(prepared)]
+
+    def ask_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
+        """Answer many point queries in one oracle round-trip.
+
+        Per-query task charging with atomic budget enforcement, single
+        round-trip — the point-query analogue of :meth:`ask_set_batch`
+        (used to batch the sampling phase of Multiple-Coverage).
+        """
+        if not indices:
+            return []
+        prepared = [int(index) for index in indices]
+        self.ledger.charge_point_batch(len(prepared))
+        self.ledger.note_round()
+        return self._answer_point_batch(prepared)
 
     def ask_point_membership(self, index: int, predicate: GroupPredicate) -> bool:
         """Point query phrased as membership ("is this image a female?").
@@ -112,6 +181,16 @@ class Oracle(ABC):
     @abstractmethod
     def _answer_point(self, index: int) -> dict[str, str]: ...
 
+    def _answer_set_batch(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
+    ) -> list[bool]:
+        """Default batch path: answer one by one. Subclasses with a
+        vectorizable backend override this."""
+        return [self._answer_set(indices, predicate) for indices, predicate in queries]
+
+    def _answer_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
+        return [self._answer_point(index) for index in indices]
+
 
 class GroundTruthOracle(Oracle):
     """Noise-free oracle answering from the dataset's hidden labels."""
@@ -122,6 +201,33 @@ class GroundTruthOracle(Oracle):
 
     def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
         return bool(self.dataset.mask(predicate)[indices].any())
+
+    def _answer_set_batch(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
+    ) -> list[bool]:
+        # Vectorized fast path: one mask fetch per distinct predicate,
+        # then a single gather + segmented any() over the concatenated
+        # index arrays of that predicate's queries.
+        answers = [False] * len(queries)
+        by_predicate: dict[GroupPredicate, list[int]] = {}
+        for position, (_, predicate) in enumerate(queries):
+            by_predicate.setdefault(predicate, []).append(position)
+        for predicate, positions in by_predicate.items():
+            mask = self.dataset.mask(predicate)
+            arrays = [queries[position][0] for position in positions]
+            lengths = np.array([len(a) for a in arrays])
+            nonempty = lengths > 0
+            if not nonempty.any():
+                continue
+            hits = mask[np.concatenate([a for a in arrays if len(a)])]
+            bounds = np.zeros(int(nonempty.sum()), dtype=np.int64)
+            np.cumsum(lengths[nonempty][:-1], out=bounds[1:])
+            segment_any = np.logical_or.reduceat(hits, bounds)
+            for position, answer in zip(
+                (p for p, keep in zip(positions, nonempty) if keep), segment_any
+            ):
+                answers[position] = bool(answer)
+        return answers
 
     def _answer_point(self, index: int) -> dict[str, str]:
         return self.dataset.value_row(index)
@@ -173,6 +279,16 @@ class FlakyOracle(Oracle):
         if self.rng.random() < self.set_error_rate:
             return not truth
         return truth
+
+    def _answer_set_batch(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
+    ) -> list[bool]:
+        truths = [
+            bool(self.dataset.mask(predicate)[indices].any())
+            for indices, predicate in queries
+        ]
+        flips = self.rng.random(len(queries)) < self.set_error_rate
+        return [truth != bool(flip) for truth, flip in zip(truths, flips)]
 
     def _answer_point(self, index: int) -> dict[str, str]:
         truth = self.dataset.value_row(index)

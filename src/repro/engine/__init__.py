@@ -1,0 +1,20 @@
+"""Batched query execution: scheduler, answer cache, request types.
+
+See ``docs/architecture.md`` for the algorithm -> engine -> oracle
+layering and :class:`QueryEngine` for the scheduling loop.
+"""
+
+from repro.engine.cache import AnswerCache
+from repro.engine.requests import QueryKey, SetRequest, set_query_key
+from repro.engine.scheduler import CoverageStepper, QueryEngine
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "AnswerCache",
+    "CoverageStepper",
+    "EngineStats",
+    "QueryEngine",
+    "QueryKey",
+    "SetRequest",
+    "set_query_key",
+]

@@ -1,0 +1,44 @@
+"""The unit of work the engine schedules: one pending set query.
+
+A request is keyed by *(predicate, exact index content)* so that two runs
+asking the same question about the same objects — whatever view slice the
+indices came from — collide in the answer cache and in the in-flight
+dedup table.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.groups import GroupPredicate
+
+__all__ = ["QueryKey", "SetRequest", "set_query_key"]
+
+#: Cache/dedup key of a set query. Predicates are immutable, hashable
+#: value objects (see :mod:`repro.data.groups`); the second component is
+#: the raw little-endian int64 bytes of the index array.
+QueryKey = Tuple[GroupPredicate, bytes]
+
+
+def set_query_key(indices: np.ndarray, predicate: GroupPredicate) -> QueryKey:
+    """The :data:`QueryKey` of a set query over ``indices``."""
+    return (predicate, np.ascontiguousarray(indices, dtype=np.int64).tobytes())
+
+
+class SetRequest:
+    """A ready set query emitted by a stepper, awaiting an answer."""
+
+    __slots__ = ("indices", "predicate", "key")
+
+    def __init__(self, indices: np.ndarray, predicate: GroupPredicate) -> None:
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.predicate = predicate
+        self.key: QueryKey = set_query_key(self.indices, predicate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return (
+            f"SetRequest({len(self.indices)} objects, "
+            f"{self.predicate.describe()!r})"
+        )

@@ -1,0 +1,264 @@
+"""The query-execution engine: batched, deduplicated oracle dispatch.
+
+Sits between the coverage algorithms (:mod:`repro.core`) and the
+:class:`~repro.crowd.oracle.Oracle`. Algorithms are rewritten as
+*steppers* — resumable state machines that emit the set queries they are
+ready for and consume answers — and the engine drives any number of them
+concurrently:
+
+1. **collect** every ready request from every active stepper,
+2. **dedup** them through the shared :class:`~repro.engine.cache.AnswerCache`
+   and an in-flight table (two runs asking the same question pay once),
+3. **dispatch** the remainder to the oracle in batches
+   (``Oracle.ask_set_batch`` — one round-trip per batch, with vectorized
+   answering on simulated/classifier-style oracles),
+4. **feed** the answers back and let each stepper advance as far as its
+   dependencies allow.
+
+The per-query task cost is unchanged (the paper's dollar cost model);
+what the engine minimises is *round-trips* — the latency bottleneck of
+real crowd platforms, which publish HITs in batches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, Sequence
+
+from repro.engine.cache import AnswerCache
+from repro.engine.requests import QueryKey, SetRequest
+from repro.engine.stats import EngineStats
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.crowd.oracle import Oracle
+
+__all__ = ["CoverageStepper", "QueryEngine"]
+
+
+def _answer_source(oracle: "Oracle") -> object:
+    """The object an oracle's answers derive from, for cache binding:
+    its dataset when it exposes one (directly or via a platform), else
+    the oracle itself."""
+    dataset = getattr(oracle, "dataset", None)
+    if dataset is None:
+        dataset = getattr(getattr(oracle, "platform", None), "dataset", None)
+    return dataset if dataset is not None else oracle
+
+#: ``on_complete`` callback: receives a finished stepper, may return new
+#: steppers to schedule (e.g. Multiple-Coverage's per-member re-runs when
+#: a super-group comes back covered).
+CompletionHook = Callable[["CoverageStepper"], "Iterable[CoverageStepper] | None"]
+
+
+class CoverageStepper(Protocol):
+    """A resumable coverage run the engine can drive.
+
+    The contract a stepper must honour:
+
+    * ``pending()`` returns every query whose dispatch does **not** depend
+      on an unanswered query, excluding queries already emitted and still
+      awaiting their answer. It must be non-empty while ``done`` is false
+      and no emitted request is outstanding — the engine answers every
+      emitted request each round, so it treats an undone stepper with no
+      pending work as stalled.
+    * ``feed`` accepts answers for any subset of previously pending
+      requests, keyed by :data:`~repro.engine.requests.QueryKey`, and
+      advances the run as far as the new answers allow.
+    """
+
+    @property
+    def done(self) -> bool: ...
+
+    def pending(self) -> Sequence[SetRequest]: ...
+
+    def feed(self, answers: Mapping[QueryKey, bool]) -> None: ...
+
+
+class QueryEngine:
+    """Schedules set queries from concurrent coverage runs onto one oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The answer source; every dispatched query is charged to its
+        ledger exactly as in sequential mode.
+    batch_size:
+        Maximum queries per oracle round-trip (HITs per published batch).
+    speculation:
+        Per-run look-ahead budget: how many queries beyond its
+        certification deficit each coverage run may keep in flight.
+        Defaults to ``batch_size``. Higher values buy fewer round-trips
+        on sparse groups at the price of up to ``speculation`` wasted
+        tasks per run that stops early (covered); ``0`` never wastes a
+        task but serializes small-deficit runs.
+    cache:
+        A shared :class:`AnswerCache`; a fresh one is created when
+        omitted. Passing the same cache to several engines (or reusing
+        one engine across audits) carries answers across runs.
+
+    Notes
+    -----
+    Batching is *speculative* around early stops: when a run reaches its
+    threshold mid-round, in-flight queries past the stopping point are
+    wasted (bounded by ``speculation`` per run). Verdicts and counts are
+    unaffected — answers are applied in the exact order the sequential
+    algorithm would have asked them.
+    """
+
+    def __init__(
+        self,
+        oracle: "Oracle",
+        *,
+        batch_size: int = 32,
+        speculation: int | None = None,
+        cache: AnswerCache | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if speculation is not None and speculation < 0:
+            raise InvalidParameterError(
+                f"speculation must be >= 0, got {speculation}"
+            )
+        self.oracle = oracle
+        self.batch_size = batch_size
+        self.speculation = batch_size if speculation is None else speculation
+        self.cache = cache if cache is not None else AnswerCache()
+        self.cache.bind(_answer_source(oracle))
+        self.scheduler_rounds = 0
+        self.oracle_round_trips = 0
+        self.dispatched_queries = 0
+        self.deduped_queries = 0
+
+    def ensure_executes_for(self, oracle: "Oracle") -> None:
+        """Raise unless this engine dispatches to ``oracle`` — algorithms
+        call this so a mismatched engine cannot silently charge one
+        ledger while the algorithm snapshots another."""
+        if self.oracle is not oracle:
+            raise InvalidParameterError(
+                "engine must be constructed over the same oracle it executes for"
+            )
+
+    # -- statistics ------------------------------------------------------
+    def snapshot(self) -> EngineStats:
+        """Counters now; pair with :meth:`stats_since` to attribute engine
+        work to one algorithm run. All counters are the engine's own —
+        round-trips other users of the same oracle pay (including an
+        algorithm's direct point-query batches) are *not* included."""
+        return EngineStats(
+            scheduler_rounds=self.scheduler_rounds,
+            oracle_round_trips=self.oracle_round_trips,
+            dispatched_queries=self.dispatched_queries,
+            deduped_queries=self.deduped_queries,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+        )
+
+    def stats_since(self, snapshot: EngineStats) -> EngineStats:
+        return self.snapshot() - snapshot
+
+    @property
+    def stats(self) -> EngineStats:
+        """Lifetime statistics of this engine."""
+        return self.snapshot()
+
+    # -- scheduling ------------------------------------------------------
+    def run(
+        self,
+        steppers: Iterable[CoverageStepper],
+        *,
+        on_complete: CompletionHook | None = None,
+    ) -> None:
+        """Drive ``steppers`` (plus any their completions spawn) to done.
+
+        Each scheduler round collects ready queries across all active
+        runs, answers them via cache/dedup/batched dispatch, and feeds
+        the results back. Completion order is deterministic: steppers are
+        polled in submission order.
+        """
+        active: list[CoverageStepper] = []
+
+        def admit(stepper: CoverageStepper) -> None:
+            # A stepper can be born done (tau=0, empty view): complete it
+            # immediately so its spawn chain still runs.
+            if stepper.done:
+                self._complete(stepper, on_complete, admit)
+            else:
+                active.append(stepper)
+
+        for stepper in steppers:
+            admit(stepper)
+
+        while active:
+            self.scheduler_rounds += 1
+            per_stepper: list[tuple[CoverageStepper, list[SetRequest]]] = []
+            for stepper in active:
+                requests = list(stepper.pending())
+                if not requests:
+                    raise RuntimeError(
+                        "stepper is not done but has no pending queries — "
+                        "its dependency tracking is broken"
+                    )
+                per_stepper.append((stepper, requests))
+
+            answers = self._resolve(
+                [request for _, requests in per_stepper for request in requests]
+            )
+
+            still_active: list[CoverageStepper] = []
+            for stepper, requests in per_stepper:
+                stepper.feed(
+                    {request.key: answers[request.key] for request in requests}
+                )
+                if stepper.done:
+                    self._complete(stepper, on_complete, admit)
+                else:
+                    still_active.append(stepper)
+            # Freshly spawned steppers were appended to `active` by admit;
+            # keep them for the next round alongside the survivors.
+            spawned = active[len(per_stepper):]
+            active = still_active + spawned
+
+    def drive(self, stepper: CoverageStepper) -> None:
+        """Convenience wrapper: run a single stepper to completion."""
+        self.run([stepper])
+
+    # -- internals -------------------------------------------------------
+    def _complete(
+        self,
+        stepper: CoverageStepper,
+        on_complete: CompletionHook | None,
+        admit: Callable[[CoverageStepper], None],
+    ) -> None:
+        if on_complete is None:
+            return
+        for spawned in on_complete(stepper) or ():
+            admit(spawned)
+
+    def _resolve(self, requests: Sequence[SetRequest]) -> dict[QueryKey, bool]:
+        """Answer every request via cache, in-flight dedup, or dispatch."""
+        answers: dict[QueryKey, bool] = {}
+        to_dispatch: dict[QueryKey, SetRequest] = {}
+        for request in requests:
+            if request.key in answers or request.key in to_dispatch:
+                self.deduped_queries += 1
+                continue
+            cached = self.cache.lookup(request.key)
+            if cached is None:
+                to_dispatch[request.key] = request
+            else:
+                answers[request.key] = cached
+
+        fresh = list(to_dispatch.values())
+        for start in range(0, len(fresh), self.batch_size):
+            chunk = fresh[start : start + self.batch_size]
+            batch_answers = self.oracle.ask_set_batch(
+                [(request.indices, request.predicate) for request in chunk]
+            )
+            self.oracle_round_trips += 1
+            for request, answer in zip(chunk, batch_answers):
+                self.cache.store(request.key, answer)
+                answers[request.key] = answer
+        self.dispatched_queries += len(fresh)
+        return answers

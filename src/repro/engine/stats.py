@@ -1,0 +1,73 @@
+"""Execution statistics for the batched query engine.
+
+Separated from the scheduler so that :mod:`repro.core.results` can type
+against :class:`EngineStats` without importing the engine machinery (and
+without creating a core <-> engine import cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """What the engine did on behalf of one (or several) coverage runs.
+
+    Attributes
+    ----------
+    scheduler_rounds:
+        Iterations of the collect -> dedup -> dispatch -> feed loop.
+    oracle_round_trips:
+        Batches this engine dispatched to the oracle — one round-trip
+        each. This is the latency measure the engine minimises. (The
+        algorithm-wide round-trip total, including any point-query
+        batches issued outside the engine, is ``TaskUsage.n_rounds``.)
+    dispatched_queries:
+        Set queries sent to the oracle (after cache and in-flight dedup).
+    deduped_queries:
+        Requests answered by an identical query already in flight in the
+        same scheduler round (cross-run sharing).
+    cache_hits / cache_misses:
+        Answer-cache accounting over the same window.
+    """
+
+    scheduler_rounds: int = 0
+    oracle_round_trips: int = 0
+    dispatched_queries: int = 0
+    deduped_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __add__(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            self.scheduler_rounds + other.scheduler_rounds,
+            self.oracle_round_trips + other.oracle_round_trips,
+            self.dispatched_queries + other.dispatched_queries,
+            self.deduped_queries + other.deduped_queries,
+            self.cache_hits + other.cache_hits,
+            self.cache_misses + other.cache_misses,
+        )
+
+    def __sub__(self, other: "EngineStats") -> "EngineStats":
+        """Counter delta — used to attribute a window of engine work
+        (``engine.snapshot()`` before, subtract after) to one run."""
+        return EngineStats(
+            self.scheduler_rounds - other.scheduler_rounds,
+            self.oracle_round_trips - other.oracle_round_trips,
+            self.dispatched_queries - other.dispatched_queries,
+            self.deduped_queries - other.deduped_queries,
+            self.cache_hits - other.cache_hits,
+            self.cache_misses - other.cache_misses,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"engine: {self.dispatched_queries} queries in "
+            f"{self.oracle_round_trips} round-trips "
+            f"({self.scheduler_rounds} scheduler rounds, "
+            f"{self.deduped_queries} deduped, "
+            f"{self.cache_hits} cache hits / {self.cache_misses} misses)"
+        )

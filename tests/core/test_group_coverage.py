@@ -108,6 +108,29 @@ class TestEdgeCases:
         with pytest.raises(InvalidParameterError):
             group_coverage(oracle, FEMALE, 5, n=5)  # neither view nor size
 
+    def test_negative_view_index_rejected(self, rng):
+        dataset = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            group_coverage(oracle, FEMALE, 5, view=np.array([0, -1, 2]))
+
+    def test_view_index_beyond_dataset_size_rejected(self, rng):
+        dataset = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            group_coverage(
+                oracle, FEMALE, 5, view=np.array([0, 5, 10]), dataset_size=10
+            )
+        # Without dataset_size the upper bound is unknowable and unchecked.
+        result = group_coverage(oracle, FEMALE, 1, view=np.array([0, 5, 9]))
+        assert result.tau == 1
+
+    def test_negative_dataset_size_rejected(self, rng):
+        dataset = binary_dataset(10, 2, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            group_coverage(oracle, FEMALE, 5, dataset_size=-1)
+
 
 class TestTaskAccounting:
     def test_tasks_counted_via_ledger(self, rng):

@@ -96,3 +96,42 @@ class TestPrunableQueue:
         queue.pop()
         queue.add(node)  # the sibling-replacement flow re-processes nodes
         assert queue.pop() is node
+
+    def test_peek_returns_front_without_consuming(self):
+        queue = PrunableQueue()
+        first, second = TreeNode(0, 1), TreeNode(2, 3)
+        queue.add(first)
+        queue.add(second)
+        assert queue.peek() is first
+        assert len(queue) == 2
+        assert queue.pop() is first
+
+    def test_peek_skips_removed_front(self):
+        queue = PrunableQueue()
+        first, second = TreeNode(0, 1), TreeNode(2, 3)
+        queue.add(first)
+        queue.add(second)
+        queue.remove(first)
+        assert queue.peek() is second
+
+    def test_peek_empty_returns_none(self):
+        assert PrunableQueue().peek() is None
+
+    def test_iteration_yields_live_nodes_in_fifo_order(self):
+        queue = PrunableQueue()
+        nodes = [TreeNode(i, i) for i in range(5)]
+        for node in nodes:
+            queue.add(node)
+        queue.remove(nodes[1])
+        queue.remove(nodes[3])
+        assert list(queue) == [nodes[0], nodes[2], nodes[4]]
+        assert len(queue) == 3  # iteration does not consume
+
+    def test_iteration_after_remove_and_readd_skips_the_stale_entry(self):
+        queue = PrunableQueue()
+        first, second = TreeNode(0, 0), TreeNode(1, 1)
+        queue.add(first)
+        queue.add(second)
+        queue.remove(first)
+        queue.add(first)  # older deque entry for `first` is now stale
+        assert list(queue) == [second, first]

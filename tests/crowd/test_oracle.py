@@ -40,6 +40,74 @@ class TestTaskLedger:
         with pytest.raises(BudgetExceededError):
             ledger.charge_set()
 
+    def test_round_counting(self):
+        ledger = TaskLedger()
+        ledger.note_round()
+        ledger.charge_set_batch(5)
+        assert (ledger.n_rounds, ledger.n_set_queries) == (1, 5)
+
+    def test_batch_budget_is_atomic(self):
+        ledger = TaskLedger(budget=10)
+        ledger.charge_set_batch(5)
+        with pytest.raises(BudgetExceededError):
+            ledger.charge_set_batch(7)
+        # The refused batch charged nothing.
+        assert ledger.n_set_queries == 5
+        ledger.charge_point_batch(5)  # exactly exhausts the budget
+        assert ledger.total == 10
+
+
+class TestBatchQueries:
+    def test_set_batch_matches_single_asks(self, dataset, rng):
+        batched = GroundTruthOracle(dataset)
+        single = GroundTruthOracle(dataset)
+        queries = [
+            (rng.choice(len(dataset), size=int(rng.integers(1, 8)), replace=False), FEMALE)
+            for _ in range(20)
+        ]
+        queries.append((np.arange(len(dataset)), group(gender="male")))
+        answers = batched.ask_set_batch(queries)
+        assert answers == [single.ask_set(i, p) for i, p in queries]
+
+    def test_batch_charges_per_query_but_one_round(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        oracle.ask_set_batch([(np.arange(5), FEMALE)] * 7)
+        assert oracle.ledger.n_set_queries == 7
+        assert oracle.ledger.n_rounds == 1
+
+    def test_point_batch_matches_single_asks(self, dataset):
+        batched = GroundTruthOracle(dataset)
+        single = GroundTruthOracle(dataset)
+        indices = [0, 3, 17, 49]
+        assert batched.ask_point_batch(indices) == [
+            single.ask_point(i) for i in indices
+        ]
+        assert batched.ledger.n_point_queries == 4
+        assert batched.ledger.n_rounds == 1
+
+    def test_empty_batches_are_free(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        assert oracle.ask_set_batch([]) == []
+        assert oracle.ask_point_batch([]) == []
+        assert oracle.ledger.total == 0
+        assert oracle.ledger.n_rounds == 0
+
+    def test_unaffordable_batch_charges_nothing(self, dataset):
+        oracle = GroundTruthOracle(dataset, budget=3)
+        with pytest.raises(BudgetExceededError):
+            oracle.ask_set_batch([(np.arange(5), FEMALE)] * 4)
+        assert oracle.ledger.total == 0
+
+    def test_flaky_batch_error_rate(self, dataset):
+        oracle = FlakyOracle(
+            dataset, np.random.default_rng(0), set_error_rate=1.0
+        )
+        truth = GroundTruthOracle(dataset)
+        queries = [(np.arange(10), FEMALE), (np.arange(10, 20), FEMALE)]
+        flipped = oracle.ask_set_batch(queries)
+        straight = truth.ask_set_batch(queries)
+        assert flipped == [not answer for answer in straight]
+
 
 class TestGroundTruthOracle:
     def test_set_answers_match_ground_truth(self, dataset):

@@ -1,0 +1,97 @@
+"""Unit tests for the range-keyed answer cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.groups import SuperGroup, group
+from repro.engine import AnswerCache, set_query_key
+
+FEMALE = group(gender="female")
+MALE = group(gender="male")
+
+
+def key(indices, predicate=FEMALE):
+    return set_query_key(np.asarray(indices, dtype=np.int64), predicate)
+
+
+class TestHitMissAccounting:
+    def test_miss_then_hit(self):
+        cache = AnswerCache()
+        assert cache.lookup(key([1, 2, 3])) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.store(key([1, 2, 3]), True)
+        assert cache.lookup(key([1, 2, 3])) is True
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_false_answers_are_hits_not_misses(self):
+        cache = AnswerCache()
+        cache.store(key([7]), False)
+        assert cache.lookup(key([7])) is False
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_same_indices_different_predicate_do_not_collide(self):
+        cache = AnswerCache()
+        cache.store(key([1, 2], FEMALE), True)
+        assert cache.lookup(key([1, 2], MALE)) is None
+
+    def test_same_content_different_container_collides(self):
+        cache = AnswerCache()
+        cache.store(key(np.arange(5)), True)
+        assert cache.lookup(key([0, 1, 2, 3, 4])) is True
+
+    def test_hit_rate_empty(self):
+        assert AnswerCache().hit_rate == 0.0
+
+    def test_len_and_contains(self):
+        cache = AnswerCache()
+        cache.store(key([1]), True)
+        assert len(cache) == 1
+        assert key([1]) in cache
+        assert key([2]) not in cache
+
+    def test_clear_keeps_counters_and_implications(self):
+        cache = AnswerCache()
+        cache.store(key([1]), True)
+        cache.lookup(key([1]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestImplications:
+    def test_negative_supergroup_answer_implies_member_answers(self):
+        a, b = group(race="a"), group(race="b")
+        sg = SuperGroup([a, b])
+        cache = AnswerCache()
+        cache.register_implication(sg, sg.members)
+        cache.store(key([3, 4, 5], sg), False)
+        assert cache.lookup(key([3, 4, 5], a)) is False
+        assert cache.lookup(key([3, 4, 5], b)) is False
+
+    def test_positive_supergroup_answer_implies_nothing(self):
+        a, b = group(race="a"), group(race="b")
+        sg = SuperGroup([a, b])
+        cache = AnswerCache()
+        cache.register_implication(sg, sg.members)
+        cache.store(key([3, 4, 5], sg), True)
+        assert cache.lookup(key([3, 4, 5], a)) is None
+        assert cache.lookup(key([3, 4, 5], b)) is None
+
+    def test_implied_answer_never_overwrites_direct_answer(self):
+        a, b = group(race="a"), group(race="b")
+        sg = SuperGroup([a, b])
+        cache = AnswerCache()
+        cache.register_implication(sg, sg.members)
+        cache.store(key([1], a), True)
+        cache.store(key([1], sg), False)  # contradictory (noisy oracle)
+        assert cache.lookup(key([1], a)) is True
+
+    def test_implication_only_applies_to_the_same_range(self):
+        a, b = group(race="a"), group(race="b")
+        sg = SuperGroup([a, b])
+        cache = AnswerCache()
+        cache.register_implication(sg, sg.members)
+        cache.store(key([1, 2], sg), False)
+        assert cache.lookup(key([1, 2, 3], a)) is None

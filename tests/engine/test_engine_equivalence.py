@@ -1,0 +1,178 @@
+"""Sequential vs. engine-mode equivalence on randomized datasets.
+
+The engine batches and caches but must not change what the algorithms
+conclude: same ``covered`` verdict, same ``cnt``, same isolated members
+under a deterministic oracle (answers are applied in the sequential FIFO
+order regardless of batching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.group_coverage import group_coverage
+from repro.core.intersectional_coverage import intersectional_coverage
+from repro.core.multiple_coverage import multiple_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.synthetic import binary_dataset, intersectional_dataset, single_attribute_dataset
+from repro.engine import QueryEngine
+
+FEMALE = group(gender="female")
+
+
+class TestGroupCoverageEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("tau", [1, 20, 75])
+    def test_randomized_verdict_count_and_members(self, seed, tau):
+        rng = np.random.default_rng(seed)
+        dataset = binary_dataset(1500, int(rng.integers(0, 120)), rng=rng)
+        sequential_oracle = GroundTruthOracle(dataset)
+        sequential = group_coverage(
+            sequential_oracle, FEMALE, tau, n=23, dataset_size=len(dataset)
+        )
+        engine_oracle = GroundTruthOracle(dataset)
+        batched = group_coverage(
+            engine_oracle, FEMALE, tau, n=23, dataset_size=len(dataset),
+            engine=QueryEngine(engine_oracle, batch_size=16),
+        )
+        assert batched.covered == sequential.covered
+        assert batched.count == sequential.count
+        assert batched.discovered_indices == sequential.discovered_indices
+        # A covered run may speculate up to one batch past the stop (e.g.
+        # tau=1 satisfied by the very first query), costing at most one
+        # extra round-trip; uncovered runs never exceed sequential.
+        assert batched.tasks.n_rounds <= sequential.tasks.n_rounds + 1
+        assert (
+            batched.tasks.n_set_queries
+            <= sequential.tasks.n_set_queries + 16  # the engine's batch_size
+        )
+        if not sequential.covered:
+            # No early stop, so no speculation waste: identical task bill.
+            assert batched.tasks.n_set_queries == sequential.tasks.n_set_queries
+            assert batched.tasks.n_rounds <= sequential.tasks.n_rounds
+
+    def test_engine_run_attaches_stats(self):
+        dataset = binary_dataset(500, 10, rng=np.random.default_rng(0))
+        oracle = GroundTruthOracle(dataset)
+        result = group_coverage(
+            oracle, FEMALE, 20, dataset_size=len(dataset),
+            engine=QueryEngine(oracle),
+        )
+        assert result.engine_stats is not None
+        assert result.engine_stats.dispatched_queries == result.tasks.n_set_queries
+        sequential = group_coverage(
+            GroundTruthOracle(dataset), FEMALE, 20, dataset_size=len(dataset)
+        )
+        assert sequential.engine_stats is None
+
+
+class TestMultipleCoverageEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_entries_match(self, seed):
+        rng = np.random.default_rng(seed)
+        counts = {f"v{i}": int(rng.integers(1, 250)) for i in range(5)}
+        dataset = single_attribute_dataset(counts, rng=rng)
+        groups = [group(race=value) for value in counts]
+        sequential = multiple_coverage(
+            GroundTruthOracle(dataset), groups, 40, n=30,
+            rng=np.random.default_rng(seed + 1000), dataset_size=len(dataset),
+        )
+        engine_oracle = GroundTruthOracle(dataset)
+        batched = multiple_coverage(
+            engine_oracle, groups, 40, n=30,
+            rng=np.random.default_rng(seed + 1000), dataset_size=len(dataset),
+            engine=QueryEngine(engine_oracle, batch_size=16),
+        )
+        for ours, theirs in zip(batched.entries, sequential.entries):
+            assert ours.group == theirs.group
+            assert ours.covered == theirs.covered
+            assert ours.count == theirs.count
+            assert ours.count_is_exact == theirs.count_is_exact
+        assert batched.super_groups == sequential.super_groups
+        assert batched.tasks.n_rounds < sequential.tasks.n_rounds
+        # Task overhead is bounded by one speculation budget per
+        # Group-Coverage run (at most one run per group plus one per
+        # penalty-path member).
+        assert batched.tasks.total <= sequential.tasks.total + 2 * len(groups) * 16
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_zero_speculation_never_costs_extra_tasks(self, seed):
+        rng = np.random.default_rng(seed)
+        counts = {f"v{i}": int(rng.integers(1, 250)) for i in range(5)}
+        dataset = single_attribute_dataset(counts, rng=rng)
+        groups = [group(race=value) for value in counts]
+        sequential = multiple_coverage(
+            GroundTruthOracle(dataset), groups, 40, n=30,
+            rng=np.random.default_rng(seed + 1000), dataset_size=len(dataset),
+        )
+        engine_oracle = GroundTruthOracle(dataset)
+        batched = multiple_coverage(
+            engine_oracle, groups, 40, n=30,
+            rng=np.random.default_rng(seed + 1000), dataset_size=len(dataset),
+            engine=QueryEngine(engine_oracle, batch_size=16, speculation=0),
+        )
+        for ours, theirs in zip(batched.entries, sequential.entries):
+            assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+        assert batched.tasks.total <= sequential.tasks.total
+        assert batched.tasks.n_rounds < sequential.tasks.n_rounds
+
+    def test_penalty_path_reuses_supergroup_pruning(self):
+        # Six groups of 100 in a 20k dataset with tau=40: the sampled
+        # estimates merge them, the merged super-group is covered, and the
+        # per-member penalty re-runs hit the implied-negative cache.
+        counts = {"maj": 20000 - 600, **{f"m{i}": 100 for i in range(6)}}
+        dataset = single_attribute_dataset(counts, rng=np.random.default_rng(0))
+        groups = [group(race=value) for value in counts]
+        sequential = multiple_coverage(
+            GroundTruthOracle(dataset), groups, 40,
+            rng=np.random.default_rng(9), dataset_size=len(dataset),
+        )
+        engine_oracle = GroundTruthOracle(dataset)
+        # speculation=0 isolates the cache effect: any task saving below
+        # comes purely from implied-negative replay, not batching luck.
+        engine = QueryEngine(engine_oracle, batch_size=32, speculation=0)
+        batched = multiple_coverage(
+            engine_oracle, groups, 40,
+            rng=np.random.default_rng(9), dataset_size=len(dataset),
+            engine=engine,
+        )
+        assert any(len(sg) > 1 for sg in batched.super_groups)
+        for ours, theirs in zip(batched.entries, sequential.entries):
+            assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+        assert batched.engine_stats.cache_hits > 0
+        assert batched.tasks.total < sequential.tasks.total
+
+
+class TestIntersectionalCoverageEquivalence:
+    def test_same_mups_and_leaf_verdicts(self):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {("male", "white"): 500, ("female", "white"): 120,
+             ("male", "black"): 80, ("female", "black"): 4},
+            rng=np.random.default_rng(5),
+        )
+        sequential = intersectional_coverage(
+            GroundTruthOracle(dataset), schema, 50,
+            rng=np.random.default_rng(6), dataset_size=len(dataset),
+        )
+        engine_oracle = GroundTruthOracle(dataset)
+        batched = intersectional_coverage(
+            engine_oracle, schema, 50,
+            rng=np.random.default_rng(6), dataset_size=len(dataset),
+            engine=QueryEngine(engine_oracle, batch_size=16),
+        )
+        assert [m.describe() for m in batched.mups] == [
+            m.describe() for m in sequential.mups
+        ]
+        for ours, theirs in zip(
+            batched.leaf_report.entries, sequential.leaf_report.entries
+        ):
+            assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+        assert batched.tasks.n_rounds < sequential.tasks.n_rounds
+        assert batched.engine_stats is not None

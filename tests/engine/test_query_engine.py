@@ -1,0 +1,240 @@
+"""Unit tests for the batched query-execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.group_coverage import GroupCoverageStepper, group_coverage
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.engine import AnswerCache, QueryEngine
+from repro.errors import InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return binary_dataset(2000, 30, rng=np.random.default_rng(7))
+
+
+def fresh_engine(dataset, **kwargs):
+    oracle = GroundTruthOracle(dataset)
+    return oracle, QueryEngine(oracle, **kwargs)
+
+
+def make_stepper(dataset, tau=50, n=50):
+    return GroupCoverageStepper(
+        FEMALE, tau, n=n, view=np.arange(len(dataset), dtype=np.int64)
+    )
+
+
+class TestConstruction:
+    def test_batch_size_must_be_positive(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(oracle, batch_size=0)
+
+    def test_engine_must_wrap_the_same_oracle(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        other = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError):
+            group_coverage(
+                oracle, FEMALE, 5, dataset_size=len(dataset),
+                engine=QueryEngine(other),
+            )
+
+
+class TestBatching:
+    def test_round_trips_bounded_by_batches_not_queries(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=1000)
+        stepper = make_stepper(dataset)
+        engine.run([stepper])
+        assert stepper.done
+        assert oracle.ledger.n_rounds == engine.scheduler_rounds
+        assert oracle.ledger.n_rounds < oracle.ledger.n_set_queries
+
+    def test_batch_size_one_degenerates_to_one_query_per_round_trip(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=1)
+        engine.run([make_stepper(dataset)])
+        assert oracle.ledger.n_rounds == oracle.ledger.n_set_queries
+
+    def test_uncovered_run_dispatches_exactly_the_sequential_queries(self, dataset):
+        sequential = GroundTruthOracle(dataset)
+        reference = group_coverage(sequential, FEMALE, 50, dataset_size=len(dataset))
+        assert not reference.covered
+        oracle, engine = fresh_engine(dataset, batch_size=16)
+        engine.run([make_stepper(dataset)])
+        assert oracle.ledger.n_set_queries == reference.tasks.n_set_queries
+
+
+class TestDedupAcrossRuns:
+    def test_identical_concurrent_runs_pay_once(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=32)
+        first, second = make_stepper(dataset), make_stepper(dataset)
+        engine.run([first, second])
+        solo = GroundTruthOracle(dataset)
+        reference = group_coverage(solo, FEMALE, 50, dataset_size=len(dataset))
+        assert (first.covered, first.count) == (second.covered, second.count)
+        assert (first.covered, first.count) == (reference.covered, reference.count)
+        # Every query the second run wanted was already in flight for the
+        # first: one oracle task per distinct question.
+        assert oracle.ledger.n_set_queries == reference.tasks.n_set_queries
+        assert engine.deduped_queries == reference.tasks.n_set_queries
+
+    def test_cache_hits_across_sequential_reruns(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=32)
+        engine.run([make_stepper(dataset)])
+        dispatched_first = engine.dispatched_queries
+        tasks_after_first = oracle.ledger.n_set_queries
+        engine.run([make_stepper(dataset)])
+        # The rerun is answered fully from the cache: no new oracle tasks.
+        assert oracle.ledger.n_set_queries == tasks_after_first
+        assert engine.dispatched_queries == dispatched_first
+        assert engine.cache.hits >= dispatched_first
+
+
+class TestCacheAccounting:
+    def test_misses_equal_dispatches_on_cold_cache(self, dataset):
+        _, engine = fresh_engine(dataset, batch_size=32)
+        engine.run([make_stepper(dataset)])
+        assert engine.cache.misses == engine.dispatched_queries
+        assert engine.cache.hits == 0
+
+    def test_stats_since_snapshot_isolates_one_run(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=32)
+        engine.run([make_stepper(dataset)])
+        snapshot = engine.snapshot()
+        engine.run([make_stepper(dataset)])
+        stats = engine.stats_since(snapshot)
+        assert stats.dispatched_queries == 0
+        assert stats.cache_misses == 0
+        assert stats.cache_hits > 0
+        assert stats.oracle_round_trips == 0
+
+    def test_shared_cache_across_engines(self, dataset):
+        cache = AnswerCache()
+        oracle_a = GroundTruthOracle(dataset)
+        QueryEngine(oracle_a, cache=cache).run([make_stepper(dataset)])
+        oracle_b = GroundTruthOracle(dataset)
+        QueryEngine(oracle_b, cache=cache).run([make_stepper(dataset)])
+        assert oracle_b.ledger.n_set_queries == 0
+
+    def test_shared_cache_across_datasets_rejected(self, dataset):
+        cache = AnswerCache()
+        QueryEngine(GroundTruthOracle(dataset), cache=cache)
+        other = binary_dataset(100, 5, rng=np.random.default_rng(1))
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(GroundTruthOracle(other), cache=cache)
+
+
+class TestCompletionHooks:
+    def test_on_complete_can_spawn_follow_up_steppers(self, dataset):
+        oracle, engine = fresh_engine(dataset, batch_size=32)
+        spawned = []
+
+        def on_complete(stepper):
+            if not spawned:
+                follow_up = make_stepper(dataset, tau=10)
+                spawned.append(follow_up)
+                return [follow_up]
+            return None
+
+        engine.run([make_stepper(dataset)], on_complete=on_complete)
+        assert spawned and spawned[0].done
+
+    def test_born_done_stepper_completes_without_queries(self, dataset):
+        oracle, engine = fresh_engine(dataset)
+        stepper = make_stepper(dataset, tau=0)
+        finished = []
+        engine.run([stepper], on_complete=finished.append)
+        assert finished == [stepper]
+        assert oracle.ledger.n_set_queries == 0
+
+
+class TestStepperContract:
+    def test_feeding_an_unrequested_answer_raises(self, dataset):
+        stepper = make_stepper(dataset)
+        with pytest.raises(InvalidParameterError):
+            stepper.feed({(FEMALE, b"bogus"): True})
+
+    def test_result_before_done_raises(self, dataset):
+        stepper = make_stepper(dataset)
+        with pytest.raises(InvalidParameterError):
+            stepper.result()
+
+    def test_pending_limit_one_returns_the_fifo_front(self, dataset):
+        stepper = make_stepper(dataset)
+        front = stepper.pending(limit=1)
+        assert len(front) == 1
+        # The front is now in flight: a second scan skips it rather than
+        # re-emitting (a driver would double-pay the oracle otherwise).
+        assert front[0].key not in {r.key for r in stepper.pending()}
+
+    def test_partial_feed_does_not_reemit_in_flight_queries(self, dataset):
+        oracle = GroundTruthOracle(dataset)
+        stepper = make_stepper(dataset, tau=5)
+        first_round = stepper.pending()
+        assert len(first_round) > 1
+        answered = first_round[0]
+        stepper.feed({answered.key: oracle.ask_set(answered.indices, FEMALE)})
+        emitted = {request.key for request in stepper.pending()}
+        for still_waiting in first_round[1:]:
+            assert still_waiting.key not in emitted
+
+    def test_pending_capped_by_certification_deficit(self, dataset):
+        stepper = make_stepper(dataset, tau=3)
+        assert len(stepper.pending()) == 3
+
+    def test_speculation_widens_the_frontier(self, dataset):
+        stepper = GroupCoverageStepper(
+            FEMALE, 1, n=50,
+            view=np.arange(len(dataset), dtype=np.int64),
+            speculation=16,
+        )
+        assert len(stepper.pending()) == 17  # deficit 1 + speculation 16
+
+    def test_negative_speculation_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            GroupCoverageStepper(
+                FEMALE, 1, view=np.arange(10, dtype=np.int64), speculation=-1
+            )
+
+    def test_stepper_rejects_negative_view_indices(self):
+        with pytest.raises(InvalidParameterError):
+            GroupCoverageStepper(FEMALE, 1, view=np.array([0, -1, 2]))
+
+
+class TestSpeculationEconomics:
+    def test_small_tau_uncovered_still_batches(self):
+        # The degenerate case for a naive deficit-only cap: tau=1 over a
+        # memberless group forces ~N/n root queries; engine mode must
+        # still batch them (at zero task overhead, since every query is
+        # needed).
+        dataset = binary_dataset(10_000, 0, rng=np.random.default_rng(0))
+        sequential = GroundTruthOracle(dataset)
+        reference = group_coverage(sequential, FEMALE, 1, dataset_size=len(dataset))
+        oracle = GroundTruthOracle(dataset)
+        result = group_coverage(
+            oracle, FEMALE, 1, dataset_size=len(dataset),
+            engine=QueryEngine(oracle, batch_size=64),
+        )
+        assert result.tasks.n_set_queries == reference.tasks.n_set_queries
+        assert result.tasks.n_rounds * 10 < reference.tasks.n_rounds
+
+    @pytest.mark.parametrize("batch_size", [1, 8, 32])
+    def test_covered_run_waste_bounded_by_batch_size(self, batch_size):
+        dataset = binary_dataset(3000, 170, rng=np.random.default_rng(3))
+        for tau in (1, 10, 100):
+            sequential = GroundTruthOracle(dataset)
+            reference = group_coverage(sequential, FEMALE, tau, dataset_size=len(dataset))
+            assert reference.covered
+            oracle = GroundTruthOracle(dataset)
+            result = group_coverage(
+                oracle, FEMALE, tau, dataset_size=len(dataset),
+                engine=QueryEngine(oracle, batch_size=batch_size),
+            )
+            waste = result.tasks.n_set_queries - reference.tasks.n_set_queries
+            assert 0 <= waste <= batch_size
