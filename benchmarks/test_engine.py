@@ -1,9 +1,10 @@
 """Micro-benchmark: sequential vs. engine-mode query execution.
 
 A multi-group workload (two groups audited over the same view, the seed
-microbench's dataset and parameters) run both ways. Wall-clock is what
-pytest-benchmark records; the comparison test additionally asserts the
-engine's round-trip advantage and the bit-identity of the results.
+microbench's dataset and parameters) run both ways through the
+:class:`repro.AuditSession` API. Wall-clock is what pytest-benchmark
+records; the comparison test additionally asserts the engine's
+round-trip advantage and the bit-identity of the results.
 """
 
 from __future__ import annotations
@@ -11,17 +12,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.group_coverage import GroupCoverageStepper, group_coverage
+from repro.audit import AuditSession, GroupAuditSpec
 from repro.crowd.oracle import GroundTruthOracle
 from repro.data.groups import group
 from repro.data.synthetic import binary_dataset
-from repro.engine import QueryEngine
 
 # The seed benchmark config (test_microbench.py) plus a second group over
 # the same view: the paper's default tau/n on a 100k-object dataset.
-GROUPS = (group(gender="female"), group(gender="male"))
-TAU = 50
-N = 50
+SPECS = (
+    GroupAuditSpec(predicate=group(gender="female"), tau=50, n=50),
+    GroupAuditSpec(predicate=group(gender="male"), tau=50, n=50),
+)
 
 
 @pytest.fixture(scope="module")
@@ -31,44 +32,40 @@ def dataset():
 
 def run_sequential(dataset):
     oracle = GroundTruthOracle(dataset)
-    results = [
-        group_coverage(oracle, g, TAU, n=N, dataset_size=len(dataset))
-        for g in GROUPS
-    ]
-    return oracle.ledger, results
+    with AuditSession(oracle) as session:
+        report = session.run_many(SPECS)
+    return oracle.ledger, report
 
 
 def run_engine(dataset, batch_size=64):
     oracle = GroundTruthOracle(dataset)
-    engine = QueryEngine(oracle, batch_size=batch_size)
-    view = np.arange(len(dataset), dtype=np.int64)
-    steppers = [GroupCoverageStepper(g, TAU, n=N, view=view) for g in GROUPS]
-    engine.run(steppers)
-    return oracle.ledger, steppers
+    with AuditSession(oracle, engine=True, batch_size=batch_size) as session:
+        report = session.run_many(SPECS)
+    return oracle.ledger, report
 
 
 def test_sequential_multi_group(benchmark, dataset):
-    ledger, results = benchmark(run_sequential, dataset)
-    assert all(r.count >= 0 for r in results)
+    ledger, report = benchmark(run_sequential, dataset)
+    assert all(result.count >= 0 for result in report.results)
 
 
 def test_engine_multi_group(benchmark, dataset):
-    ledger, steppers = benchmark(run_engine, dataset)
-    assert all(s.done for s in steppers)
+    ledger, report = benchmark(run_engine, dataset)
+    assert len(report.entries) == len(SPECS)
 
 
 def test_engine_issues_fewer_round_trips_with_identical_results(dataset):
-    sequential_ledger, sequential_results = run_sequential(dataset)
-    engine_ledger, steppers = run_engine(dataset)
+    sequential_ledger, sequential_report = run_sequential(dataset)
+    engine_ledger, engine_report = run_engine(dataset)
 
     # Strictly fewer oracle round-trips on the multi-group workload.
     assert engine_ledger.n_rounds < sequential_ledger.n_rounds
 
     # Bit-identical verdicts, counts, and isolated members per group.
-    for reference, stepper in zip(sequential_results, steppers):
-        assert stepper.covered == reference.covered
-        assert stepper.count == reference.count
-        assert stepper.discovered_indices == reference.discovered_indices
+    for reference, ours in zip(sequential_report.results, engine_report.results):
+        assert ours.covered == reference.covered
+        assert ours.count == reference.count
+        assert ours.discovered_indices == reference.discovered_indices
 
     print(
         f"\nsequential: {sequential_ledger.n_set_queries} set queries in "

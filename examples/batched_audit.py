@@ -2,8 +2,9 @@
 
 Real crowd platforms answer HITs in published batches, so the latency of
 an audit is governed by *round-trips*, not tasks. This example runs a
-multi-group audit twice — sequentially (the paper's execution model) and
-through the :class:`repro.engine.QueryEngine` — and compares:
+multi-group audit twice through the :class:`repro.AuditSession` API —
+sequentially (the paper's execution model) and on an engine session —
+and compares:
 
 * oracle round-trips (the latency bill),
 * crowd tasks (the dollar bill — identical or lower under the engine),
@@ -15,10 +16,10 @@ Run:  python examples/batched_audit.py
 import numpy as np
 
 from repro import (
+    AuditSession,
     GroundTruthOracle,
-    QueryEngine,
+    MultipleAuditSpec,
     group,
-    multiple_coverage,
     single_attribute_dataset,
 )
 
@@ -41,35 +42,40 @@ def build_dataset():
 
 def main() -> None:
     counts, dataset = build_dataset()
-    groups = [group(race=value) for value in counts]
-
-    sequential_oracle = GroundTruthOracle(dataset)
-    sequential = multiple_coverage(
-        sequential_oracle, groups, TAU, n=SET_SIZE,
-        rng=np.random.default_rng(7), dataset_size=len(dataset),
+    spec = MultipleAuditSpec(
+        groups=tuple(group(race=value) for value in counts), tau=TAU, n=SET_SIZE
     )
 
-    engine_oracle = GroundTruthOracle(dataset)
+    # Sequential session: one oracle ask per query, the paper's model.
+    with AuditSession(GroundTruthOracle(dataset), seed=7) as session:
+        sequential = session.run(spec)
+
+    # Engine session: ready frontiers batch into few round-trips.
     # speculation=0: never pay for a query an early stop would strand.
     # The default (speculation=batch_size) buys even fewer round-trips
     # on sparse groups for up to one stranded batch per covered run.
-    engine = QueryEngine(engine_oracle, batch_size=64, speculation=0)
-    batched = multiple_coverage(
-        engine_oracle, groups, TAU, n=SET_SIZE,
-        rng=np.random.default_rng(7), dataset_size=len(dataset),
-        engine=engine,
-    )
+    with AuditSession(
+        GroundTruthOracle(dataset),
+        engine=True,
+        batch_size=64,
+        speculation=0,
+        seed=7,
+    ) as session:
+        batched = session.run(spec)
 
     print("=== batched multi-group audit ===")
-    print(batched.describe())
+    print(batched.result.describe())
     print()
     print(f"{'':>14}  {'tasks':>7}  {'round-trips':>11}")
-    print(f"{'sequential':>14}  {sequential.tasks.total:>7}  {sequential.tasks.n_rounds:>11}")
+    print(
+        f"{'sequential':>14}  {sequential.tasks.total:>7}  "
+        f"{sequential.tasks.n_rounds:>11}"
+    )
     print(f"{'engine':>14}  {batched.tasks.total:>7}  {batched.tasks.n_rounds:>11}")
     speedup = sequential.tasks.n_rounds / batched.tasks.n_rounds
     print(f"\n{speedup:.1f}x fewer round-trips; {batched.engine_stats.describe()}")
 
-    for ours, theirs in zip(batched.entries, sequential.entries):
+    for ours, theirs in zip(batched.result.entries, sequential.result.entries):
         assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
     print("verdicts and counts identical across both modes")
 

@@ -1,0 +1,82 @@
+"""The AuditSession tour: specs, batched dispatch, reports, resume.
+
+One session binds the execution state — oracle, engine, rng, budget —
+and every audit is a declarative spec run against it:
+
+1. `run_many` schedules several group audits as concurrent steppers on
+   one engine, so overlapping questions are paid once.
+2. Every run returns an `AuditReport` that serializes losslessly to
+   JSON — the durable artifact of an audit that cost real money.
+3. A task budget can interrupt an audit mid-flight; `checkpoint()`
+   persists every answer paid for, and `AuditSession.resume()` continues
+   later without re-asking a single recorded query.
+
+Run:  python examples/session_audit.py
+"""
+
+import numpy as np
+
+from repro import (
+    AuditReport,
+    AuditSession,
+    BudgetExceededError,
+    GroundTruthOracle,
+    GroupAuditSpec,
+    group,
+    single_attribute_dataset,
+)
+
+TAU = 40
+
+COUNTS = {
+    "white": 12_000,
+    "asian": 900,
+    "black": 110,
+    "hispanic": 70,
+    "indigenous": 20,
+}
+
+
+def main() -> None:
+    dataset = single_attribute_dataset(COUNTS, rng=np.random.default_rng(19))
+    specs = [GroupAuditSpec(predicate=group(race=value), tau=TAU) for value in COUNTS]
+
+    # -- one session, many audits, shared cache --------------------------
+    with AuditSession(GroundTruthOracle(dataset), engine=True, seed=3) as session:
+        batch = session.run_many(specs)
+    print("=== batched session audit ===")
+    print(batch.describe())
+
+    # -- the report is a durable, lossless artifact ----------------------
+    payload = batch.to_json()
+    restored = AuditReport.from_json(payload)
+    assert restored == batch
+    print(f"\nreport serialized to {len(payload):,} bytes of JSON and restored equal")
+
+    # -- budget interruption + checkpoint + resume -----------------------
+    oracle = GroundTruthOracle(dataset)
+    session = AuditSession(oracle, engine=True, task_budget=100)
+    rare = GroupAuditSpec(predicate=group(race="indigenous"), tau=TAU)
+    try:
+        with session:
+            session.run(rare)
+        raise AssertionError("expected the 100-task budget to run out")
+    except BudgetExceededError:
+        checkpoint = session.checkpoint()
+        print(
+            f"\nbudget exhausted after {oracle.ledger.total} tasks; "
+            f"checkpoint holds {len(checkpoint):,} bytes"
+        )
+
+    resumed = AuditSession.resume(checkpoint, oracle, task_budget=100_000)
+    with resumed:
+        report = resumed.run_pending()
+    print(
+        f"resumed and finished: {report.result.describe()}\n"
+        f"total paid across both phases: {oracle.ledger.total} tasks "
+        f"(resume re-asked nothing it had already paid for)"
+    )
+
+
+if __name__ == "__main__":
+    main()

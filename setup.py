@@ -3,7 +3,8 @@
 This environment has no network access and no ``wheel`` package, so pip's
 PEP 660 editable path (which builds a wheel) fails. This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
-classic ``setup.py develop`` route. All metadata lives in pyproject.toml.
+classic ``setup.py develop`` route. All metadata (including the
+``repro-experiments`` console script) lives in pyproject.toml.
 """
 
 from setuptools import setup

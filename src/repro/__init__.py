@@ -7,9 +7,20 @@ Representation Bias in Image Datasets: A Crowdsourcing Approach"*
 Quick tour
 ----------
 >>> import numpy as np
->>> from repro import (binary_dataset, group, GroundTruthOracle,
-...                    group_coverage)
+>>> from repro import (AuditReport, AuditSession, GroupAuditSpec,
+...                    GroundTruthOracle, binary_dataset, group)
 >>> ds = binary_dataset(10_000, 30, rng=np.random.default_rng(0))
+>>> with AuditSession(GroundTruthOracle(ds), engine=True) as session:
+...     report = session.run(GroupAuditSpec(predicate=group(gender="female"),
+...                                         tau=50, n=50))
+>>> report.result.covered, report.result.count
+(False, 30)
+>>> AuditReport.from_json(report.to_json()) == report
+True
+
+The legacy function forms are thin wrappers over the same specs:
+
+>>> from repro import group_coverage
 >>> result = group_coverage(GroundTruthOracle(ds), group(gender="female"),
 ...                         tau=50, n=50, dataset_size=len(ds))
 >>> result.covered, result.count
@@ -17,6 +28,8 @@ Quick tour
 
 Packages
 --------
+* :mod:`repro.audit` — the blessed API: ``AuditSession``, declarative
+  specs, serializable ``AuditReport`` envelopes, checkpoint/resume.
 * :mod:`repro.core` — the paper's algorithms (Group-Coverage and friends).
 * :mod:`repro.engine` — batched query execution: scheduler, answer cache.
 * :mod:`repro.crowd` — the crowdsourcing platform simulator and oracles.
@@ -27,6 +40,17 @@ Packages
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
+from repro.audit import (
+    AuditEntry,
+    AuditProgress,
+    AuditReport,
+    AuditSession,
+    BaseAuditSpec,
+    ClassifierAuditSpec,
+    GroupAuditSpec,
+    IntersectionalAuditSpec,
+    MultipleAuditSpec,
+)
 from repro.core import (
     ClassifierCoverageResult,
     GroupCoverageResult,
@@ -77,6 +101,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # audit (the blessed API)
+    "AuditSession",
+    "AuditProgress",
+    "AuditReport",
+    "AuditEntry",
+    "GroupAuditSpec",
+    "BaseAuditSpec",
+    "MultipleAuditSpec",
+    "IntersectionalAuditSpec",
+    "ClassifierAuditSpec",
     # core
     "group_coverage",
     "base_coverage",

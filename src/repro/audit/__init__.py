@@ -1,0 +1,50 @@
+"""The blessed auditing API: sessions, specs, and report envelopes.
+
+One entry point (:class:`AuditSession`), declarative frozen specs for
+every algorithm in the paper, a uniform serializable
+:class:`AuditReport`, and checkpoint/resume built on the resumable
+:class:`~repro.core.group_coverage.GroupCoverageStepper`. The legacy
+function forms in :mod:`repro.core` are thin wrappers over this layer.
+"""
+
+from repro.audit.report import AuditEntry, AuditReport
+from repro.audit.runners import run_spec
+from repro.audit.serialization import (
+    predicate_from_dict,
+    predicate_to_dict,
+    result_from_dict,
+    result_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.audit.session import AuditProgress, AuditSession
+from repro.audit.specs import (
+    AuditSpec,
+    BaseAuditSpec,
+    ClassifierAuditSpec,
+    GroupAuditSpec,
+    IntersectionalAuditSpec,
+    MultipleAuditSpec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "AuditSession",
+    "AuditProgress",
+    "AuditReport",
+    "AuditEntry",
+    "AuditSpec",
+    "GroupAuditSpec",
+    "BaseAuditSpec",
+    "MultipleAuditSpec",
+    "IntersectionalAuditSpec",
+    "ClassifierAuditSpec",
+    "spec_from_dict",
+    "run_spec",
+    "result_to_dict",
+    "result_from_dict",
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "schema_to_dict",
+    "schema_from_dict",
+]

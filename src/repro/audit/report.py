@@ -1,0 +1,142 @@
+"""The uniform report envelope every audit returns.
+
+Whatever the spec kind, :meth:`AuditSession.run` and
+:meth:`AuditSession.run_many` hand back one :class:`AuditReport`: the
+spec(s) echoed verbatim, the verdict dataclass(es) the algorithm
+produced, the window's :class:`~repro.core.results.TaskUsage` (dollar
+cost) and :class:`~repro.engine.stats.EngineStats` (latency cost), and
+wall-clock time. The envelope is the artifact that crosses process
+boundaries: ``AuditReport.from_json(report.to_json())`` reconstructs an
+object that compares **equal** to the original — specs, predicates,
+pattern graphs, counters, everything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.audit.serialization import (
+    engine_stats_from_dict,
+    engine_stats_to_dict,
+    result_from_dict,
+    result_to_dict,
+    task_usage_from_dict,
+    task_usage_to_dict,
+)
+from repro.audit.specs import AuditSpec, spec_from_dict
+from repro.core.results import TaskUsage
+from repro.engine.stats import EngineStats
+from repro.errors import InvalidParameterError
+
+__all__ = ["AuditEntry", "AuditReport"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One (spec, result) pair inside an :class:`AuditReport`."""
+
+    spec: AuditSpec
+    result: Any
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "result": result_to_dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AuditEntry":
+        return cls(
+            spec=spec_from_dict(data["spec"]),
+            result=result_from_dict(data["result"]),
+        )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Everything one :meth:`AuditSession.run`/:meth:`run_many` produced.
+
+    Attributes
+    ----------
+    entries:
+        ``(spec, result)`` pairs in input order — one for :meth:`run`,
+        one per spec for :meth:`run_many`.
+    tasks:
+        Tasks the whole window consumed, measured by snapshotting the
+        session's ledger around the run (so shared/cached work is counted
+        once, however many specs profited from it).
+    engine_stats:
+        The engine-counter delta over the same window; ``None`` for
+        sequential sessions.
+    wall_clock_seconds:
+        End-to-end wall-clock time of the window.
+    """
+
+    entries: tuple[AuditEntry, ...]
+    tasks: TaskUsage
+    engine_stats: EngineStats | None
+    wall_clock_seconds: float
+
+    # -- single-entry conveniences ---------------------------------------
+    @property
+    def spec(self) -> AuditSpec:
+        """The spec of a single-spec report (first spec otherwise)."""
+        return self.entries[0].spec
+
+    @property
+    def result(self) -> Any:
+        """The result of a single-spec report (first result otherwise)."""
+        return self.entries[0].result
+
+    @property
+    def results(self) -> tuple[Any, ...]:
+        return tuple(entry.result for entry in self.entries)
+
+    def describe(self) -> str:
+        lines = [
+            f"audit report ({len(self.entries)} spec"
+            f"{'s' if len(self.entries) != 1 else ''}, "
+            f"{self.tasks.total} tasks, {self.tasks.n_rounds} round-trips, "
+            f"{self.wall_clock_seconds:.2f}s):"
+        ]
+        for entry in self.entries:
+            lines.append(f"  {entry.spec.describe()}")
+            for line in entry.result.describe().splitlines():
+                lines.append(f"    {line}")
+        if self.engine_stats is not None:
+            lines.append(f"  {self.engine_stats.describe()}")
+        return "\n".join(lines)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "tasks": task_usage_to_dict(self.tasks),
+            "engine_stats": engine_stats_to_dict(self.engine_stats),
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Lossless JSON form; :meth:`from_json` inverts it exactly."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AuditReport":
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported audit report version {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        return cls(
+            entries=tuple(AuditEntry.from_dict(entry) for entry in data["entries"]),
+            tasks=task_usage_from_dict(data["tasks"]),
+            engine_stats=engine_stats_from_dict(data["engine_stats"]),
+            wall_clock_seconds=float(data["wall_clock_seconds"]),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AuditReport":
+        return cls.from_dict(json.loads(payload))

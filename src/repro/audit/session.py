@@ -1,0 +1,712 @@
+"""`AuditSession`: the one entry point for coverage auditing.
+
+The paper frames coverage auditing as a workflow — pick target groups,
+spend a crowd budget, get verdicts and MUPs. A session is that workflow
+reified: it binds the *execution state* once (oracle, optional
+:class:`~repro.engine.QueryEngine`, rng, task budget, dataset size) and
+then runs any number of declarative :mod:`~repro.audit.specs` against
+it::
+
+    with AuditSession(oracle, engine=True, seed=7) as session:
+        report = session.run(GroupAuditSpec(predicate=female, tau=50))
+        batch = session.run_many([GroupAuditSpec(predicate=g, tau=50)
+                                  for g in minorities])
+
+Every run returns an :class:`~repro.audit.report.AuditReport` envelope
+with lossless JSON round-tripping, and :meth:`run_many` schedules all
+group specs as concurrent steppers on the session engine, so cross-spec
+deduplication comes free through the shared answer cache.
+
+Checkpoint / resume
+-------------------
+Crowd answers cost money; a session never forgets one. Every answer the
+oracle produced — set queries via the engine's
+:class:`~repro.engine.cache.AnswerCache` or the session's recording
+proxy, point queries via the proxy — can be serialized with
+:meth:`AuditSession.checkpoint` (typically after a
+:class:`~repro.errors.BudgetExceededError`) and revived with
+:meth:`AuditSession.resume`. A resumed session replays recorded answers
+for free: re-running the interrupted spec fast-forwards through the paid
+prefix without re-asking a single cached query and continues from the
+frontier. Determinism makes this exact — the steppers re-issue the same
+queries in the same order, and rng-dependent specs re-draw the same
+samples because the checkpoint records the generator's exact stream
+state as of the interrupted spec's start (however the rng was provided).
+
+Legacy functions
+----------------
+The five function forms (``group_coverage`` & friends) are thin wrappers
+over specs and share this module's execution path, so mixing them with
+sessions is safe — but calling them with an *ad-hoc* ``engine=`` while a
+session is active on the same oracle forfeits the session's cache and
+batching; that pattern draws a one-shot :class:`DeprecationWarning` (see
+:func:`warn_on_adhoc_engine`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.audit.report import AuditEntry, AuditReport
+from repro.audit.runners import make_group_stepper, run_spec
+from repro.audit.serialization import predicate_from_dict, predicate_to_dict
+from repro.audit.specs import AuditSpec, GroupAuditSpec, spec_from_dict
+from repro.core.results import LedgerWindow, TaskUsage
+from repro.crowd.oracle import Oracle
+from repro.engine.requests import QueryKey, set_query_key
+from repro.engine.scheduler import QueryEngine
+from repro.errors import BudgetExceededError, InvalidParameterError
+
+__all__ = [
+    "AuditProgress",
+    "AuditSession",
+    "warn_on_adhoc_engine",
+]
+
+_CHECKPOINT_VERSION = 1
+
+#: Sessions currently inside their ``with`` block, for the legacy-path
+#: DeprecationWarning. Module-level and identity-based; sessions
+#: unregister on exit.
+_ACTIVE_SESSIONS: list["AuditSession"] = []
+
+ADHOC_ENGINE_WARNING = (
+    "called with an ad-hoc engine= while an AuditSession is active on the "
+    "same oracle; route the audit through session.run(spec) so queries "
+    "share the session's engine and answer cache"
+)
+
+
+def warn_on_adhoc_engine(function_name: str, oracle: Oracle, engine: object) -> None:
+    """Emit the legacy-path DeprecationWarning (once per session).
+
+    Fires when a legacy function form is handed its own ``engine=`` while
+    a session is active on the same oracle — the query stream then splits
+    across two caches and the session's batching is bypassed. Passing the
+    session's own engine is fine; so is sequential use (``engine=None``).
+    The warning is a standard :class:`DeprecationWarning`, suppressible
+    with the usual :mod:`warnings` filters.
+    """
+    if engine is None:
+        return
+    for session in _ACTIVE_SESSIONS:
+        if session._covers_oracle(oracle) and session.engine is not engine:
+            if not session._warned_adhoc_engine:
+                session._warned_adhoc_engine = True
+                warnings.warn(
+                    f"{function_name}() {ADHOC_ENGINE_WARNING}",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            return
+
+
+@dataclass(frozen=True)
+class AuditProgress:
+    """One progress event delivered to a session's callback.
+
+    ``stage`` is ``"start"`` (spec about to execute), ``"round"`` (an
+    oracle round-trip completed), or ``"finish"`` (spec done). ``tasks``
+    and ``rounds`` count crowd work since the current run/batch started.
+    ``spec`` is ``None`` for the ``"round"`` events of a ``run_many``
+    batch's concurrent group phase, which serve every spec in the batch
+    at once.
+    """
+
+    spec: AuditSpec | None
+    stage: str
+    tasks: int
+    rounds: int
+
+
+class _SessionOracle(Oracle):
+    """Recording/replaying proxy a session wraps around its oracle.
+
+    Shares the raw oracle's schema and ledger (charging is unchanged) and
+    delegates every fresh question to it, while
+
+    * **recording** each answer, so :meth:`AuditSession.checkpoint` can
+      persist everything the crowd was paid for, and
+    * **replaying** answers loaded from a checkpoint for free — the
+      mechanism behind resume-without-re-asking.
+
+    With nothing loaded the proxy is transparent: same calls, same
+    charges, same rounds, bit-identical results.
+    """
+
+    def __init__(self, inner: Oracle) -> None:
+        self._session_inner = inner
+        self.schema = inner.schema
+        self.ledger = inner.ledger
+        self._set_seen: dict[QueryKey, bool] = {}
+        self._point_seen: dict[int, dict[str, str]] = {}
+        self._set_replay: dict[QueryKey, bool] = {}
+        self._point_replay: dict[int, dict[str, str]] = {}
+
+    def __getattr__(self, name: str):
+        if name == "_session_inner":
+            raise AttributeError(name)
+        return getattr(self._session_inner, name)
+
+    # -- replay loading --------------------------------------------------
+    def load_set_answers(self, answers: dict[QueryKey, bool]) -> None:
+        self._set_replay.update(answers)
+        self._set_seen.update(answers)
+
+    def load_point_answers(self, answers: dict[int, dict[str, str]]) -> None:
+        self._point_replay.update(answers)
+        self._point_seen.update(answers)
+
+    # -- public oracle API ------------------------------------------------
+    def ask_set(self, indices, predicate) -> bool:
+        key = set_query_key(np.asarray(indices, dtype=np.int64), predicate)
+        if key in self._set_replay:
+            return self._set_replay[key]
+        answer = self._session_inner.ask_set(indices, predicate)
+        self._set_seen[key] = answer
+        return answer
+
+    def ask_set_batch(self, queries) -> list[bool]:
+        prepared = [
+            (np.asarray(indices, dtype=np.int64), predicate)
+            for indices, predicate in queries
+        ]
+        keys = [set_query_key(indices, predicate) for indices, predicate in prepared]
+        fresh = [
+            (position, query)
+            for position, (key, query) in enumerate(zip(keys, prepared))
+            if key not in self._set_replay
+        ]
+        answers: list[bool] = [False] * len(prepared)
+        for position, key in enumerate(keys):
+            if key in self._set_replay:
+                answers[position] = self._set_replay[key]
+        if fresh:
+            fresh_answers = self._session_inner.ask_set_batch(
+                [query for _, query in fresh]
+            )
+            for (position, _), answer in zip(fresh, fresh_answers):
+                answers[position] = answer
+                self._set_seen[keys[position]] = answer
+        return answers
+
+    def ask_point(self, index: int) -> dict[str, str]:
+        index = int(index)
+        if index in self._point_replay:
+            return dict(self._point_replay[index])
+        labels = self._session_inner.ask_point(index)
+        self._point_seen[index] = dict(labels)
+        return labels
+
+    def ask_point_batch(self, indices) -> list[dict[str, str]]:
+        prepared = [int(index) for index in indices]
+        fresh = [
+            (position, index)
+            for position, index in enumerate(prepared)
+            if index not in self._point_replay
+        ]
+        answers: list[dict[str, str]] = [
+            dict(self._point_replay[index]) if index in self._point_replay else {}
+            for index in prepared
+        ]
+        if fresh:
+            fresh_answers = self._session_inner.ask_point_batch(
+                [index for _, index in fresh]
+            )
+            for (position, index), labels in zip(fresh, fresh_answers):
+                answers[position] = labels
+                self._point_seen[index] = dict(labels)
+        return answers
+
+    # -- implementation hooks (unused: public methods are overridden) -----
+    def _answer_set(self, indices, predicate) -> bool:  # pragma: no cover
+        return self._session_inner._answer_set(indices, predicate)
+
+    def _answer_point(self, index: int) -> dict[str, str]:  # pragma: no cover
+        return self._session_inner._answer_point(index)
+
+
+def _infer_dataset_size(oracle: Oracle) -> int | None:
+    """The dataset size behind an oracle, when it exposes one."""
+    dataset = getattr(oracle, "dataset", None)
+    if dataset is None:
+        dataset = getattr(getattr(oracle, "platform", None), "dataset", None)
+    return len(dataset) if dataset is not None else None
+
+
+class AuditSession:
+    """Shared execution state for a batch of coverage audits.
+
+    Parameters
+    ----------
+    oracle:
+        The answer source every spec run is charged to.
+    engine:
+        ``None`` (default) runs specs sequentially — the paper's
+        execution model, bit-identical to the legacy function forms.
+        ``True`` creates a :class:`~repro.engine.QueryEngine` over the
+        session's oracle (pass ``batch_size``/``speculation`` to tune
+        it); an existing :class:`~repro.engine.QueryEngine` instance over
+        the same oracle is adopted as-is.
+    seed / rng:
+        The randomness for sampling-based specs; at most one of the two.
+        Checkpoints record the generator's exact stream state (not just
+        the seed), so rng-dependent specs resume correctly either way.
+    task_budget:
+        Crowd-task ceiling, installed on the oracle's ledger for the
+        session's lifetime (the previous budget is restored on
+        :meth:`close`). Exhaustion raises
+        :class:`~repro.errors.BudgetExceededError` mid-run; the answers
+        already paid for survive in the session and can be checkpointed.
+    dataset_size:
+        Search-space size for specs with ``view=None``. Defaults to the
+        size of the oracle's dataset when it exposes one.
+    progress:
+        Default progress callback (see :class:`AuditProgress`); a per-run
+        ``on_progress=`` overrides it.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        *,
+        engine: "QueryEngine | bool | None" = None,
+        batch_size: int | None = None,
+        speculation: int | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        task_budget: int | None = None,
+        dataset_size: int | None = None,
+        progress: Callable[[AuditProgress], None] | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self._proxy = _SessionOracle(oracle)
+
+        if isinstance(engine, QueryEngine):
+            if batch_size is not None or speculation is not None:
+                raise InvalidParameterError(
+                    "pass batch_size/speculation only when the session builds "
+                    "its own engine (engine=True), not alongside an instance"
+                )
+            engine.ensure_executes_for(self._proxy)
+            self.engine: QueryEngine | None = engine
+        elif engine is True:
+            self.engine = QueryEngine(
+                self._proxy,
+                **{
+                    key: value
+                    for key, value in (
+                        ("batch_size", batch_size),
+                        ("speculation", speculation),
+                    )
+                    if value is not None
+                },
+            )
+        elif engine in (None, False):
+            if batch_size is not None or speculation is not None:
+                raise InvalidParameterError(
+                    "batch_size/speculation require engine=True"
+                )
+            self.engine = None
+        else:
+            raise InvalidParameterError(
+                "engine must be None, True, or a QueryEngine instance"
+            )
+
+        if seed is not None and rng is not None:
+            raise InvalidParameterError("pass either seed or rng, not both")
+        self.seed = seed
+        self.rng = rng if rng is not None else (
+            np.random.default_rng(seed) if seed is not None else None
+        )
+
+        self.dataset_size = (
+            dataset_size if dataset_size is not None else _infer_dataset_size(oracle)
+        )
+        self.progress = progress
+
+        self._previous_budget: int | None = None
+        self.task_budget = task_budget
+        if task_budget is not None:
+            self._previous_budget = oracle.ledger.budget
+            oracle.ledger.budget = task_budget
+
+        self._unfinished: list[AuditSpec] = []
+        #: rng state captured at the start of the spec currently executing
+        #: (None when idle) — what a checkpoint must record so a resumed
+        #: re-run of that spec re-draws the same samples.
+        self._inflight_rng_state: dict | None = None
+        self._warned_adhoc_engine = False
+        self._closed = False
+
+    def _rng_state(self) -> dict | None:
+        """The bound generator's serializable state, or ``None``."""
+        return None if self.rng is None else dict(self.rng.bit_generator.state)
+
+    # -- lifecycle --------------------------------------------------------
+    def __enter__(self) -> "AuditSession":
+        if self._closed:
+            raise InvalidParameterError("session is closed and cannot be re-entered")
+        _ACTIVE_SESSIONS.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Leave the active registry and restore the ledger's budget."""
+        if self._closed:
+            return
+        self._closed = True
+        if self in _ACTIVE_SESSIONS:
+            _ACTIVE_SESSIONS.remove(self)
+        if self.task_budget is not None:
+            self.oracle.ledger.budget = self._previous_budget
+
+    def _covers_oracle(self, oracle: Oracle) -> bool:
+        return oracle is self.oracle or oracle is self._proxy
+
+    @property
+    def pending_specs(self) -> tuple[AuditSpec, ...]:
+        """Specs that started but have not finished — populated by a
+        failed run (budget exhaustion) or restored by :meth:`resume`."""
+        return tuple(self._unfinished)
+
+    def _mark_finished(self, spec: AuditSpec) -> None:
+        try:
+            self._unfinished.remove(spec)
+        except ValueError:
+            pass  # duplicate specs in one batch share a single entry
+
+    # -- execution --------------------------------------------------------
+    def run(
+        self,
+        spec: AuditSpec,
+        *,
+        on_progress: Callable[[AuditProgress], None] | None = None,
+    ) -> AuditReport:
+        """Execute one spec and wrap the outcome in an :class:`AuditReport`.
+
+        Raises whatever the algorithm raises (notably
+        :class:`~repro.errors.BudgetExceededError`); the spec then stays
+        in :attr:`pending_specs` so a checkpoint can resume it.
+        """
+        callback = on_progress if on_progress is not None else self.progress
+        started = time.perf_counter()
+        ledger = self.oracle.ledger
+        window = LedgerWindow(ledger)
+        engine_before = self.engine.snapshot() if self.engine is not None else None
+
+        if spec not in self._unfinished:
+            self._unfinished.append(spec)
+        on_round = _round_emitter(callback, spec, window)
+        if callback is not None:
+            callback(AuditProgress(spec=spec, stage="start", tasks=0, rounds=0))
+
+        self._inflight_rng_state = self._rng_state()
+        try:
+            result = run_spec(
+                self._proxy,
+                spec,
+                engine=self.engine,
+                rng=self.rng,
+                dataset_size=self.dataset_size,
+                on_round=on_round,
+            )
+        except BudgetExceededError:
+            raise  # resumable: the spec stays pending for checkpoint()
+        except BaseException:
+            # Not resumable (validation errors, bugs): forget the spec so
+            # it cannot poison a later checkpoint's pending list.
+            self._mark_finished(spec)
+            self._inflight_rng_state = None
+            raise
+        self._mark_finished(spec)
+        self._inflight_rng_state = None
+
+        tasks = window.usage()
+        report = AuditReport(
+            entries=(AuditEntry(spec=spec, result=result),),
+            tasks=tasks,
+            engine_stats=(
+                self.engine.stats_since(engine_before)
+                if self.engine is not None
+                else None
+            ),
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        if callback is not None:
+            callback(
+                AuditProgress(
+                    spec=spec,
+                    stage="finish",
+                    tasks=tasks.total,
+                    rounds=tasks.n_rounds,
+                )
+            )
+        return report
+
+    def run_many(
+        self,
+        specs: Iterable[AuditSpec],
+        *,
+        on_progress: Callable[[AuditProgress], None] | None = None,
+    ) -> AuditReport:
+        """Execute several specs as one batch; one envelope, N entries.
+
+        On an engine session every :class:`~repro.audit.GroupAuditSpec`
+        becomes a stepper and they all advance **concurrently** on the
+        session engine: the ready frontiers of every tree batch into
+        shared oracle round-trips and identical questions across specs
+        are paid once (in-flight dedup + shared answer cache). Each group
+        entry's ``result.tasks`` then carries the set queries dispatched
+        *on its behalf* (shared queries are billed to the spec that
+        caused the dispatch; round-trips are batch-level and live in the
+        envelope's ``tasks``). Remaining spec kinds run afterwards, in
+        input order, still sharing the engine's cache. Sequential
+        sessions run everything in input order.
+
+        Entry order always matches input order. ``"round"`` progress
+        events of the concurrent group phase serve the whole batch and
+        carry ``spec=None``; per-spec rounds are only meaningful for the
+        sequentially-executed specs.
+        """
+        specs = tuple(specs)
+        callback = on_progress if on_progress is not None else self.progress
+        started = time.perf_counter()
+        ledger = self.oracle.ledger
+        window = LedgerWindow(ledger)
+        engine_before = self.engine.snapshot() if self.engine is not None else None
+
+        for spec in specs:
+            if spec not in self._unfinished:
+                self._unfinished.append(spec)
+
+        results: dict[int, Any] = {}
+        self._inflight_rng_state = self._rng_state()
+        try:
+            if self.engine is not None:
+                concurrent = [
+                    (position, spec)
+                    for position, spec in enumerate(specs)
+                    if type(spec) is GroupAuditSpec
+                ]
+                if concurrent:
+                    steppers = {
+                        position: make_group_stepper(
+                            spec,
+                            dataset_size=self.dataset_size,
+                            speculation=self.engine.speculation,
+                        )
+                        for position, spec in concurrent
+                    }
+                    dispatched = self.engine.run(
+                        [steppers[position] for position, _ in concurrent],
+                        on_round=_round_emitter(callback, None, window),
+                    )
+                    for position, spec in concurrent:
+                        stepper = steppers[position]
+                        results[position] = stepper.result(
+                            tasks=TaskUsage(
+                                n_set_queries=dispatched.get(stepper, 0)
+                            )
+                        )
+                        self._mark_finished(spec)
+            for position, spec in enumerate(specs):
+                if position in results:
+                    continue
+                self._inflight_rng_state = self._rng_state()
+                results[position] = run_spec(
+                    self._proxy,
+                    spec,
+                    engine=self.engine,
+                    rng=self.rng,
+                    dataset_size=self.dataset_size,
+                    on_round=_round_emitter(callback, spec, window),
+                )
+                self._mark_finished(spec)
+        except BudgetExceededError:
+            raise  # resumable: unfinished specs stay pending for checkpoint()
+        except BaseException:
+            for spec in specs:
+                self._mark_finished(spec)
+            self._inflight_rng_state = None
+            raise
+        self._inflight_rng_state = None
+
+        tasks = window.usage()
+        report = AuditReport(
+            entries=tuple(
+                AuditEntry(spec=spec, result=results[position])
+                for position, spec in enumerate(specs)
+            ),
+            tasks=tasks,
+            engine_stats=(
+                self.engine.stats_since(engine_before)
+                if self.engine is not None
+                else None
+            ),
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        if callback is not None:
+            for spec in specs:
+                callback(
+                    AuditProgress(
+                        spec=spec,
+                        stage="finish",
+                        tasks=tasks.total,
+                        rounds=tasks.n_rounds,
+                    )
+                )
+        return report
+
+    # -- checkpoint / resume ----------------------------------------------
+    def checkpoint(self) -> str:
+        """Serialize every crowd answer this session paid for, plus the
+        session's configuration and unfinished specs, as a JSON string.
+
+        Feed it to :meth:`AuditSession.resume` (in this process or
+        another) to continue without re-asking a single recorded query.
+        """
+        set_answers: dict[QueryKey, bool] = dict(self._proxy._set_seen)
+        if self.engine is not None:
+            set_answers.update(dict(self.engine.cache.entries()))
+        rng_state = (
+            self._inflight_rng_state
+            if self._inflight_rng_state is not None
+            else self._rng_state()
+        )
+        return json.dumps(
+            {
+                "version": _CHECKPOINT_VERSION,
+                "seed": self.seed,
+                "rng_state": rng_state,
+                "dataset_size": self.dataset_size,
+                "engine": (
+                    {
+                        "batch_size": self.engine.batch_size,
+                        "speculation": self.engine.speculation,
+                    }
+                    if self.engine is not None
+                    else None
+                ),
+                "pending": [spec.to_dict() for spec in self._unfinished],
+                "set_answers": [
+                    {
+                        "predicate": predicate_to_dict(predicate),
+                        "indices": np.frombuffer(
+                            index_bytes, dtype=np.int64
+                        ).tolist(),
+                        "answer": answer,
+                    }
+                    for (predicate, index_bytes), answer in set_answers.items()
+                ],
+                "point_answers": [
+                    {"index": index, "labels": labels}
+                    for index, labels in self._proxy._point_seen.items()
+                ],
+            }
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: str,
+        oracle: Oracle,
+        *,
+        task_budget: int | None = None,
+        progress: Callable[[AuditProgress], None] | None = None,
+    ) -> "AuditSession":
+        """Revive a session from a :meth:`checkpoint` string.
+
+        The new session is bound to ``oracle`` (typically the same one,
+        possibly with a raised budget via ``task_budget``), re-creates
+        the engine from the recorded configuration, preloads every
+        recorded answer for free replay, and restores
+        :attr:`pending_specs` — re-running those reaches the same
+        verdicts while paying only for queries the original session never
+        asked.
+        """
+        data = json.loads(checkpoint)
+        version = data.get("version")
+        if version != _CHECKPOINT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {_CHECKPOINT_VERSION})"
+            )
+        engine_config = data["engine"]
+        session = cls(
+            oracle,
+            engine=True if engine_config is not None else None,
+            batch_size=(
+                engine_config["batch_size"] if engine_config is not None else None
+            ),
+            speculation=(
+                engine_config["speculation"] if engine_config is not None else None
+            ),
+            seed=data["seed"],
+            task_budget=task_budget,
+            dataset_size=data["dataset_size"],
+            progress=progress,
+        )
+        rng_state = data.get("rng_state")
+        if rng_state is not None:
+            # Restore the generator to the exact stream position the
+            # interrupted spec started from, so its sampling phase
+            # re-draws identically on the resumed run. This works whether
+            # the original session was built from seed= or a live rng.
+            bit_generator = getattr(np.random, rng_state["bit_generator"])()
+            bit_generator.state = rng_state
+            session.rng = np.random.Generator(bit_generator)
+        set_answers = {
+            (
+                predicate_from_dict(entry["predicate"]),
+                np.asarray(entry["indices"], dtype=np.int64).tobytes(),
+            ): bool(entry["answer"])
+            for entry in data["set_answers"]
+        }
+        session._proxy.load_set_answers(set_answers)
+        if session.engine is not None:
+            for key, answer in set_answers.items():
+                session.engine.cache.store(key, answer)
+        session._proxy.load_point_answers(
+            {
+                int(entry["index"]): dict(entry["labels"])
+                for entry in data["point_answers"]
+            }
+        )
+        session._unfinished = [spec_from_dict(spec) for spec in data["pending"]]
+        return session
+
+    def run_pending(self) -> AuditReport:
+        """Run everything :attr:`pending_specs` holds (after a resume)."""
+        if not self._unfinished:
+            raise InvalidParameterError("session has no pending specs to run")
+        return self.run_many(tuple(self._unfinished))
+
+
+
+def _round_emitter(
+    callback: Callable[[AuditProgress], None] | None,
+    spec: AuditSpec | None,
+    window: LedgerWindow,
+) -> Callable[[], None] | None:
+    """A zero-arg hook emitting a ``"round"`` event with window totals."""
+    if callback is None:
+        return None
+
+    def emit() -> None:
+        usage = window.usage()
+        callback(
+            AuditProgress(
+                spec=spec, stage="round", tasks=usage.total, rounds=usage.n_rounds
+            )
+        )
+
+    return emit

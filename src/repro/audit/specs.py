@@ -1,0 +1,343 @@
+"""Declarative audit specs: *what* to audit, frozen and serializable.
+
+Each spec captures the parameters of one coverage question — the target
+group(s), the threshold, the algorithm knobs — and nothing about *how* to
+execute it. Execution state (oracle, engine, rng, budget) lives in the
+:class:`~repro.audit.session.AuditSession` that runs the spec; the spec
+itself is an immutable, hashable value object that can be stored, hashed
+into experiment manifests, embedded in an
+:class:`~repro.audit.report.AuditReport`, or shipped across a process
+boundary via :meth:`to_dict`/:meth:`from_dict`.
+
+Views are normalized to tuples of python ints at construction time (a
+frozen dataclass cannot hold a mutable ndarray); ``view=None`` means the
+session's whole dataset. Semantic validation (``tau`` ranges, view
+bounds) happens at run time, in the exact order the legacy functions
+validated, so ``session.run(spec)`` raises precisely what the function
+form would have raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.audit.serialization import (
+    predicate_from_dict,
+    predicate_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.data.groups import Group, GroupPredicate
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "AuditSpec",
+    "GroupAuditSpec",
+    "BaseAuditSpec",
+    "MultipleAuditSpec",
+    "IntersectionalAuditSpec",
+    "ClassifierAuditSpec",
+    "spec_from_dict",
+]
+
+
+def _as_index_tuple(
+    indices: Sequence[int] | np.ndarray | None,
+) -> tuple[int, ...] | None:
+    """Normalize an index collection to a hashable tuple of python ints."""
+    if indices is None:
+        return None
+    return tuple(
+        int(index) for index in np.asarray(indices, dtype=np.int64).ravel()
+    )
+
+
+def _view_array(view: tuple[int, ...] | None) -> np.ndarray | None:
+    return None if view is None else np.asarray(view, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class GroupAuditSpec:
+    """Audit one group with Group-Coverage (Algorithm 1).
+
+    Attributes
+    ----------
+    predicate:
+        The target group (a :class:`~repro.data.groups.Group`, a
+        :class:`~repro.data.groups.SuperGroup`, or a
+        :class:`~repro.data.groups.Negation`).
+    tau:
+        Coverage threshold.
+    n:
+        Set-query size bound.
+    view:
+        Dataset indices to search; ``None`` means the session's whole
+        dataset.
+    """
+
+    kind: ClassVar[str] = "group"
+
+    predicate: GroupPredicate
+    tau: int
+    n: int = 50
+    view: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "view", _as_index_tuple(self.view))
+
+    def view_array(self) -> np.ndarray | None:
+        return _view_array(self.view)
+
+    def describe(self) -> str:
+        return f"group-coverage({self.predicate.describe()}, tau={self.tau})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "predicate": predicate_to_dict(self.predicate),
+            "tau": self.tau,
+            "n": self.n,
+            "view": list(self.view) if self.view is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GroupAuditSpec":
+        return cls(
+            predicate=predicate_from_dict(data["predicate"]),
+            tau=int(data["tau"]),
+            n=int(data["n"]),
+            view=data["view"],
+        )
+
+
+@dataclass(frozen=True)
+class BaseAuditSpec:
+    """Audit one group with the Base-Coverage baseline (Algorithm 7)."""
+
+    kind: ClassVar[str] = "base"
+
+    predicate: GroupPredicate
+    tau: int
+    view: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "view", _as_index_tuple(self.view))
+
+    def view_array(self) -> np.ndarray | None:
+        return _view_array(self.view)
+
+    def describe(self) -> str:
+        return f"base-coverage({self.predicate.describe()}, tau={self.tau})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "predicate": predicate_to_dict(self.predicate),
+            "tau": self.tau,
+            "view": list(self.view) if self.view is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BaseAuditSpec":
+        return cls(
+            predicate=predicate_from_dict(data["predicate"]),
+            tau=int(data["tau"]),
+            view=data["view"],
+        )
+
+
+@dataclass(frozen=True)
+class MultipleAuditSpec:
+    """Audit many non-intersectional groups with Algorithm 2.
+
+    Requires the session to hold an rng (``AuditSession(..., seed=...)``
+    or ``rng=...``) for the sampling phase.
+    """
+
+    kind: ClassVar[str] = "multiple"
+
+    groups: tuple[Group, ...]
+    tau: int
+    n: int = 50
+    c: float = 2.0
+    multi: bool = False
+    attribute_supergroup_members: bool = False
+    view: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", tuple(self.groups))
+        object.__setattr__(self, "view", _as_index_tuple(self.view))
+
+    def view_array(self) -> np.ndarray | None:
+        return _view_array(self.view)
+
+    def describe(self) -> str:
+        return f"multiple-coverage({len(self.groups)} groups, tau={self.tau})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "groups": [predicate_to_dict(group) for group in self.groups],
+            "tau": self.tau,
+            "n": self.n,
+            "c": self.c,
+            "multi": self.multi,
+            "attribute_supergroup_members": self.attribute_supergroup_members,
+            "view": list(self.view) if self.view is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MultipleAuditSpec":
+        return cls(
+            groups=(predicate_from_dict(group) for group in data["groups"]),
+            tau=int(data["tau"]),
+            n=int(data["n"]),
+            c=float(data["c"]),
+            multi=bool(data["multi"]),
+            attribute_supergroup_members=bool(data["attribute_supergroup_members"]),
+            view=data["view"],
+        )
+
+
+@dataclass(frozen=True)
+class IntersectionalAuditSpec:
+    """Audit all attribute combinations of a schema with Algorithm 3.
+
+    Requires a session rng (sampling phase of the leaf-level solve).
+    """
+
+    kind: ClassVar[str] = "intersectional"
+
+    schema: Schema
+    tau: int
+    n: int = 50
+    c: float = 2.0
+    view: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "view", _as_index_tuple(self.view))
+
+    def view_array(self) -> np.ndarray | None:
+        return _view_array(self.view)
+
+    def describe(self) -> str:
+        return (
+            f"intersectional-coverage({'x'.join(map(str, self.schema.cardinalities))}"
+            f", tau={self.tau})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "schema": schema_to_dict(self.schema),
+            "tau": self.tau,
+            "n": self.n,
+            "c": self.c,
+            "view": list(self.view) if self.view is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IntersectionalAuditSpec":
+        return cls(
+            schema=schema_from_dict(data["schema"]),
+            tau=int(data["tau"]),
+            n=int(data["n"]),
+            c=float(data["c"]),
+            view=data["view"],
+        )
+
+
+@dataclass(frozen=True)
+class ClassifierAuditSpec:
+    """Verify a classifier's predicted-positive set with Algorithm 4.
+
+    Requires a session rng (the precision-estimation sample).
+    """
+
+    kind: ClassVar[str] = "classifier"
+
+    group: Group
+    tau: int
+    predicted_positive: tuple[int, ...] = ()
+    n: int = 50
+    sample_fraction: float = 0.10
+    fp_threshold: float = 0.25
+    view: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "predicted_positive", _as_index_tuple(self.predicted_positive) or ()
+        )
+        object.__setattr__(self, "view", _as_index_tuple(self.view))
+
+    def view_array(self) -> np.ndarray | None:
+        return _view_array(self.view)
+
+    def predicted_positive_array(self) -> np.ndarray:
+        return np.asarray(self.predicted_positive, dtype=np.int64)
+
+    def describe(self) -> str:
+        return (
+            f"classifier-coverage({self.group.describe()}, tau={self.tau}, "
+            f"|G|={len(self.predicted_positive)})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "group": predicate_to_dict(self.group),
+            "tau": self.tau,
+            "predicted_positive": list(self.predicted_positive),
+            "n": self.n,
+            "sample_fraction": self.sample_fraction,
+            "fp_threshold": self.fp_threshold,
+            "view": list(self.view) if self.view is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClassifierAuditSpec":
+        return cls(
+            group=predicate_from_dict(data["group"]),
+            tau=int(data["tau"]),
+            predicted_positive=data["predicted_positive"],
+            n=int(data["n"]),
+            sample_fraction=float(data["sample_fraction"]),
+            fp_threshold=float(data["fp_threshold"]),
+            view=data["view"],
+        )
+
+
+#: Anything :meth:`AuditSession.run` accepts.
+AuditSpec = Union[
+    GroupAuditSpec,
+    BaseAuditSpec,
+    MultipleAuditSpec,
+    IntersectionalAuditSpec,
+    ClassifierAuditSpec,
+]
+
+_SPEC_TYPES: dict[str, type] = {
+    spec_type.kind: spec_type
+    for spec_type in (
+        GroupAuditSpec,
+        BaseAuditSpec,
+        MultipleAuditSpec,
+        IntersectionalAuditSpec,
+        ClassifierAuditSpec,
+    )
+}
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> AuditSpec:
+    """Rebuild any spec from its :meth:`to_dict` form (kind-tagged)."""
+    spec_type = _SPEC_TYPES.get(data.get("kind"))
+    if spec_type is None:
+        raise InvalidParameterError(
+            f"unknown audit spec kind {data.get('kind')!r}; "
+            f"supported: {sorted(_SPEC_TYPES)}"
+        )
+    return spec_type.from_dict(data)

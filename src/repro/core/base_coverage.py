@@ -9,15 +9,62 @@ queries when covered and exactly ``N`` when uncovered.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.crowd.oracle import Oracle
 from repro.core.views import resolve_view
-from repro.core.results import GroupCoverageResult, TaskUsage
+from repro.core.results import GroupCoverageResult, LedgerWindow
 from repro.data.groups import GroupPredicate
 from repro.errors import InvalidParameterError
 
-__all__ = ["base_coverage"]
+__all__ = ["base_coverage", "execute_base_coverage"]
+
+
+def execute_base_coverage(
+    oracle: Oracle,
+    predicate: GroupPredicate,
+    tau: int,
+    *,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+    on_round: Callable[[], None] | None = None,
+) -> GroupCoverageResult:
+    """Execution backend of Algorithm 7 (see :func:`base_coverage`).
+
+    Dispatched to by :meth:`repro.audit.AuditSession.run` for a
+    :class:`~repro.audit.BaseAuditSpec`; ``on_round`` fires after every
+    point query (the session's progress hook).
+    """
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
+    view = resolve_view(view, dataset_size)
+
+    window = LedgerWindow(oracle.ledger)
+    cnt = 0
+    discovered: list[int] = []
+    covered = tau == 0
+    if not covered:
+        for index in view:
+            is_member = oracle.ask_point_membership(int(index), predicate)
+            if on_round is not None:
+                on_round()
+            if is_member:
+                cnt += 1
+                discovered.append(int(index))
+                if cnt == tau:
+                    covered = True
+                    break
+
+    return GroupCoverageResult(
+        predicate=predicate,
+        covered=covered,
+        count=cnt,
+        tau=tau,
+        tasks=window.usage(),
+        discovered_indices=tuple(discovered),
+    )
 
 
 def base_coverage(
@@ -32,6 +79,8 @@ def base_coverage(
 
     Parameters mirror :func:`repro.core.group_coverage.group_coverage`
     minus the set-query bound (this baseline only issues point queries).
+    Thin wrapper over :class:`~repro.audit.BaseAuditSpec` — the
+    :class:`~repro.audit.AuditSession` API is the blessed entry point.
 
     >>> import numpy as np
     >>> from repro.crowd import GroundTruthOracle
@@ -42,38 +91,8 @@ def base_coverage(
     >>> result.covered, result.tasks.n_point_queries <= 30
     (True, True)
     """
-    if tau < 0:
-        raise InvalidParameterError(f"tau must be >= 0, got {tau}")
-    view = resolve_view(view, dataset_size)
+    from repro.audit.runners import run_spec
+    from repro.audit.specs import BaseAuditSpec
 
-    ledger = oracle.ledger
-    start_sets, start_points, start_rounds = (
-        ledger.n_set_queries,
-        ledger.n_point_queries,
-        ledger.n_rounds,
-    )
-
-    cnt = 0
-    discovered: list[int] = []
-    covered = tau == 0
-    if not covered:
-        for index in view:
-            if oracle.ask_point_membership(int(index), predicate):
-                cnt += 1
-                discovered.append(int(index))
-                if cnt == tau:
-                    covered = True
-                    break
-
-    return GroupCoverageResult(
-        predicate=predicate,
-        covered=covered,
-        count=cnt,
-        tau=tau,
-        tasks=TaskUsage(
-            ledger.n_set_queries - start_sets,
-            ledger.n_point_queries - start_points,
-            ledger.n_rounds - start_rounds,
-        ),
-        discovered_indices=tuple(discovered),
-    )
+    spec = BaseAuditSpec(predicate=predicate, tau=tau, view=view)
+    return run_spec(oracle, spec, dataset_size=dataset_size)

@@ -26,16 +26,24 @@ deviation 4): a covered verdict needs no further cleaning.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.core.group_coverage import group_coverage
-from repro.core.results import ClassifierCoverageResult, TaskUsage
+from repro.core.group_coverage import execute_group_coverage
+from repro.core.results import ClassifierCoverageResult, LedgerWindow
 from repro.core.tree import PrunableQueue, TreeNode
+from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, Negation
 from repro.errors import InvalidParameterError
 
-__all__ = ["classifier_coverage", "partition_positive_set", "label_positive_set"]
+__all__ = [
+    "classifier_coverage",
+    "execute_classifier_coverage",
+    "partition_positive_set",
+    "label_positive_set",
+]
 
 
 def partition_positive_set(
@@ -112,7 +120,7 @@ def label_positive_set(
     return verified, True
 
 
-def classifier_coverage(
+def execute_classifier_coverage(
     oracle: Oracle,
     group: Group,
     tau: int,
@@ -124,28 +132,13 @@ def classifier_coverage(
     rng: np.random.Generator,
     view: np.ndarray | None = None,
     dataset_size: int | None = None,
+    on_round: Callable[[], None] | None = None,
 ) -> ClassifierCoverageResult:
-    """Run Algorithm 4.
+    """Execution backend of Algorithm 4 (see :func:`classifier_coverage`).
 
-    Parameters
-    ----------
-    group:
-        The target group ``g``.
-    predicted_positive:
-        Dataset indices the classifier labeled as ``g`` (the set ``G``).
-    sample_fraction:
-        Fraction of ``G`` point-labeled to estimate precision (the paper
-        found 10 % a good choice).
-    fp_threshold:
-        Choose Partition iff the estimated false-positive rate is below
-        this (the paper found 25 % a good choice).
-    view / dataset_size:
-        The full search space; the fallback Group-Coverage runs on
-        ``view`` minus ``G``.
-
-    Returns
-    -------
-    ClassifierCoverageResult
+    Dispatched to by :meth:`repro.audit.AuditSession.run` for a
+    :class:`~repro.audit.ClassifierAuditSpec`; ``on_round`` is forwarded
+    to the fallback Group-Coverage run.
     """
     if tau <= 0:
         raise InvalidParameterError(f"tau must be positive, got {tau}")
@@ -153,31 +146,21 @@ def classifier_coverage(
         raise InvalidParameterError("sample_fraction must be in (0, 1]")
     if not 0.0 <= fp_threshold <= 1.0:
         raise InvalidParameterError("fp_threshold must be in [0, 1]")
-    if view is None:
-        if dataset_size is None:
-            raise InvalidParameterError("provide either view or dataset_size")
-        view = np.arange(dataset_size, dtype=np.int64)
-    else:
-        view = np.asarray(view, dtype=np.int64)
-    predicted_positive = np.asarray(predicted_positive, dtype=np.int64)
-
-    ledger = oracle.ledger
-    start_sets, start_points, start_rounds = (
-        ledger.n_set_queries,
-        ledger.n_point_queries,
-        ledger.n_rounds,
+    # Bounds-check both index collections: negative entries (or entries
+    # past a known dataset_size) would silently wrap onto wrong objects.
+    view = resolve_view(view, dataset_size)
+    predicted_positive = resolve_view(
+        np.asarray(predicted_positive, dtype=np.int64), dataset_size
     )
 
-    def usage() -> TaskUsage:
-        return TaskUsage(
-            ledger.n_set_queries - start_sets,
-            ledger.n_point_queries - start_points,
-            ledger.n_rounds - start_rounds,
-        )
+    window = LedgerWindow(oracle.ledger)
+    usage = window.usage
 
     if len(predicted_positive) == 0:
         # Nothing predicted positive: straight to Group-Coverage.
-        fallback = group_coverage(oracle, group, tau, n=n, view=view)
+        fallback = execute_group_coverage(
+            oracle, group, tau, n=n, view=view, on_round=on_round
+        )
         return ClassifierCoverageResult(
             group=group,
             covered=fallback.covered,
@@ -245,8 +228,8 @@ def classifier_coverage(
     # was exhausted); hunt for the classifier's false negatives in D - G.
     assert exhausted, "early stop without reaching tau is impossible"
     complement = view[~np.isin(view, predicted_positive)]
-    fallback = group_coverage(
-        oracle, group, tau - len(verified), n=n, view=complement
+    fallback = execute_group_coverage(
+        oracle, group, tau - len(verified), n=n, view=complement, on_round=on_round
     )
     return ClassifierCoverageResult(
         group=group,
@@ -260,3 +243,59 @@ def classifier_coverage(
         fallback=fallback,
         sample_size=sample_size,
     )
+
+
+def classifier_coverage(
+    oracle: Oracle,
+    group: Group,
+    tau: int,
+    predicted_positive: np.ndarray,
+    *,
+    n: int = 50,
+    sample_fraction: float = 0.10,
+    fp_threshold: float = 0.25,
+    rng: np.random.Generator,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+) -> ClassifierCoverageResult:
+    """Run Algorithm 4.
+
+    Thin wrapper over :class:`~repro.audit.ClassifierAuditSpec` — the
+    :class:`~repro.audit.AuditSession` API is the blessed entry point.
+    ``view`` and ``predicted_positive`` entries are validated as dataset
+    indices: negative values raise :class:`InvalidParameterError`, as do
+    values ``>= dataset_size`` when it is supplied.
+
+    Parameters
+    ----------
+    group:
+        The target group ``g``.
+    predicted_positive:
+        Dataset indices the classifier labeled as ``g`` (the set ``G``).
+    sample_fraction:
+        Fraction of ``G`` point-labeled to estimate precision (the paper
+        found 10 % a good choice).
+    fp_threshold:
+        Choose Partition iff the estimated false-positive rate is below
+        this (the paper found 25 % a good choice).
+    view / dataset_size:
+        The full search space; the fallback Group-Coverage runs on
+        ``view`` minus ``G``.
+
+    Returns
+    -------
+    ClassifierCoverageResult
+    """
+    from repro.audit.runners import run_spec
+    from repro.audit.specs import ClassifierAuditSpec
+
+    spec = ClassifierAuditSpec(
+        group=group,
+        tau=tau,
+        predicted_positive=predicted_positive,
+        n=n,
+        sample_fraction=sample_fraction,
+        fp_threshold=fp_threshold,
+        view=view,
+    )
+    return run_spec(oracle, spec, rng=rng, dataset_size=dataset_size)

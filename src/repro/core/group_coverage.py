@@ -36,11 +36,11 @@ queries, speculative final-round batches waste some around early stops).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
-from repro.core.results import GroupCoverageResult, TaskUsage
+from repro.core.results import GroupCoverageResult, LedgerWindow, TaskUsage
 from repro.core.tree import PrunableQueue, TreeNode
 from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
@@ -52,7 +52,7 @@ if TYPE_CHECKING:
     from repro.engine.scheduler import QueryEngine
     from repro.engine.stats import EngineStats
 
-__all__ = ["GroupCoverageStepper", "group_coverage"]
+__all__ = ["GroupCoverageStepper", "group_coverage", "execute_group_coverage"]
 
 
 def _validate(n: int, tau: int) -> None:
@@ -276,6 +276,56 @@ class GroupCoverageStepper:
                 self._queue.add(right)
 
 
+def execute_group_coverage(
+    oracle: Oracle,
+    predicate: GroupPredicate,
+    tau: int,
+    *,
+    n: int = 50,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+    engine: "QueryEngine | None" = None,
+    on_round: "Callable[[], None] | None" = None,
+) -> GroupCoverageResult:
+    """Execution backend of Algorithm 1 (see :func:`group_coverage`).
+
+    This is what :meth:`repro.audit.AuditSession.run` dispatches a
+    :class:`~repro.audit.GroupAuditSpec` to; the :func:`group_coverage`
+    function form is a thin wrapper over the same code. ``on_round`` is
+    invoked after every oracle round-trip (each sequential answer, each
+    engine batch) — the session's progress-callback hook.
+    """
+    _validate(n, tau)
+    view = resolve_view(view, dataset_size)
+    if engine is not None:
+        engine.ensure_executes_for(oracle)
+
+    window = LedgerWindow(oracle.ledger)
+    stepper = GroupCoverageStepper(
+        predicate,
+        tau,
+        n=n,
+        view=view,
+        speculation=engine.speculation if engine is not None else 0,
+    )
+    engine_stats: "EngineStats | None" = None
+    if engine is None:
+        # Legacy sequential mode: ask the front of the FIFO, one query per
+        # round-trip, exactly as the paper executes Algorithm 1.
+        while not stepper.done:
+            request = stepper.pending(limit=1)[0]
+            answer = oracle.ask_set(request.indices, predicate)
+            stepper.feed({request.key: answer})
+            if on_round is not None:
+                on_round()
+    else:
+        snapshot = engine.snapshot()
+        engine.drive(stepper, on_round=on_round)
+        engine_stats = engine.stats_since(snapshot)
+
+    return stepper.result(tasks=window.usage(), engine_stats=engine_stats)
+
+
 def group_coverage(
     oracle: Oracle,
     predicate: GroupPredicate,
@@ -287,6 +337,13 @@ def group_coverage(
     engine: "QueryEngine | None" = None,
 ) -> GroupCoverageResult:
     """Run Algorithm 1.
+
+    This function form is a thin wrapper over the
+    :class:`~repro.audit.GroupAuditSpec` +
+    :class:`~repro.audit.AuditSession` API — the blessed entry point,
+    which additionally offers batched multi-spec dispatch, progress
+    callbacks, serializable report envelopes, and checkpoint/resume.
+    Behavior, verdicts, and task accounting are identical.
 
     Parameters
     ----------
@@ -346,41 +403,10 @@ def group_coverage(
     >>> batched.tasks.n_rounds < result.tasks.n_rounds
     True
     """
-    _validate(n, tau)
-    view = resolve_view(view, dataset_size)
-    if engine is not None:
-        engine.ensure_executes_for(oracle)
+    from repro.audit.runners import run_spec
+    from repro.audit.session import warn_on_adhoc_engine
+    from repro.audit.specs import GroupAuditSpec
 
-    ledger = oracle.ledger
-    start_sets, start_points, start_rounds = (
-        ledger.n_set_queries,
-        ledger.n_point_queries,
-        ledger.n_rounds,
-    )
-
-    stepper = GroupCoverageStepper(
-        predicate,
-        tau,
-        n=n,
-        view=view,
-        speculation=engine.speculation if engine is not None else 0,
-    )
-    engine_stats: "EngineStats | None" = None
-    if engine is None:
-        # Legacy sequential mode: ask the front of the FIFO, one query per
-        # round-trip, exactly as the paper executes Algorithm 1.
-        while not stepper.done:
-            request = stepper.pending(limit=1)[0]
-            answer = oracle.ask_set(request.indices, predicate)
-            stepper.feed({request.key: answer})
-    else:
-        snapshot = engine.snapshot()
-        engine.drive(stepper)
-        engine_stats = engine.stats_since(snapshot)
-
-    tasks = TaskUsage(
-        ledger.n_set_queries - start_sets,
-        ledger.n_point_queries - start_points,
-        ledger.n_rounds - start_rounds,
-    )
-    return stepper.result(tasks=tasks, engine_stats=engine_stats)
+    warn_on_adhoc_engine("group_coverage", oracle, engine)
+    spec = GroupAuditSpec(predicate=predicate, tau=tau, n=n, view=view)
+    return run_spec(oracle, spec, engine=engine, dataset_size=dataset_size)

@@ -18,12 +18,13 @@ members isolated inside uncovered super-groups with one point query each
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.core.multiple_coverage import multiple_coverage
-from repro.core.results import IntersectionalCoverageReport, TaskUsage
+from repro.core.multiple_coverage import execute_multiple_coverage
+from repro.core.results import IntersectionalCoverageReport, LedgerWindow
+from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
 from repro.data.schema import Schema
 from repro.errors import InvalidParameterError
@@ -33,7 +34,68 @@ from repro.patterns.graph import PatternGraph
 if TYPE_CHECKING:
     from repro.engine.scheduler import QueryEngine
 
-__all__ = ["intersectional_coverage"]
+__all__ = ["intersectional_coverage", "execute_intersectional_coverage"]
+
+
+def execute_intersectional_coverage(
+    oracle: Oracle,
+    schema: Schema,
+    tau: int,
+    *,
+    n: int = 50,
+    c: float = 2.0,
+    rng: np.random.Generator,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+    engine: "QueryEngine | None" = None,
+    on_round: Callable[[], None] | None = None,
+) -> IntersectionalCoverageReport:
+    """Execution backend of Algorithm 3 (see :func:`intersectional_coverage`).
+
+    Dispatched to by :meth:`repro.audit.AuditSession.run` for an
+    :class:`~repro.audit.IntersectionalAuditSpec`; ``on_round`` is
+    forwarded to the leaf-level Multiple-Coverage solve.
+    """
+    if schema.n_attributes < 1:
+        raise InvalidParameterError("schema must have at least one attribute")
+    # Validate the search space up front: bad view indices fail here, not
+    # deep inside the leaf solve after the sampling phase spent budget.
+    view = resolve_view(view, dataset_size) if view is not None else None
+    graph = PatternGraph(schema)
+    leaves = graph.leaves()
+    leaf_groups = [leaf.to_group() for leaf in leaves]
+
+    window = LedgerWindow(oracle.ledger)
+    leaf_report = execute_multiple_coverage(
+        oracle,
+        leaf_groups,
+        tau,
+        n=n,
+        c=c,
+        rng=rng,
+        view=view,
+        dataset_size=dataset_size,
+        multi=True,
+        attribute_supergroup_members=True,
+        engine=engine,
+        on_round=on_round,
+    )
+
+    leaf_results = {}
+    for leaf, group in zip(leaves, leaf_groups):
+        entry = leaf_report.entry_for(group)
+        # Covered leaves carry the tau certificate; uncovered leaves carry
+        # exact counts (guaranteed by attribute_supergroup_members=True).
+        count = max(entry.count, tau) if entry.covered else entry.count
+        leaf_results[leaf] = LeafCoverage(covered=entry.covered, count=count)
+
+    pattern_report = combine_leaf_coverage(graph, leaf_results, tau)
+    return IntersectionalCoverageReport(
+        leaf_report=leaf_report,
+        pattern_report=pattern_report,
+        tasks=window.usage(),
+        engine_stats=leaf_report.engine_stats,
+    )
 
 
 def intersectional_coverage(
@@ -49,6 +111,12 @@ def intersectional_coverage(
     engine: "QueryEngine | None" = None,
 ) -> IntersectionalCoverageReport:
     """Run Algorithm 3 over all attributes of ``schema``.
+
+    Thin wrapper over :class:`~repro.audit.IntersectionalAuditSpec` — the
+    :class:`~repro.audit.AuditSession` API is the blessed entry point.
+    ``view`` entries are validated up front (negative indices raise
+    :class:`InvalidParameterError`, as do indices ``>= dataset_size`` when
+    both are supplied).
 
     Parameters mirror :func:`~repro.core.multiple_coverage.multiple_coverage`;
     the target groups are derived internally as the fully-specified
@@ -80,50 +148,10 @@ def intersectional_coverage(
     >>> [m.describe() for m in report.mups]
     ['female-black']
     """
-    if schema.n_attributes < 1:
-        raise InvalidParameterError("schema must have at least one attribute")
-    graph = PatternGraph(schema)
-    leaves = graph.leaves()
-    leaf_groups = [leaf.to_group() for leaf in leaves]
+    from repro.audit.runners import run_spec
+    from repro.audit.session import warn_on_adhoc_engine
+    from repro.audit.specs import IntersectionalAuditSpec
 
-    ledger = oracle.ledger
-    start_sets, start_points, start_rounds = (
-        ledger.n_set_queries,
-        ledger.n_point_queries,
-        ledger.n_rounds,
-    )
-
-    leaf_report = multiple_coverage(
-        oracle,
-        leaf_groups,
-        tau,
-        n=n,
-        c=c,
-        rng=rng,
-        view=view,
-        dataset_size=dataset_size,
-        multi=True,
-        attribute_supergroup_members=True,
-        engine=engine,
-    )
-
-    leaf_results = {}
-    for leaf, group in zip(leaves, leaf_groups):
-        entry = leaf_report.entry_for(group)
-        # Covered leaves carry the tau certificate; uncovered leaves carry
-        # exact counts (guaranteed by attribute_supergroup_members=True).
-        count = max(entry.count, tau) if entry.covered else entry.count
-        leaf_results[leaf] = LeafCoverage(covered=entry.covered, count=count)
-
-    pattern_report = combine_leaf_coverage(graph, leaf_results, tau)
-    tasks = TaskUsage(
-        ledger.n_set_queries - start_sets,
-        ledger.n_point_queries - start_points,
-        ledger.n_rounds - start_rounds,
-    )
-    return IntersectionalCoverageReport(
-        leaf_report=leaf_report,
-        pattern_report=pattern_report,
-        tasks=tasks,
-        engine_stats=leaf_report.engine_stats,
-    )
+    warn_on_adhoc_engine("intersectional_coverage", oracle, engine)
+    spec = IntersectionalAuditSpec(schema=schema, tau=tau, n=n, c=c, view=view)
+    return run_spec(oracle, spec, engine=engine, rng=rng, dataset_size=dataset_size)

@@ -29,14 +29,14 @@ paper's pseudo-code. Passing an ``engine``
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.aggregate import aggregate_groups
-from repro.core.group_coverage import GroupCoverageStepper, group_coverage
+from repro.core.group_coverage import GroupCoverageStepper, execute_group_coverage
 from repro.core.views import resolve_view
-from repro.core.results import GroupCoverageResult, GroupEntry, MultipleCoverageReport, TaskUsage
+from repro.core.results import GroupCoverageResult, GroupEntry, LedgerWindow, MultipleCoverageReport
 from repro.core.sampling import LabeledPool, label_samples
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, SuperGroup
@@ -45,7 +45,7 @@ from repro.errors import InvalidParameterError
 if TYPE_CHECKING:
     from repro.engine.scheduler import QueryEngine
 
-__all__ = ["multiple_coverage"]
+__all__ = ["multiple_coverage", "execute_multiple_coverage"]
 
 
 def _singleton_entry(
@@ -124,6 +124,7 @@ def _run_supergroups_sequential(
     n: int,
     remaining_view: np.ndarray,
     attribute_supergroup_members: bool,
+    on_round: Callable[[], None] | None = None,
 ) -> dict[Group, GroupEntry]:
     """Phase 3, paper order: one Group-Coverage run per super-group, plus
     per-member re-runs when a genuine super-group comes back covered."""
@@ -131,12 +132,13 @@ def _run_supergroups_sequential(
     for super_group in super_groups:
         labeled_credit = sum(pool.count(member) for member in super_group)
         tau_prime = tau - labeled_credit
-        run = group_coverage(
+        run = execute_group_coverage(
             oracle,
             super_group if len(super_group) > 1 else super_group.members[0],
             max(tau_prime, 0),
             n=n,
             view=remaining_view,
+            on_round=on_round,
         )
         if len(super_group) == 1:
             _singleton_entry(entries, super_group, run, pool)
@@ -146,12 +148,13 @@ def _run_supergroups_sequential(
             # each member must be examined individually (sample credits
             # still apply).
             member_runs = {
-                member: group_coverage(
+                member: execute_group_coverage(
                     oracle,
                     member,
                     max(tau - pool.count(member), 0),
                     n=n,
                     view=remaining_view,
+                    on_round=on_round,
                 )
                 for member in super_group
             }
@@ -178,6 +181,7 @@ def _run_supergroups_engine(
     n: int,
     remaining_view: np.ndarray,
     attribute_supergroup_members: bool,
+    on_round: Callable[[], None] | None = None,
 ) -> dict[Group, GroupEntry]:
     """Phase 3, engine order: all super-group trees advance concurrently;
     covered super-groups spawn their penalty re-runs mid-flight."""
@@ -226,7 +230,7 @@ def _run_supergroups_engine(
             member_runs.setdefault(super_group, {})[member] = run
         return None
 
-    engine.run(roots, on_complete=on_complete)
+    engine.run(roots, on_complete=on_complete, on_round=on_round)
 
     entries: dict[Group, GroupEntry] = {}
     for super_group in super_groups:
@@ -250,6 +254,73 @@ def _run_supergroups_engine(
     return entries
 
 
+def execute_multiple_coverage(
+    oracle: Oracle,
+    groups: Sequence[Group],
+    tau: int,
+    *,
+    n: int = 50,
+    c: float = 2.0,
+    rng: np.random.Generator,
+    view: np.ndarray | None = None,
+    dataset_size: int | None = None,
+    multi: bool = False,
+    attribute_supergroup_members: bool = False,
+    engine: "QueryEngine | None" = None,
+    on_round: Callable[[], None] | None = None,
+) -> MultipleCoverageReport:
+    """Execution backend of Algorithm 2 (see :func:`multiple_coverage`).
+
+    Dispatched to by :meth:`repro.audit.AuditSession.run` for a
+    :class:`~repro.audit.MultipleAuditSpec`; ``on_round`` fires after
+    each Group-Coverage answer/engine batch in phase 3.
+    """
+    if tau <= 0:
+        raise InvalidParameterError(f"tau must be positive, got {tau}")
+    if not groups:
+        raise InvalidParameterError("multiple_coverage needs at least one group")
+    view = resolve_view(view, dataset_size)
+    if engine is not None:
+        engine.ensure_executes_for(oracle)
+
+    window = LedgerWindow(oracle.ledger)
+    engine_snapshot = engine.snapshot() if engine is not None else None
+
+    # Phase 1: sampling. Labeled objects leave the unlabeled pool for good.
+    remaining_view, pool = label_samples(
+        oracle, view, tau, c=c, rng=rng, batched=engine is not None
+    )
+
+    # Phase 2: super-group formation from the sampled estimates. N in the
+    # expectation formula is the full (pre-sampling) search-space size, as
+    # in the pseudo-code.
+    super_groups = aggregate_groups(
+        pool, len(view), tau, list(groups), multi=multi
+    )
+
+    # Phase 3: the Group-Coverage runs.
+    if engine is None:
+        entries = _run_supergroups_sequential(
+            oracle, super_groups, pool, tau, n,
+            remaining_view, attribute_supergroup_members, on_round,
+        )
+    else:
+        entries = _run_supergroups_engine(
+            oracle, engine, super_groups, pool, tau, n,
+            remaining_view, attribute_supergroup_members, on_round,
+        )
+
+    return MultipleCoverageReport(
+        entries=tuple(entries[g] for g in groups),
+        super_groups=super_groups,
+        sampled_counts={g: pool.count(g) for g in groups},
+        tasks=window.usage(),
+        engine_stats=(
+            engine.stats_since(engine_snapshot) if engine is not None else None
+        ),
+    )
+
+
 def multiple_coverage(
     oracle: Oracle,
     groups: Sequence[Group],
@@ -265,6 +336,9 @@ def multiple_coverage(
     engine: "QueryEngine | None" = None,
 ) -> MultipleCoverageReport:
     """Run Algorithm 2.
+
+    Thin wrapper over :class:`~repro.audit.MultipleAuditSpec` — the
+    :class:`~repro.audit.AuditSession` API is the blessed entry point.
 
     Parameters
     ----------
@@ -303,57 +377,18 @@ def multiple_coverage(
     -------
     MultipleCoverageReport
     """
-    if tau <= 0:
-        raise InvalidParameterError(f"tau must be positive, got {tau}")
-    if not groups:
-        raise InvalidParameterError("multiple_coverage needs at least one group")
-    view = resolve_view(view, dataset_size)
-    if engine is not None:
-        engine.ensure_executes_for(oracle)
+    from repro.audit.runners import run_spec
+    from repro.audit.session import warn_on_adhoc_engine
+    from repro.audit.specs import MultipleAuditSpec
 
-    ledger = oracle.ledger
-    start_sets, start_points, start_rounds = (
-        ledger.n_set_queries,
-        ledger.n_point_queries,
-        ledger.n_rounds,
+    warn_on_adhoc_engine("multiple_coverage", oracle, engine)
+    spec = MultipleAuditSpec(
+        groups=tuple(groups),
+        tau=tau,
+        n=n,
+        c=c,
+        multi=multi,
+        attribute_supergroup_members=attribute_supergroup_members,
+        view=view,
     )
-    engine_snapshot = engine.snapshot() if engine is not None else None
-
-    # Phase 1: sampling. Labeled objects leave the unlabeled pool for good.
-    remaining_view, pool = label_samples(
-        oracle, view, tau, c=c, rng=rng, batched=engine is not None
-    )
-
-    # Phase 2: super-group formation from the sampled estimates. N in the
-    # expectation formula is the full (pre-sampling) search-space size, as
-    # in the pseudo-code.
-    super_groups = aggregate_groups(
-        pool, len(view), tau, list(groups), multi=multi
-    )
-
-    # Phase 3: the Group-Coverage runs.
-    if engine is None:
-        entries = _run_supergroups_sequential(
-            oracle, super_groups, pool, tau, n,
-            remaining_view, attribute_supergroup_members,
-        )
-    else:
-        entries = _run_supergroups_engine(
-            oracle, engine, super_groups, pool, tau, n,
-            remaining_view, attribute_supergroup_members,
-        )
-
-    tasks = TaskUsage(
-        ledger.n_set_queries - start_sets,
-        ledger.n_point_queries - start_points,
-        ledger.n_rounds - start_rounds,
-    )
-    return MultipleCoverageReport(
-        entries=tuple(entries[g] for g in groups),
-        super_groups=super_groups,
-        sampled_counts={g: pool.count(g) for g in groups},
-        tasks=tasks,
-        engine_stats=(
-            engine.stats_since(engine_snapshot) if engine is not None else None
-        ),
-    )
+    return run_spec(oracle, spec, engine=engine, rng=rng, dataset_size=dataset_size)

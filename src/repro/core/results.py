@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # avoid a runtime core -> engine import cycle
 
 __all__ = [
     "TaskUsage",
+    "LedgerWindow",
     "GroupCoverageResult",
     "GroupEntry",
     "MultipleCoverageReport",
@@ -50,6 +51,32 @@ class TaskUsage:
             self.n_set_queries + other.n_set_queries,
             self.n_point_queries + other.n_point_queries,
             self.n_rounds + other.n_rounds,
+        )
+
+
+class LedgerWindow:
+    """Snapshot of a ledger's counters; :meth:`usage` is the delta since.
+
+    The standard way a run attributes its crowd cost: open a window on
+    the oracle's :class:`~repro.crowd.oracle.TaskLedger` before the
+    work, read ``usage()`` after. Shared by every algorithm executor and
+    by :class:`~repro.audit.AuditSession`, so a new :class:`TaskUsage`
+    counter only has to be wired up once.
+    """
+
+    __slots__ = ("_ledger", "_sets", "_points", "_rounds")
+
+    def __init__(self, ledger) -> None:
+        self._ledger = ledger
+        self._sets = ledger.n_set_queries
+        self._points = ledger.n_point_queries
+        self._rounds = ledger.n_rounds
+
+    def usage(self) -> TaskUsage:
+        return TaskUsage(
+            self._ledger.n_set_queries - self._sets,
+            self._ledger.n_point_queries - self._points,
+            self._ledger.n_rounds - self._rounds,
         )
 
 

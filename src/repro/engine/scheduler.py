@@ -134,11 +134,22 @@ class QueryEngine:
     def ensure_executes_for(self, oracle: "Oracle") -> None:
         """Raise unless this engine dispatches to ``oracle`` — algorithms
         call this so a mismatched engine cannot silently charge one
-        ledger while the algorithm snapshots another."""
-        if self.oracle is not oracle:
-            raise InvalidParameterError(
-                "engine must be constructed over the same oracle it executes for"
-            )
+        ledger while the algorithm snapshots another.
+
+        An :class:`~repro.audit.AuditSession` hands algorithms a
+        recording proxy around the oracle it was bound to; the proxy
+        shares the raw oracle's ledger, so either side of the pair is
+        accepted.
+        """
+        if self.oracle is oracle:
+            return
+        if getattr(oracle, "_session_inner", None) is self.oracle:
+            return
+        if getattr(self.oracle, "_session_inner", None) is oracle:
+            return
+        raise InvalidParameterError(
+            "engine must be constructed over the same oracle it executes for"
+        )
 
     # -- statistics ------------------------------------------------------
     def snapshot(self) -> EngineStats:
@@ -169,17 +180,31 @@ class QueryEngine:
         steppers: Iterable[CoverageStepper],
         *,
         on_complete: CompletionHook | None = None,
-    ) -> None:
+        on_round: Callable[[], None] | None = None,
+    ) -> dict[CoverageStepper, int]:
         """Drive ``steppers`` (plus any their completions spawn) to done.
 
         Each scheduler round collects ready queries across all active
         runs, answers them via cache/dedup/batched dispatch, and feeds
         the results back. Completion order is deterministic: steppers are
-        polled in submission order.
+        polled in submission order. ``on_round`` (when given) fires after
+        every scheduler round — the progress hook audit sessions use.
+
+        Returns
+        -------
+        dict
+            Per-stepper count of set queries dispatched to the oracle on
+            its behalf. A query several steppers asked in the same round
+            is attributed to the first requester (the one that caused the
+            dispatch); cache hits are attributed to nobody. Summed over
+            all steppers this equals the window's dispatched-query total,
+            so it splits the dollar bill of a shared run across its runs.
         """
         active: list[CoverageStepper] = []
+        dispatched_for: dict[CoverageStepper, int] = {}
 
         def admit(stepper: CoverageStepper) -> None:
+            dispatched_for.setdefault(stepper, 0)
             # A stepper can be born done (tau=0, empty view): complete it
             # immediately so its spawn chain still runs.
             if stepper.done:
@@ -202,9 +227,15 @@ class QueryEngine:
                     )
                 per_stepper.append((stepper, requests))
 
-            answers = self._resolve(
+            answers, dispatched_keys = self._resolve(
                 [request for _, requests in per_stepper for request in requests]
             )
+            unclaimed = set(dispatched_keys)
+            for stepper, requests in per_stepper:
+                for request in requests:
+                    if request.key in unclaimed:
+                        unclaimed.discard(request.key)
+                        dispatched_for[stepper] += 1
 
             still_active: list[CoverageStepper] = []
             for stepper, requests in per_stepper:
@@ -219,10 +250,18 @@ class QueryEngine:
             # keep them for the next round alongside the survivors.
             spawned = active[len(per_stepper):]
             active = still_active + spawned
+            if on_round is not None:
+                on_round()
+        return dispatched_for
 
-    def drive(self, stepper: CoverageStepper) -> None:
+    def drive(
+        self,
+        stepper: CoverageStepper,
+        *,
+        on_round: Callable[[], None] | None = None,
+    ) -> None:
         """Convenience wrapper: run a single stepper to completion."""
-        self.run([stepper])
+        self.run([stepper], on_round=on_round)
 
     # -- internals -------------------------------------------------------
     def _complete(
@@ -236,8 +275,13 @@ class QueryEngine:
         for spawned in on_complete(stepper) or ():
             admit(spawned)
 
-    def _resolve(self, requests: Sequence[SetRequest]) -> dict[QueryKey, bool]:
-        """Answer every request via cache, in-flight dedup, or dispatch."""
+    def _resolve(
+        self, requests: Sequence[SetRequest]
+    ) -> tuple[dict[QueryKey, bool], set[QueryKey]]:
+        """Answer every request via cache, in-flight dedup, or dispatch.
+
+        Returns the answers plus the keys that actually went to the
+        oracle (for per-stepper cost attribution in :meth:`run`)."""
         answers: dict[QueryKey, bool] = {}
         to_dispatch: dict[QueryKey, SetRequest] = {}
         for request in requests:
@@ -261,4 +305,4 @@ class QueryEngine:
                 self.cache.store(request.key, answer)
                 answers[request.key] = answer
         self.dispatched_queries += len(fresh)
-        return answers
+        return answers, set(to_dispatch)

@@ -22,9 +22,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.base_coverage import base_coverage
+from repro.audit import AuditSession, BaseAuditSpec, GroupAuditSpec
 from repro.core.bounds import upper_bound_tasks
-from repro.core.group_coverage import group_coverage
 from repro.crowd.oracle import GroundTruthOracle
 from repro.data.groups import group
 from repro.data.synthetic import binary_dataset
@@ -73,14 +72,12 @@ def _measure_point(
 ) -> tuple[int, int]:
     """Task counts of one Group-Coverage and one Base-Coverage run."""
     dataset = binary_dataset(n_total, n_females, rng=rng)
-    result = group_coverage(
-        GroundTruthOracle(dataset), FEMALE, tau, n=n, dataset_size=n_total
-    )
+    with AuditSession(GroundTruthOracle(dataset)) as session:
+        result = session.run(GroupAuditSpec(predicate=FEMALE, tau=tau, n=n))
     base_tasks = 0
     if include_base:
-        base = base_coverage(
-            GroundTruthOracle(dataset), FEMALE, tau, dataset_size=n_total
-        )
+        with AuditSession(GroundTruthOracle(dataset)) as session:
+            base = session.run(BaseAuditSpec(predicate=FEMALE, tau=tau))
         base_tasks = base.tasks.total
     return result.tasks.total, base_tasks
 

@@ -18,9 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.base_coverage import base_coverage
+from repro.audit import AuditSession, BaseAuditSpec, GroupAuditSpec
 from repro.core.bounds import upper_bound_tasks
-from repro.core.group_coverage import group_coverage
 from repro.crowd.oracle import CrowdOracle
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.quality import (
@@ -89,15 +88,17 @@ def run_table1(
         group_platform = CrowdPlatform(
             dataset, workers, rng, screening=screening, record_hits=False
         )
-        group_result = group_coverage(
-            CrowdOracle(group_platform), FEMALE, tau, n=n, dataset_size=len(dataset)
-        )
+        with AuditSession(CrowdOracle(group_platform)) as session:
+            group_result = session.run(
+                GroupAuditSpec(predicate=FEMALE, tau=tau, n=n)
+            ).result
         base_platform = CrowdPlatform(
             dataset, workers, rng, screening=screening, record_hits=False
         )
-        base_result = base_coverage(
-            CrowdOracle(base_platform), FEMALE, tau, dataset_size=len(dataset)
-        )
+        with AuditSession(CrowdOracle(base_platform)) as session:
+            base_result = session.run(
+                BaseAuditSpec(predicate=FEMALE, tau=tau)
+            ).result
 
         total_raw_answers = group_platform.n_raw_answers + base_platform.n_raw_answers
         total_raw_incorrect = (

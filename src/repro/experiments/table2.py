@@ -19,9 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.audit import AuditSession, ClassifierAuditSpec, GroupAuditSpec
 from repro.classifiers.pretrained import FEMALE, PaperProfile, table2_rows
-from repro.core.classifier_coverage import classifier_coverage
-from repro.core.group_coverage import group_coverage
 from repro.crowd.oracle import GroundTruthOracle
 from repro.experiments.harness import trial_rngs
 from repro.experiments.reporting import render_table
@@ -60,18 +59,20 @@ def run_table2(
             truth_covered = dataset.count(FEMALE) >= tau
             predicted = classifier.predicted_positive_indices(dataset, rng)
 
-            oracle = GroundTruthOracle(dataset)
-            result = classifier_coverage(
-                oracle, FEMALE, tau, predicted, n=n, rng=rng, dataset_size=len(dataset)
-            )
+            with AuditSession(GroundTruthOracle(dataset), rng=rng) as session:
+                result = session.run(
+                    ClassifierAuditSpec(
+                        group=FEMALE, tau=tau, predicted_positive=predicted, n=n
+                    )
+                ).result
             classifier_hits.append(result.tasks.total)
             strategies.append(result.strategy)
             verdicts_ok &= result.covered == truth_covered
 
-            oracle = GroundTruthOracle(dataset)
-            baseline = group_coverage(
-                oracle, FEMALE, tau, n=n, dataset_size=len(dataset)
-            )
+            with AuditSession(GroundTruthOracle(dataset)) as session:
+                baseline = session.run(
+                    GroupAuditSpec(predicate=FEMALE, tau=tau, n=n)
+                ).result
             group_hits.append(baseline.tasks.total)
             verdicts_ok &= baseline.covered == truth_covered
 

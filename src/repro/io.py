@@ -6,10 +6,12 @@ These helpers flatten every report type into nested dicts of primitives
 an audit trail, attach them to data-card documentation, or diff them
 across dataset versions.
 
-Only *export* is provided. Reports reference live predicate/pattern
-objects whose reconstruction would need the schema; round-tripping is a
-non-goal — the JSON form is the human/archival format, the Python objects
-are the working format.
+Only *export* is provided here: this JSON form is the flat,
+human-readable archival format (descriptions instead of structure).
+For **lossless** round-tripping — reports that cross a process boundary
+and come back equal — use the :mod:`repro.audit` codecs
+(:func:`repro.audit.result_to_dict` / :func:`repro.audit.result_from_dict`)
+or the :class:`repro.audit.AuditReport` envelope's ``to_json``/``from_json``.
 """
 
 from __future__ import annotations

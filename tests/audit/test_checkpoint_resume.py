@@ -1,0 +1,219 @@
+"""Checkpoint/resume: pay for every answer once, reach the same verdict."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AuditSession,
+    GroupAuditSpec,
+    MultipleAuditSpec,
+)
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset, single_attribute_dataset
+from repro.errors import BudgetExceededError, InvalidParameterError
+
+FEMALE = group(gender="female")
+
+
+class RecordingOracle(GroundTruthOracle):
+    """Ground truth plus a log of every set/point question actually asked."""
+
+    def __init__(self, dataset, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.set_keys: list = []
+        self.point_indices: list[int] = []
+
+    def _answer_set(self, indices, predicate):
+        self.set_keys.append(
+            (predicate, np.ascontiguousarray(indices, dtype=np.int64).tobytes())
+        )
+        return super()._answer_set(indices, predicate)
+
+    def _answer_set_batch(self, queries):
+        self.set_keys.extend(
+            (predicate, indices.tobytes()) for indices, predicate in queries
+        )
+        return super()._answer_set_batch(queries)
+
+    def _answer_point(self, index):
+        self.point_indices.append(index)
+        return super()._answer_point(index)
+
+    def _answer_point_batch(self, indices):
+        self.point_indices.extend(indices)
+        return [super(RecordingOracle, self)._answer_point(i) for i in indices]
+
+
+@pytest.fixture
+def dataset():
+    return binary_dataset(4000, 35, rng=np.random.default_rng(5))
+
+
+@pytest.mark.parametrize("engine", [None, True], ids=["sequential", "engine"])
+def test_resume_reaches_same_verdict_without_reasking(dataset, engine):
+    spec = GroupAuditSpec(predicate=FEMALE, tau=50)
+
+    reference_oracle = GroundTruthOracle(dataset)
+    with AuditSession(reference_oracle, engine=engine) as session:
+        reference = session.run(spec)
+
+    oracle = RecordingOracle(dataset)
+    session = AuditSession(oracle, engine=engine, task_budget=60)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(spec)
+    assert session.pending_specs == (spec,)
+    paid_before = oracle.ledger.total
+    assert 0 < paid_before <= 60
+    first_phase = set(oracle.set_keys)
+    checkpoint = session.checkpoint()
+
+    resumed = AuditSession.resume(checkpoint, oracle)
+    assert resumed.pending_specs == (spec,)
+    mark = len(oracle.set_keys)
+    with resumed:
+        report = resumed.run_pending()
+    second_phase = set(oracle.set_keys[mark:])
+
+    # Not a single query the first phase paid for was asked again.
+    assert not (first_phase & second_phase)
+    # Same verdict and count as the uninterrupted reference, and the
+    # two phases together paid exactly the uninterrupted bill.
+    assert report.result.covered == reference.result.covered
+    assert report.result.count == reference.result.count
+    assert oracle.ledger.total == reference.result.tasks.total
+
+
+def test_resume_restores_budget_semantics(dataset):
+    spec = GroupAuditSpec(predicate=FEMALE, tau=50)
+    oracle = GroundTruthOracle(dataset, budget=40)
+    session = AuditSession(oracle, engine=True)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(spec)
+    checkpoint = session.checkpoint()
+
+    # Resume with a raised budget on the same oracle.
+    resumed = AuditSession.resume(checkpoint, oracle, task_budget=10_000)
+    with resumed:
+        report = resumed.run_pending()
+    assert report.result.covered is False
+    # close() restored the oracle's own (exhausted) budget.
+    assert oracle.ledger.budget == 40
+
+
+def test_checkpoint_round_trips_rng_dependent_specs():
+    """With seed= the sampling phase re-draws identically on resume, so
+    point queries replay from the checkpoint instead of re-charging."""
+    counts = {"white": 900, "black": 60, "asian": 45}
+    dataset = single_attribute_dataset(counts, rng=np.random.default_rng(9))
+    groups = tuple(group(race=value) for value in counts)
+    spec = MultipleAuditSpec(groups=groups, tau=40)
+
+    reference_oracle = GroundTruthOracle(dataset)
+    with AuditSession(reference_oracle, engine=True, seed=13) as session:
+        reference = session.run(spec)
+
+    oracle = RecordingOracle(dataset)
+    session = AuditSession(oracle, engine=True, seed=13, task_budget=90)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(spec)
+    first_sets = set(oracle.set_keys)
+    first_points = set(oracle.point_indices)
+    checkpoint = session.checkpoint()
+
+    resumed = AuditSession.resume(checkpoint, oracle)
+    set_mark, point_mark = len(oracle.set_keys), len(oracle.point_indices)
+    with resumed:
+        report = resumed.run_pending()
+
+    assert not (first_sets & set(oracle.set_keys[set_mark:]))
+    assert not (first_points & set(oracle.point_indices[point_mark:]))
+    for ours, theirs in zip(report.result.entries, reference.result.entries):
+        assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+    assert oracle.ledger.total == reference.result.tasks.total
+
+
+def test_resume_restores_rng_stream_position():
+    """A session that completed an rng-consuming run *before* the
+    interrupted one must resume from the interrupted spec's stream
+    position, not from the seed — otherwise the resumed sampling phase
+    re-draws the earlier spec's samples and re-charges the crowd."""
+    counts = {"white": 900, "black": 60, "asian": 45, "hispanic": 30}
+    dataset = single_attribute_dataset(counts, rng=np.random.default_rng(9))
+    first = MultipleAuditSpec(groups=(group(race="white"), group(race="black")), tau=40)
+    second = MultipleAuditSpec(groups=(group(race="asian"), group(race="hispanic")), tau=40)
+
+    reference_oracle = GroundTruthOracle(dataset)
+    with AuditSession(reference_oracle, engine=True, seed=13) as session:
+        session.run(first)
+        reference = session.run(second)
+
+    oracle = RecordingOracle(dataset)
+    session = AuditSession(oracle, engine=True, seed=13)
+    with session:
+        session.run(first)  # advances the rng stream past `first`
+    session = AuditSession(oracle, engine=True, rng=session.rng, task_budget=oracle.ledger.total + 90)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(second)
+    first_points = set(oracle.point_indices)
+    checkpoint = session.checkpoint()
+
+    resumed = AuditSession.resume(checkpoint, oracle)
+    point_mark = len(oracle.point_indices)
+    with resumed:
+        report = resumed.run_pending()
+
+    # No point query from either earlier phase was re-asked, and the
+    # verdicts match the uninterrupted two-spec reference exactly.
+    assert not (first_points & set(oracle.point_indices[point_mark:]))
+    for ours, theirs in zip(report.result.entries, reference.result.entries):
+        assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+    assert oracle.ledger.total == reference_oracle.ledger.total
+
+
+def test_failed_validation_does_not_poison_pending(dataset):
+    """A spec that dies on parameter validation is not resumable work;
+    it must not linger in pending_specs and break later checkpoints."""
+    from repro.errors import InvalidParameterError
+
+    with AuditSession(GroundTruthOracle(dataset), engine=True) as session:
+        bad = GroupAuditSpec(predicate=FEMALE, tau=5, view=(0, len(dataset) + 7))
+        with pytest.raises(InvalidParameterError):
+            session.run(bad)
+        assert session.pending_specs == ()
+        with pytest.raises(InvalidParameterError):
+            session.run_many([bad, GroupAuditSpec(predicate=FEMALE, tau=5)])
+        assert session.pending_specs == ()
+        checkpoint = session.checkpoint()
+    resumed = AuditSession.resume(checkpoint, GroundTruthOracle(dataset))
+    assert resumed.pending_specs == ()
+
+
+def test_checkpoint_survives_json_and_rejects_unknown_version(dataset):
+    import json
+
+    oracle = GroundTruthOracle(dataset)
+    session = AuditSession(oracle, engine=True, task_budget=40)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(GroupAuditSpec(predicate=FEMALE, tau=50))
+    payload = json.loads(session.checkpoint())
+    assert payload["version"] == 1
+    assert payload["pending"]
+    assert payload["set_answers"]
+
+    payload["version"] = 99
+    with pytest.raises(InvalidParameterError):
+        AuditSession.resume(json.dumps(payload), oracle)
+
+
+def test_run_pending_requires_pending_specs(dataset):
+    with AuditSession(GroundTruthOracle(dataset)) as session:
+        with pytest.raises(InvalidParameterError):
+            session.run_pending()

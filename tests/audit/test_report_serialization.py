@@ -1,0 +1,245 @@
+"""JSON round-trips for every result dataclass in `core/results.py`.
+
+Each type is exercised twice: synthetically (hand-built instances hit
+every field, including the odd corners) and end-to-end (real algorithm
+outputs embedded in an AuditReport). Round trips must reconstruct
+**equal** objects — structure, predicates, counters, floats, all of it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AuditEntry,
+    AuditReport,
+    AuditSession,
+    ClassifierAuditSpec,
+    GroupAuditSpec,
+    IntersectionalAuditSpec,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.audit.serialization import (
+    engine_stats_from_dict,
+    engine_stats_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+    task_usage_from_dict,
+    task_usage_to_dict,
+)
+from repro.core.results import (
+    ClassifierCoverageResult,
+    GroupCoverageResult,
+    GroupEntry,
+    IntersectionalCoverageReport,
+    MultipleCoverageReport,
+    TaskUsage,
+)
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import Negation, SuperGroup, group
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
+from repro.engine.stats import EngineStats
+from repro.errors import InvalidParameterError
+from repro.patterns.combiner import LeafCoverage, combine_leaf_coverage
+from repro.patterns.graph import PatternGraph
+
+FEMALE = group(gender="female")
+MALE = group(gender="male")
+
+
+def json_round_trip(result):
+    return result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+
+
+class TestScalarCodecs:
+    def test_task_usage(self):
+        usage = TaskUsage(n_set_queries=3, n_point_queries=5, n_rounds=2)
+        assert task_usage_from_dict(task_usage_to_dict(usage)) == usage
+
+    def test_engine_stats(self):
+        stats = EngineStats(4, 3, 100, 7, 12, 88)
+        assert engine_stats_from_dict(engine_stats_to_dict(stats)) == stats
+        assert engine_stats_to_dict(None) is None
+        assert engine_stats_from_dict(None) is None
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            FEMALE,
+            group(gender="female", race="asian"),
+            SuperGroup([FEMALE, MALE]),
+            Negation(FEMALE),
+            Negation(SuperGroup([FEMALE, MALE])),
+        ],
+        ids=lambda p: p.describe(),
+    )
+    def test_predicates(self, predicate):
+        rebuilt = predicate_from_dict(
+            json.loads(json.dumps(predicate_to_dict(predicate)))
+        )
+        assert rebuilt == predicate
+        assert hash(rebuilt) == hash(predicate)
+
+
+class TestSyntheticResults:
+    def test_group_coverage_result(self):
+        result = GroupCoverageResult(
+            predicate=SuperGroup([FEMALE, MALE]),
+            covered=True,
+            count=12,
+            tau=12,
+            tasks=TaskUsage(40, 2, 11),
+            discovered_indices=(9, 4, 400),
+            engine_stats=EngineStats(3, 2, 40, 1, 5, 35),
+        )
+        assert json_round_trip(result) == result
+
+    def test_multiple_coverage_report(self):
+        sg = SuperGroup([FEMALE, MALE])
+        report = MultipleCoverageReport(
+            entries=(
+                GroupEntry(
+                    group=FEMALE,
+                    covered=False,
+                    count=3,
+                    count_is_exact=True,
+                    via_supergroup=sg,
+                ),
+                GroupEntry(
+                    group=MALE, covered=True, count=50, count_is_exact=False
+                ),
+            ),
+            super_groups=(sg,),
+            sampled_counts={FEMALE: 1, MALE: 42},
+            tasks=TaskUsage(10, 100, 7),
+            engine_stats=None,
+        )
+        assert json_round_trip(report) == report
+
+    def test_classifier_coverage_result_with_fallback(self):
+        fallback = GroupCoverageResult(
+            predicate=FEMALE,
+            covered=False,
+            count=7,
+            tau=9,
+            tasks=TaskUsage(30, 0, 30),
+            discovered_indices=(1, 2),
+        )
+        result = ClassifierCoverageResult(
+            group=FEMALE,
+            covered=False,
+            count=48,
+            tau=50,
+            strategy="partition",
+            precision_estimate=0.8333333333333334,
+            verified_count=41,
+            tasks=TaskUsage(44, 12, 50),
+            fallback=fallback,
+            sample_size=12,
+        )
+        rebuilt = json_round_trip(result)
+        assert rebuilt == result
+        # Floats survive exactly (json uses repr round-tripping).
+        assert rebuilt.precision_estimate == result.precision_estimate
+
+    def test_intersectional_coverage_report(self):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        graph = PatternGraph(schema)
+        leaf_results = {}
+        for leaf in graph.leaves():
+            covered = leaf.matches_row({"gender": "male", "race": "white"})
+            leaf_results[leaf] = LeafCoverage(
+                covered=covered, count=30 if covered else 4
+            )
+        pattern_report = combine_leaf_coverage(graph, leaf_results, tau=30)
+        leaf_report = MultipleCoverageReport(
+            entries=(
+                GroupEntry(
+                    group=group(gender="male", race="white"),
+                    covered=True,
+                    count=30,
+                    count_is_exact=False,
+                ),
+            ),
+            super_groups=(SuperGroup([group(gender="male", race="white")]),),
+            sampled_counts={group(gender="male", race="white"): 10},
+            tasks=TaskUsage(5, 60, 3),
+            engine_stats=EngineStats(1, 1, 5, 0, 0, 5),
+        )
+        report = IntersectionalCoverageReport(
+            leaf_report=leaf_report,
+            pattern_report=pattern_report,
+            tasks=TaskUsage(5, 60, 3),
+            engine_stats=EngineStats(1, 1, 5, 0, 0, 5),
+        )
+        rebuilt = json_round_trip(report)
+        assert rebuilt == report
+        assert rebuilt.mups == report.mups
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            result_to_dict(object())
+        with pytest.raises(InvalidParameterError):
+            result_from_dict({"kind": "mystery"})
+
+
+class TestEndToEnd:
+    """Real algorithm outputs, through the AuditReport envelope."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        return schema, intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 600,
+                ("female", "white"): 90,
+                ("male", "black"): 70,
+                ("female", "black"): 6,
+            },
+            rng=np.random.default_rng(21),
+        )
+
+    def test_intersectional_report_round_trips(self, dataset):
+        schema, ds = dataset
+        with AuditSession(GroundTruthOracle(ds), engine=True, seed=5) as session:
+            report = session.run(IntersectionalAuditSpec(schema=schema, tau=40))
+        rebuilt = AuditReport.from_json(report.to_json())
+        assert rebuilt == report
+        assert rebuilt.result.mups == report.result.mups
+
+    def test_classifier_report_round_trips(self, dataset):
+        schema, ds = dataset
+        predicted = np.flatnonzero(ds.mask(FEMALE))[:80]
+        with AuditSession(GroundTruthOracle(ds), seed=5) as session:
+            report = session.run(
+                ClassifierAuditSpec(
+                    group=FEMALE, tau=60, predicted_positive=predicted
+                )
+            )
+        assert AuditReport.from_json(report.to_json()) == report
+
+    def test_audit_entry_round_trips(self, dataset):
+        schema, ds = dataset
+        with AuditSession(GroundTruthOracle(ds)) as session:
+            report = session.run(GroupAuditSpec(predicate=FEMALE, tau=10))
+        entry = report.entries[0]
+        assert AuditEntry.from_dict(entry.to_dict()) == entry
+
+    def test_report_version_is_checked(self, dataset):
+        schema, ds = dataset
+        with AuditSession(GroundTruthOracle(ds)) as session:
+            report = session.run(GroupAuditSpec(predicate=FEMALE, tau=10))
+        payload = report.to_dict()
+        payload["version"] = 0
+        with pytest.raises(InvalidParameterError):
+            AuditReport.from_dict(payload)

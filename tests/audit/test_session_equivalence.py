@@ -1,0 +1,241 @@
+"""Randomized equivalence: `session.run(spec)` == the legacy function.
+
+The acceptance bar of the AuditSession redesign: for seeded workloads a
+sequential session produces **bit-identical** verdicts, counts, and task
+usage to the legacy function call (they share one execution path, but
+these tests would catch any drift), engine sessions preserve verdicts
+and counts, and every report envelope survives a JSON round trip
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AuditReport,
+    AuditSession,
+    BaseAuditSpec,
+    ClassifierAuditSpec,
+    GroupAuditSpec,
+    IntersectionalAuditSpec,
+    MultipleAuditSpec,
+)
+from repro.core.base_coverage import base_coverage
+from repro.core.classifier_coverage import classifier_coverage
+from repro.core.group_coverage import group_coverage
+from repro.core.intersectional_coverage import intersectional_coverage
+from repro.core.multiple_coverage import multiple_coverage
+from repro.crowd.oracle import FlakyOracle, GroundTruthOracle
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset, single_attribute_dataset
+
+FEMALE = group(gender="female")
+
+SEEDS = [3, 11, 29]
+
+
+def make_dataset(seed: int):
+    rng = np.random.default_rng(seed)
+    counts = {
+        "white": int(rng.integers(500, 1200)),
+        "black": int(rng.integers(10, 120)),
+        "asian": int(rng.integers(10, 120)),
+        "hispanic": int(rng.integers(0, 60)),
+    }
+    return counts, single_attribute_dataset(counts, attribute="race", rng=rng)
+
+
+def make_gender_dataset(seed: int):
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_dict({"gender": ["male", "female"]})
+    n_female = int(rng.integers(0, 120))
+    return intersectional_dataset(
+        schema,
+        {("male",): 900, ("female",): n_female},
+        rng=rng,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSequentialBitEquivalence:
+    """Sequential sessions must match the legacy calls exactly — verdict,
+    count, discovered members, and TaskUsage down to the round counter."""
+
+    def test_group_coverage(self, seed):
+        counts, dataset = make_dataset(seed)
+        target = group(race="black")
+        legacy = group_coverage(
+            GroundTruthOracle(dataset), target, 60, n=40, dataset_size=len(dataset)
+        )
+        with AuditSession(GroundTruthOracle(dataset)) as session:
+            report = session.run(GroupAuditSpec(predicate=target, tau=60, n=40))
+        assert report.result == legacy
+        assert report.tasks == legacy.tasks
+
+    def test_group_coverage_noisy_oracle(self, seed):
+        counts, dataset = make_dataset(seed)
+        target = group(race="asian")
+        legacy = group_coverage(
+            FlakyOracle(dataset, np.random.default_rng(seed), set_error_rate=0.05),
+            target,
+            40,
+            dataset_size=len(dataset),
+        )
+        oracle = FlakyOracle(
+            dataset, np.random.default_rng(seed), set_error_rate=0.05
+        )
+        with AuditSession(oracle) as session:
+            report = session.run(GroupAuditSpec(predicate=target, tau=40))
+        assert report.result == legacy
+
+    def test_base_coverage(self, seed):
+        counts, dataset = make_dataset(seed)
+        target = group(race="hispanic")
+        legacy = base_coverage(
+            GroundTruthOracle(dataset), target, 20, dataset_size=len(dataset)
+        )
+        with AuditSession(GroundTruthOracle(dataset)) as session:
+            report = session.run(BaseAuditSpec(predicate=target, tau=20))
+        assert report.result == legacy
+        assert report.tasks == legacy.tasks
+
+    def test_multiple_coverage(self, seed):
+        counts, dataset = make_dataset(seed)
+        groups = [group(race=value) for value in counts]
+        legacy = multiple_coverage(
+            GroundTruthOracle(dataset),
+            groups,
+            50,
+            rng=np.random.default_rng(seed),
+            dataset_size=len(dataset),
+        )
+        with AuditSession(GroundTruthOracle(dataset), seed=seed) as session:
+            report = session.run(MultipleAuditSpec(groups=tuple(groups), tau=50))
+        assert report.result == legacy
+        assert report.tasks == legacy.tasks
+
+    def test_intersectional_coverage(self, seed):
+        rng = np.random.default_rng(seed)
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 500,
+                ("female", "white"): int(rng.integers(5, 150)),
+                ("male", "black"): int(rng.integers(5, 150)),
+                ("female", "black"): int(rng.integers(0, 30)),
+            },
+            rng=rng,
+        )
+        legacy = intersectional_coverage(
+            GroundTruthOracle(dataset),
+            schema,
+            40,
+            rng=np.random.default_rng(seed + 1),
+            dataset_size=len(dataset),
+        )
+        with AuditSession(GroundTruthOracle(dataset), seed=seed + 1) as session:
+            report = session.run(IntersectionalAuditSpec(schema=schema, tau=40))
+        assert report.result == legacy
+        assert report.tasks == legacy.tasks
+
+    def test_classifier_coverage(self, seed):
+        dataset = make_gender_dataset(seed)
+        truth = dataset.mask(FEMALE)
+        rng = np.random.default_rng(seed)
+        noisy = truth ^ (rng.random(len(dataset)) < 0.05)
+        predicted = np.flatnonzero(noisy)
+        legacy = classifier_coverage(
+            GroundTruthOracle(dataset),
+            FEMALE,
+            50,
+            predicted,
+            rng=np.random.default_rng(seed + 2),
+            dataset_size=len(dataset),
+        )
+        with AuditSession(GroundTruthOracle(dataset), seed=seed + 2) as session:
+            report = session.run(
+                ClassifierAuditSpec(
+                    group=FEMALE, tau=50, predicted_positive=predicted
+                )
+            )
+        assert report.result == legacy
+        assert report.tasks == legacy.tasks
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEngineSessionEquivalence:
+    """Engine sessions preserve verdicts/counts (tasks may differ by the
+    documented speculation/caching deltas)."""
+
+    def test_group_coverage_verdicts(self, seed):
+        counts, dataset = make_dataset(seed)
+        target = group(race="black")
+        legacy = group_coverage(
+            GroundTruthOracle(dataset), target, 60, dataset_size=len(dataset)
+        )
+        with AuditSession(GroundTruthOracle(dataset), engine=True) as session:
+            report = session.run(GroupAuditSpec(predicate=target, tau=60))
+        assert report.result.covered == legacy.covered
+        assert report.result.count == legacy.count
+        assert report.result.discovered_indices == legacy.discovered_indices
+        assert report.tasks.n_rounds < legacy.tasks.n_rounds or legacy.tasks.total < 20
+
+    def test_multiple_coverage_verdicts(self, seed):
+        counts, dataset = make_dataset(seed)
+        groups = [group(race=value) for value in counts]
+        legacy = multiple_coverage(
+            GroundTruthOracle(dataset),
+            groups,
+            50,
+            rng=np.random.default_rng(seed),
+            dataset_size=len(dataset),
+        )
+        with AuditSession(
+            GroundTruthOracle(dataset), engine=True, seed=seed
+        ) as session:
+            report = session.run(MultipleAuditSpec(groups=tuple(groups), tau=50))
+        for ours, theirs in zip(report.result.entries, legacy.entries):
+            assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_report_json_round_trip_is_exact(seed):
+    """`AuditReport.from_json(report.to_json())` reconstructs an equal
+    object for every spec kind, sequential and engine mode."""
+    counts, dataset = make_dataset(seed)
+    groups = [group(race=value) for value in counts]
+    specs = [
+        GroupAuditSpec(predicate=group(race="black"), tau=30),
+        BaseAuditSpec(predicate=group(race="hispanic"), tau=10),
+        MultipleAuditSpec(groups=tuple(groups), tau=40),
+    ]
+    for engine in (None, True):
+        with AuditSession(
+            GroundTruthOracle(dataset), engine=engine, seed=seed
+        ) as session:
+            for spec in specs:
+                report = session.run(spec)
+                assert AuditReport.from_json(report.to_json()) == report
+            batch = session.run_many(specs)
+            assert AuditReport.from_json(batch.to_json()) == batch
+
+
+def test_run_many_matches_individual_runs_sequentially():
+    """A sequential batch is literally the runs in input order."""
+    counts, dataset = make_dataset(7)
+    specs = [
+        GroupAuditSpec(predicate=group(race="black"), tau=30),
+        BaseAuditSpec(predicate=group(race="hispanic"), tau=10),
+    ]
+    with AuditSession(GroundTruthOracle(dataset)) as session:
+        individual = [session.run(spec).result for spec in specs]
+    with AuditSession(GroundTruthOracle(dataset)) as session:
+        batch = session.run_many(specs)
+    assert list(batch.results) == individual
+    assert [entry.spec for entry in batch.entries] == specs

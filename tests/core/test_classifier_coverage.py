@@ -200,3 +200,31 @@ class TestClassifierCoverage:
                 oracle, FEMALE, 5, np.array([0]), fp_threshold=1.5,
                 rng=rng, dataset_size=100,
             )
+
+    def test_view_indices_are_validated(self, rng):
+        """PR-1 view validation extends to classifier_coverage: negative
+        or out-of-range indices raise instead of wrapping silently."""
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError, match="negative"):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([0]),
+                rng=rng, view=np.array([-3, 1]),
+            )
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([0]),
+                rng=rng, view=np.array([1, 100]), dataset_size=100,
+            )
+
+    def test_predicted_positive_indices_are_validated(self, rng):
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError, match="negative"):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([-1]), rng=rng, dataset_size=100
+            )
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            classifier_coverage(
+                oracle, FEMALE, 5, np.array([250]), rng=rng, dataset_size=100
+            )

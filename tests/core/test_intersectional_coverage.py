@@ -108,3 +108,48 @@ class TestReportShape:
         }
         report, _ = run(joint)
         assert "female-black" in report.describe()
+
+
+class TestViewValidation:
+    """PR-1 view validation extends to intersectional_coverage: bad view
+    indices raise up front, before any crowd budget is spent."""
+
+    def _dataset(self):
+        schema = Schema.from_dict(
+            {"gender": ["male", "female"], "race": ["white", "black"]}
+        )
+        dataset = intersectional_dataset(
+            schema,
+            {
+                ("male", "white"): 80,
+                ("female", "white"): 10,
+                ("male", "black"): 8,
+                ("female", "black"): 2,
+            },
+            rng=np.random.default_rng(0),
+        )
+        return schema, dataset
+
+    def test_negative_view_index_raises(self):
+        from repro.errors import InvalidParameterError
+
+        schema, dataset = self._dataset()
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError, match="negative"):
+            intersectional_coverage(
+                oracle, schema, 5, rng=np.random.default_rng(1),
+                view=np.array([-1, 3]),
+            )
+        assert oracle.ledger.total == 0
+
+    def test_out_of_range_view_index_raises(self):
+        from repro.errors import InvalidParameterError
+
+        schema, dataset = self._dataset()
+        oracle = GroundTruthOracle(dataset)
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            intersectional_coverage(
+                oracle, schema, 5, rng=np.random.default_rng(1),
+                view=np.array([0, len(dataset)]), dataset_size=len(dataset),
+            )
+        assert oracle.ledger.total == 0

@@ -43,6 +43,7 @@ def test_all_exports_resolve():
 @pytest.mark.parametrize(
     "module_name",
     [
+        "repro.audit",
         "repro.core",
         "repro.crowd",
         "repro.data",
