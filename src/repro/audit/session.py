@@ -59,7 +59,7 @@ from repro.audit.serialization import predicate_from_dict, predicate_to_dict
 from repro.audit.specs import AuditSpec, GroupAuditSpec, spec_from_dict
 from repro.core.results import LedgerWindow, TaskUsage
 from repro.crowd.oracle import Oracle
-from repro.engine.requests import QueryKey, set_query_key
+from repro.engine.requests import IndexKey, QueryKey, set_query_key
 from repro.engine.scheduler import QueryEngine
 from repro.errors import BudgetExceededError, InvalidParameterError
 
@@ -69,7 +69,31 @@ __all__ = [
     "warn_on_adhoc_engine",
 ]
 
-_CHECKPOINT_VERSION = 1
+#: Version 2 serializes contiguous-run index keys as compact
+#: ``{"run": [start, stop]}`` endpoints instead of exhaustive index
+#: lists; version-1 checkpoints (always exhaustive lists) remain readable.
+_CHECKPOINT_VERSION = 2
+_READABLE_CHECKPOINT_VERSIONS = frozenset({1, 2})
+
+
+def _set_answer_to_dict(
+    predicate, index_key: IndexKey, answer: bool
+) -> dict:
+    """One checkpointed set answer; runs stay compact endpoints."""
+    entry: dict = {"predicate": predicate_to_dict(predicate), "answer": answer}
+    if index_key.is_run:
+        entry["run"] = [index_key.start, index_key.stop]
+    else:
+        entry["indices"] = index_key.to_array().tolist()
+    return entry
+
+
+def _index_key_from_dict(entry: dict) -> IndexKey:
+    """Rebuild the interned :class:`IndexKey` of a checkpoint entry."""
+    run = entry.get("run")
+    if run is not None:
+        return IndexKey.of_run(int(run[0]), int(run[1]))
+    return IndexKey.of(np.asarray(entry["indices"], dtype=np.int64))
 
 #: Sessions currently inside their ``with`` block, for the legacy-path
 #: DeprecationWarning. Module-level and identity-based; sessions
@@ -164,20 +188,24 @@ class _SessionOracle(Oracle):
         self._point_seen.update(answers)
 
     # -- public oracle API ------------------------------------------------
-    def ask_set(self, indices, predicate) -> bool:
-        key = set_query_key(np.asarray(indices, dtype=np.int64), predicate)
+    def ask_set(self, indices, predicate, *, key=None) -> bool:
+        if key is None:
+            key = set_query_key(np.asarray(indices, dtype=np.int64), predicate)
         if key in self._set_replay:
             return self._set_replay[key]
-        answer = self._session_inner.ask_set(indices, predicate)
+        answer = self._session_inner.ask_set(indices, predicate, key=key)
         self._set_seen[key] = answer
         return answer
 
-    def ask_set_batch(self, queries) -> list[bool]:
+    def ask_set_batch(self, queries, *, keys=None) -> list[bool]:
         prepared = [
             (np.asarray(indices, dtype=np.int64), predicate)
             for indices, predicate in queries
         ]
-        keys = [set_query_key(indices, predicate) for indices, predicate in prepared]
+        if keys is None:
+            keys = [
+                set_query_key(indices, predicate) for indices, predicate in prepared
+            ]
         fresh = [
             (position, query)
             for position, (key, query) in enumerate(zip(keys, prepared))
@@ -189,7 +217,8 @@ class _SessionOracle(Oracle):
                 answers[position] = self._set_replay[key]
         if fresh:
             fresh_answers = self._session_inner.ask_set_batch(
-                [query for _, query in fresh]
+                [query for _, query in fresh],
+                keys=[keys[position] for position, _ in fresh],
             )
             for (position, _), answer in zip(fresh, fresh_answers):
                 answers[position] = answer
@@ -371,6 +400,20 @@ class AuditSession:
 
     def _covers_oracle(self, oracle: Oracle) -> bool:
         return oracle is self.oracle or oracle is self._proxy
+
+    @property
+    def membership_index(self):
+        """The :class:`~repro.data.membership.GroupMembershipIndex` the
+        session's oracle answers from, when it exposes one (simulated
+        oracles and platform-backed oracles do), else ``None``. Audits
+        the session runs share this single index however many specs and
+        steppers are in flight."""
+        index = getattr(self.oracle, "membership_index", None)
+        if index is None:
+            index = getattr(
+                getattr(self.oracle, "platform", None), "membership_index", None
+            )
+        return index
 
     @property
     def pending_specs(self) -> tuple[AuditSpec, ...]:
@@ -598,14 +641,8 @@ class AuditSession:
                 ),
                 "pending": [spec.to_dict() for spec in self._unfinished],
                 "set_answers": [
-                    {
-                        "predicate": predicate_to_dict(predicate),
-                        "indices": np.frombuffer(
-                            index_bytes, dtype=np.int64
-                        ).tolist(),
-                        "answer": answer,
-                    }
-                    for (predicate, index_bytes), answer in set_answers.items()
+                    _set_answer_to_dict(predicate, index_key, answer)
+                    for (predicate, index_key), answer in set_answers.items()
                 ],
                 "point_answers": [
                     {"index": index, "labels": labels}
@@ -635,10 +672,10 @@ class AuditSession:
         """
         data = json.loads(checkpoint)
         version = data.get("version")
-        if version != _CHECKPOINT_VERSION:
+        if version not in _READABLE_CHECKPOINT_VERSIONS:
             raise InvalidParameterError(
                 f"unsupported checkpoint version {version!r} "
-                f"(this build reads version {_CHECKPOINT_VERSION})"
+                f"(this build reads versions {sorted(_READABLE_CHECKPOINT_VERSIONS)})"
             )
         engine_config = data["engine"]
         session = cls(
@@ -667,7 +704,7 @@ class AuditSession:
         set_answers = {
             (
                 predicate_from_dict(entry["predicate"]),
-                np.asarray(entry["indices"], dtype=np.int64).tobytes(),
+                _index_key_from_dict(entry),
             ): bool(entry["answer"])
             for entry in data["set_answers"]
         }

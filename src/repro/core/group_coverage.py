@@ -45,7 +45,8 @@ from repro.core.tree import PrunableQueue, TreeNode
 from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
 from repro.data.groups import GroupPredicate
-from repro.engine.requests import QueryKey, SetRequest
+from repro.data.membership import as_run
+from repro.engine.requests import IndexKey, QueryKey, SetRequest
 from repro.errors import InvalidParameterError
 
 if TYPE_CHECKING:
@@ -103,6 +104,11 @@ class GroupCoverageStepper:
         # Bounds-checks negativity (the stepper has no dataset_size to
         # check the upper bound against; group_coverage does that).
         self._view = resolve_view(view, None)
+        # When the view is one contiguous ascending run (the vanilla
+        # arange case), every tree node's indices are the run
+        # [view0+b, view0+e+1) — its IndexKey is then O(1) to build, and
+        # vectorized oracles answer it O(1) from prefix counts.
+        self._view_run = as_run(self._view)
         self._cnt = 0
         self._discovered: list[int] = []
         self._unapplied = 0  # answers fed but not yet consumed by _advance
@@ -168,7 +174,9 @@ class GroupCoverageStepper:
         if limit is None or limit > emission_cap:
             limit = emission_cap
         ready: list[SetRequest] = []
-        in_flight = set(self._requests.values())
+        # The sequential driver (limit=1, nothing in flight) is the hot
+        # path: skip building the in-flight set when there is none.
+        in_flight = set(self._requests.values()) if self._requests else ()
         for node in self._queue:
             if len(ready) >= limit:
                 break
@@ -185,9 +193,16 @@ class GroupCoverageStepper:
                 # A right child is only ever *asked* after its left
                 # sibling answered "yes"; on "no" its answer is implied.
                 continue
-            request = SetRequest(
-                self._view[node.b_index : node.e_index + 1], self.predicate
+            segment = self._view[node.b_index : node.e_index + 1]
+            index_key = (
+                IndexKey.of_run(
+                    self._view_run[0] + node.b_index,
+                    self._view_run[0] + node.e_index + 1,
+                )
+                if self._view_run is not None
+                else None
             )
+            request = SetRequest(segment, self.predicate, index_key=index_key)
             self._requests[request.key] = node
             ready.append(request)
         return ready
@@ -314,7 +329,7 @@ def execute_group_coverage(
         # round-trip, exactly as the paper executes Algorithm 1.
         while not stepper.done:
             request = stepper.pending(limit=1)[0]
-            answer = oracle.ask_set(request.indices, predicate)
+            answer = oracle.ask_set(request.indices, predicate, key=request.key)
             stepper.feed({request.key: answer})
             if on_round is not None:
                 on_round()

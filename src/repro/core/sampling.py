@@ -13,49 +13,152 @@ serve two purposes at once:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+import math
 
 import numpy as np
 
 from repro.crowd.oracle import Oracle
-from repro.data.groups import GroupPredicate
+from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup
 from repro.errors import InvalidParameterError
+
+from typing import Mapping
 
 __all__ = ["LabeledPool", "label_samples"]
 
 
-@dataclass
 class LabeledPool:
     """Objects whose labels the crowd has already provided.
 
     Maps dataset index to the ``{attribute: value}`` labeling the crowd
     returned (which, under a noisy oracle, may differ from ground truth —
     downstream logic treats it as truth, exactly like the paper does).
+
+    Storage is columnar: besides the row dicts, the pool maintains one
+    integer-code array per attribute (codes assigned per pool in
+    first-seen order, ``-1`` for rows missing the attribute), so
+    :meth:`count` and :meth:`members` — which Multiple-Coverage calls
+    once per group per super-group — are NumPy reductions instead of a
+    Python loop over every labeled row.
     """
 
-    rows: dict[int, dict[str, str]] = field(default_factory=dict)
+    def __init__(self, rows: Mapping[int, Mapping[str, str]] | None = None) -> None:
+        self.rows: dict[int, dict[str, str]] = {}
+        #: insertion-ordered dataset indices, parallel to the columns
+        self._order: list[int] = []
+        #: dataset index -> position in ``_order``
+        self._positions: dict[int, int] = {}
+        #: attribute name -> per-row value codes (grown lazily)
+        self._columns: dict[str, list[int]] = {}
+        #: attribute name -> value -> pool-local code
+        self._codings: dict[str, dict[str, int]] = {}
+        #: compiled ``np.asarray`` views of ``_columns`` (invalidated on add)
+        self._compiled: dict[str, np.ndarray] | None = None
+        if rows:
+            for index, labels in rows.items():
+                self.add(index, labels)
 
     def add(self, index: int, labels: Mapping[str, str]) -> None:
-        self.rows[int(index)] = dict(labels)
+        index = int(index)
+        row = {str(k): str(v) for k, v in labels.items()}
+        self._compiled = None
+        position = self._positions.get(index)
+        if position is None:
+            position = len(self._order)
+            self._positions[index] = position
+            self._order.append(index)
+            for column in self._columns.values():
+                column.append(-1)
+        else:
+            # Relabeling an index overwrites in place, keeping its
+            # original insertion position (dict semantics).
+            for column in self._columns.values():
+                column[position] = -1
+        self.rows[index] = row
+        size = len(self._order)
+        for name, value in row.items():
+            column = self._columns.get(name)
+            if column is None:
+                column = [-1] * size
+                self._columns[name] = column
+                self._codings[name] = {}
+            coding = self._codings[name]
+            code = coding.setdefault(value, len(coding))
+            column[position] = code
+
+    # ------------------------------------------------------------------
+    # vectorized predicate evaluation
+    # ------------------------------------------------------------------
+    def _column(self, name: str) -> np.ndarray:
+        if self._compiled is None:
+            self._compiled = {}
+        compiled = self._compiled.get(name)
+        if compiled is None:
+            compiled = np.asarray(self._columns[name], dtype=np.int32)
+            self._compiled[name] = compiled
+        return compiled
+
+    def _mask(self, predicate: GroupPredicate) -> np.ndarray:
+        """Boolean membership of ``predicate`` over the pool's rows, in
+        insertion order."""
+        size = len(self._order)
+        if isinstance(predicate, Group):
+            mask = np.ones(size, dtype=bool)
+            for name, value in predicate.conditions:
+                coding = self._codings.get(name)
+                code = -2 if coding is None else coding.get(value, -2)
+                if code < 0:  # attribute or value never labeled: no row matches
+                    return np.zeros(size, dtype=bool)
+                mask &= self._column(name) == code
+            return mask
+        if isinstance(predicate, SuperGroup):
+            mask = np.zeros(size, dtype=bool)
+            for member in predicate.members:
+                mask |= self._mask(member)
+            return mask
+        if isinstance(predicate, Negation):
+            return ~self._mask(predicate.inner)
+        # Unknown predicate type: fall back to row-at-a-time semantics.
+        return np.fromiter(
+            (predicate.matches_row(self.rows[index]) for index in self._order),
+            dtype=bool,
+            count=size,
+        )
 
     def count(self, predicate: GroupPredicate) -> int:
         """``L.count(g)``: labeled objects satisfying ``predicate``."""
-        return sum(1 for labels in self.rows.values() if predicate.matches_row(labels))
+        if not self._order:
+            return 0
+        return int(self._mask(predicate).sum())
 
     def members(self, predicate: GroupPredicate) -> tuple[int, ...]:
-        """Indices of labeled objects satisfying ``predicate``."""
-        return tuple(
-            index
-            for index, labels in self.rows.items()
-            if predicate.matches_row(labels)
-        )
+        """Indices of labeled objects satisfying ``predicate``, in
+        insertion order."""
+        if not self._order:
+            return ()
+        mask = self._mask(predicate)
+        order = np.asarray(self._order, dtype=np.int64)
+        return tuple(int(index) for index in order[mask])
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def __contains__(self, index: object) -> bool:
         return index in self.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"LabeledPool({len(self.rows)} rows)"
+
+
+def sample_size_for(tau: int, c: float, view_size: int) -> int:
+    """The sampling phase's size: ``min(⌈c·τ⌉, |view|)``.
+
+    The paper budgets ``c·τ`` point queries; a fractional product rounds
+    **up** — ``int(round(...))`` banker's-rounds half-integer products
+    down (``c=2.5, τ=1 → 2``) and silently under-samples. The product is
+    pre-rounded at 9 decimals so float artifacts (``0.1 * 30 =
+    3.0000…04``) do not inflate the ceiling.
+    """
+    return min(math.ceil(round(c * tau, 9)), view_size)
 
 
 def label_samples(
@@ -68,7 +171,7 @@ def label_samples(
     pool: LabeledPool | None = None,
     batched: bool = False,
 ) -> tuple[np.ndarray, LabeledPool]:
-    """Label ``min(c·tau, |view|)`` random objects of ``view``.
+    """Label ``min(⌈c·tau⌉, |view|)`` random objects of ``view``.
 
     Returns the reduced view (labeled objects removed, original order
     preserved — Algorithm 6 line 4: ``D.remove(t)``) and the labeled pool.
@@ -100,7 +203,7 @@ def label_samples(
     view = np.asarray(view, dtype=np.int64)
     pool = pool if pool is not None else LabeledPool()
 
-    sample_size = min(int(round(c * tau)), len(view))
+    sample_size = sample_size_for(tau, c, len(view))
     if sample_size == 0:
         return view, pool
     chosen_positions = rng.choice(len(view), size=sample_size, replace=False)

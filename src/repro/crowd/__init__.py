@@ -9,7 +9,12 @@ from repro.crowd.oracle import (
     TaskLedger,
 )
 from repro.crowd.platform import CrowdPlatform
-from repro.crowd.pricing import CostLedger, FixedPricing, SizeDependentPricing
+from repro.crowd.pricing import (
+    CostLedger,
+    FixedPricing,
+    PricingModel,
+    SizeDependentPricing,
+)
 from repro.crowd.quality import (
     QC_MAJORITY_ONLY,
     QualificationTest,
@@ -34,6 +39,7 @@ __all__ = [
     "CrowdPlatform",
     "CostLedger",
     "FixedPricing",
+    "PricingModel",
     "SizeDependentPricing",
     "QC_MAJORITY_ONLY",
     "QualificationTest",

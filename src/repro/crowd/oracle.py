@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.crowd.platform import CrowdPlatform
 from repro.crowd.queries import PointQuery, SetQuery
 from repro.data.dataset import LabeledDataset
 from repro.data.groups import GroupPredicate
+from repro.data.membership import GroupMembershipIndex
 from repro.errors import BudgetExceededError, InvalidParameterError
 
 __all__ = ["TaskLedger", "Oracle", "GroundTruthOracle", "CrowdOracle", "FlakyOracle"]
@@ -115,12 +116,29 @@ class Oracle(ABC):
         self.ledger = TaskLedger(budget=budget)
 
     # -- public API ------------------------------------------------------
-    def ask_set(self, indices: Sequence[int] | np.ndarray, predicate: GroupPredicate) -> bool:
+    def ask_set(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        predicate: GroupPredicate,
+        *,
+        key=None,
+    ) -> bool:
         """One set query: does ``indices`` contain >=1 object matching
-        ``predicate``? Charges one set task and one round-trip."""
+        ``predicate``? Charges one set task and one round-trip.
+
+        ``key`` is an optional precomputed
+        :data:`~repro.engine.requests.QueryKey` for the same query — a
+        pure performance hint that lets vectorized backends skip
+        re-detecting the index array's shape. Answers are identical with
+        or without it.
+        """
         self.ledger.charge_set()  # budget check first: a refused query is no round
         self.ledger.note_round()
-        return self._answer_set(np.asarray(indices, dtype=np.int64), predicate)
+        return self._answer_set_keyed(
+            np.asarray(indices, dtype=np.int64),
+            predicate,
+            key[1] if key is not None else None,
+        )
 
     def ask_point(self, index: int) -> dict[str, str]:
         """One point query: the attribute values of object ``index``.
@@ -132,6 +150,8 @@ class Oracle(ABC):
     def ask_set_batch(
         self,
         queries: Sequence[tuple[Sequence[int] | np.ndarray, GroupPredicate]],
+        *,
+        keys: Sequence | None = None,
     ) -> list[bool]:
         """Answer many set queries in one oracle round-trip.
 
@@ -141,6 +161,9 @@ class Oracle(ABC):
         per batch: a batch the remaining budget cannot absorb raises
         ``BudgetExceededError`` before anything is charged or answered,
         so the ledger never pays for answers the caller did not receive.
+        ``keys`` — a parallel sequence of precomputed
+        :data:`~repro.engine.requests.QueryKey` — is the batched form of
+        :meth:`ask_set`'s performance hint.
         """
         if not queries:
             return []
@@ -150,7 +173,12 @@ class Oracle(ABC):
         ]
         self.ledger.charge_set_batch(len(prepared))
         self.ledger.note_round()
-        return [bool(answer) for answer in self._answer_set_batch(prepared)]
+        return [
+            bool(answer)
+            for answer in self._answer_set_batch_keyed(
+                prepared, None if keys is None else [key[1] for key in keys]
+            )
+        ]
 
     def ask_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
         """Answer many point queries in one oracle round-trip.
@@ -181,6 +209,15 @@ class Oracle(ABC):
     @abstractmethod
     def _answer_point(self, index: int) -> dict[str, str]: ...
 
+    def _answer_set_keyed(
+        self, indices: np.ndarray, predicate: GroupPredicate, index_key
+    ) -> bool:
+        """Key-hinted answering hook. The default drops the hint and
+        calls :meth:`_answer_set`, so subclasses that know nothing about
+        index keys (crowd platforms, decorators, test doubles) keep
+        their two-argument hook; vectorized backends override this."""
+        return self._answer_set(indices, predicate)
+
     def _answer_set_batch(
         self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
     ) -> list[bool]:
@@ -188,49 +225,92 @@ class Oracle(ABC):
         vectorizable backend override this."""
         return [self._answer_set(indices, predicate) for indices, predicate in queries]
 
+    def _answer_set_batch_keyed(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]], index_keys
+    ) -> list[bool]:
+        """Batched form of :meth:`_answer_set_keyed`; same default."""
+        return self._answer_set_batch(queries)
+
     def _answer_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
         return [self._answer_point(index) for index in indices]
 
 
 class GroundTruthOracle(Oracle):
-    """Noise-free oracle answering from the dataset's hidden labels."""
+    """Noise-free oracle answering from the dataset's hidden labels.
 
-    def __init__(self, dataset: LabeledDataset, *, budget: int | None = None) -> None:
+    All answering is vectorized through a
+    :class:`~repro.data.membership.GroupMembershipIndex`: contiguous-run
+    set queries resolve in O(1) from prefix-count tables, scattered ones
+    through one gather per batch, and point-query batches through one
+    fancy-index per attribute. Pass ``index=`` to share a prebuilt
+    index; by default the dataset's process-wide shared index is used,
+    so many oracles over one dataset never recompute a membership
+    column.
+    """
+
+    def __init__(
+        self,
+        dataset: LabeledDataset,
+        *,
+        budget: int | None = None,
+        index: GroupMembershipIndex | None = None,
+    ) -> None:
         super().__init__(dataset.schema, budget=budget)
         self.dataset = dataset
+        if index is not None and index.dataset is not dataset:
+            raise InvalidParameterError(
+                "membership index was built over a different dataset"
+            )
+        self.membership_index = (
+            index if index is not None else GroupMembershipIndex.for_dataset(dataset)
+        )
+        # Subclasses (tracing/recording test doubles, decorators) that
+        # override the classic two-argument hooks must keep seeing every
+        # query; the keyed fast path short-circuits them only when the
+        # hooks are still this class's own.
+        self._native_set_hook = type(self)._answer_set is GroundTruthOracle._answer_set
+        self._native_set_batch_hook = (
+            type(self)._answer_set_batch is GroundTruthOracle._answer_set_batch
+        )
+        self._native_point_hook = (
+            type(self)._answer_point is GroundTruthOracle._answer_point
+        )
 
     def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
-        return bool(self.dataset.mask(predicate)[indices].any())
+        return self.membership_index.any_match(predicate, indices)
+
+    def _answer_set_keyed(
+        self, indices: np.ndarray, predicate: GroupPredicate, index_key
+    ) -> bool:
+        if not self._native_set_hook:
+            return self._answer_set(indices, predicate)
+        return self.membership_index.any_match(predicate, indices, key=index_key)
 
     def _answer_set_batch(
         self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
     ) -> list[bool]:
-        # Vectorized fast path: one mask fetch per distinct predicate,
-        # then a single gather + segmented any() over the concatenated
-        # index arrays of that predicate's queries.
-        answers = [False] * len(queries)
-        by_predicate: dict[GroupPredicate, list[int]] = {}
-        for position, (_, predicate) in enumerate(queries):
-            by_predicate.setdefault(predicate, []).append(position)
-        for predicate, positions in by_predicate.items():
-            mask = self.dataset.mask(predicate)
-            arrays = [queries[position][0] for position in positions]
-            lengths = np.array([len(a) for a in arrays])
-            nonempty = lengths > 0
-            if not nonempty.any():
-                continue
-            hits = mask[np.concatenate([a for a in arrays if len(a)])]
-            bounds = np.zeros(int(nonempty.sum()), dtype=np.int64)
-            np.cumsum(lengths[nonempty][:-1], out=bounds[1:])
-            segment_any = np.logical_or.reduceat(hits, bounds)
-            for position, answer in zip(
-                (p for p, keep in zip(positions, nonempty) if keep), segment_any
-            ):
-                answers[position] = bool(answer)
-        return answers
+        if not self._native_set_hook:
+            # Only the per-query hook was customized: batches must still
+            # flow through it, one query at a time.
+            return [self._answer_set(i, p) for i, p in queries]
+        return self.membership_index.any_match_batch(queries)
+
+    def _answer_set_batch_keyed(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]], index_keys
+    ) -> list[bool]:
+        if not (self._native_set_batch_hook and self._native_set_hook):
+            return self._answer_set_batch(queries)
+        return self.membership_index.any_match_batch(queries, keys=index_keys)
 
     def _answer_point(self, index: int) -> dict[str, str]:
         return self.dataset.value_row(index)
+
+    def _answer_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
+        if not self._native_point_hook:
+            # A subclass customized per-point answering; every batched
+            # point query must keep flowing through its hook.
+            return [self._answer_point(index) for index in indices]
+        return self.membership_index.value_rows(indices)
 
 
 class CrowdOracle(Oracle):
@@ -240,6 +320,9 @@ class CrowdOracle(Oracle):
     def __init__(self, platform: CrowdPlatform, *, budget: int | None = None) -> None:
         super().__init__(platform.dataset.schema, budget=budget)
         self.platform = platform
+        #: the platform's hidden-truth index — exposed so sessions and
+        #: diagnostics reach one shared index whatever the oracle kind.
+        self.membership_index = platform.membership_index
 
     def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
         return self.platform.publish_set_query(SetQuery(indices, predicate))
@@ -270,12 +353,30 @@ class FlakyOracle(Oracle):
             raise InvalidParameterError("error rates must be in [0, 1]")
         super().__init__(dataset.schema, budget=budget)
         self.dataset = dataset
+        self.membership_index = GroupMembershipIndex.for_dataset(dataset)
         self.rng = rng
         self.set_error_rate = set_error_rate
         self.point_error_rate = point_error_rate
+        self._native_set_hook = type(self)._answer_set is FlakyOracle._answer_set
+        self._native_set_batch_hook = (
+            type(self)._answer_set_batch is FlakyOracle._answer_set_batch
+        )
+        self._native_point_hook = (
+            type(self)._answer_point is FlakyOracle._answer_point
+        )
 
     def _answer_set(self, indices: np.ndarray, predicate: GroupPredicate) -> bool:
-        truth = bool(self.dataset.mask(predicate)[indices].any())
+        truth = self.membership_index.any_match(predicate, indices)
+        if self.rng.random() < self.set_error_rate:
+            return not truth
+        return truth
+
+    def _answer_set_keyed(
+        self, indices: np.ndarray, predicate: GroupPredicate, index_key
+    ) -> bool:
+        if not self._native_set_hook:
+            return self._answer_set(indices, predicate)
+        truth = self.membership_index.any_match(predicate, indices, key=index_key)
         if self.rng.random() < self.set_error_rate:
             return not truth
         return truth
@@ -283,15 +384,42 @@ class FlakyOracle(Oracle):
     def _answer_set_batch(
         self, queries: Sequence[tuple[np.ndarray, GroupPredicate]]
     ) -> list[bool]:
-        truths = [
-            bool(self.dataset.mask(predicate)[indices].any())
-            for indices, predicate in queries
-        ]
+        if not self._native_set_hook:
+            # One scalar flip draw per query — the same stream the
+            # vectorized draw below consumes, so the fallback stays
+            # bit-identical too.
+            return [self._answer_set(i, p) for i, p in queries]
+        # Truths come from the vectorized index; the flip draws stay one
+        # vector of length len(queries), which consumes the generator's
+        # stream exactly like len(queries) scalar draws — sequential and
+        # batched execution remain bit-identical under one seed.
+        truths = self.membership_index.any_match_batch(queries)
+        flips = self.rng.random(len(queries)) < self.set_error_rate
+        return [truth != bool(flip) for truth, flip in zip(truths, flips)]
+
+    def _answer_set_batch_keyed(
+        self, queries: Sequence[tuple[np.ndarray, GroupPredicate]], index_keys
+    ) -> list[bool]:
+        if not (self._native_set_batch_hook and self._native_set_hook):
+            return self._answer_set_batch(queries)
+        truths = self.membership_index.any_match_batch(queries, keys=index_keys)
         flips = self.rng.random(len(queries)) < self.set_error_rate
         return [truth != bool(flip) for truth, flip in zip(truths, flips)]
 
     def _answer_point(self, index: int) -> dict[str, str]:
-        truth = self.dataset.value_row(index)
+        return self._flip_point(self.dataset.value_row(index))
+
+    def _answer_point_batch(self, indices: Sequence[int]) -> list[dict[str, str]]:
+        if not self._native_point_hook:
+            return [self._answer_point(index) for index in indices]
+        # Truth rows are fetched in one vectorized gather; the flips stay
+        # a per-row loop because each flip conditionally consumes rng
+        # draws — vectorizing them would shift the stream and break
+        # bit-identity with sequential execution.
+        truths = self.membership_index.value_rows(indices)
+        return [self._flip_point(truth) for truth in truths]
+
+    def _flip_point(self, truth: Mapping[str, str]) -> dict[str, str]:
         answer: dict[str, str] = {}
         for attribute in self.schema:
             true_value = truth[attribute.name]

@@ -19,11 +19,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
-from repro.crowd.pricing import CostLedger, FixedPricing
+from repro.crowd.pricing import CostLedger, FixedPricing, PricingModel
 from repro.crowd.quality import QC_MAJORITY_ONLY, ScreeningPolicy, screen_workers
 from repro.crowd.queries import HitRecord, PointQuery, SetQuery
 from repro.crowd.workers import Worker
 from repro.data.dataset import LabeledDataset
+from repro.data.membership import GroupMembershipIndex
 from repro.errors import InvalidParameterError, NoEligibleWorkersError
 
 __all__ = ["CrowdPlatform"]
@@ -60,12 +61,13 @@ class CrowdPlatform:
         *,
         assignments_per_hit: int = 3,
         screening: Sequence[ScreeningPolicy] = QC_MAJORITY_ONLY,
-        pricing: FixedPricing | None = None,
+        pricing: PricingModel | None = None,
         record_hits: bool = True,
     ) -> None:
         if assignments_per_hit <= 0:
             raise InvalidParameterError("assignments_per_hit must be positive")
         self.dataset = dataset
+        self.membership_index = GroupMembershipIndex.for_dataset(dataset)
         self.rng = rng
         self.assignments_per_hit = assignments_per_hit
         self.eligible_workers = screen_workers(workers, screening, rng)
@@ -91,13 +93,20 @@ class CrowdPlatform:
         return [self.eligible_workers[int(i)] for i in chosen]
 
     def publish_set_query(self, query: SetQuery) -> bool:
-        """Publish a set query; returns the majority-vote answer."""
+        """Publish a set query; returns the majority-vote answer.
+
+        The HIT shows ``len(query.indices)`` images, which is what a
+        size-dependent pricing model bills for.
+        """
         index_array = np.asarray(query.indices, dtype=np.int64)
-        truth = bool(self.dataset.mask(query.predicate)[index_array].any())
+        truth = self.membership_index.any_match(query.predicate, index_array)
         assigned = self._assign_workers()
         answers = tuple(worker.answer_set(truth, self.rng) for worker in assigned)
         aggregated = bool(majority_vote(answers, rng=self.rng))
-        self._account(query, assigned, answers, aggregated, truth)
+        self._account(
+            query, assigned, answers, aggregated, truth,
+            n_images=max(len(index_array), 1),
+        )
         return aggregated
 
     def publish_point_query(self, query: PointQuery) -> dict[str, str]:
@@ -109,7 +118,7 @@ class CrowdPlatform:
             for worker in assigned
         )
         aggregated = majority_point(answers, rng=self.rng)
-        self._account(query, assigned, answers, aggregated, truth)
+        self._account(query, assigned, answers, aggregated, truth, n_images=1)
         return aggregated
 
     def _account(
@@ -119,10 +128,13 @@ class CrowdPlatform:
         answers: tuple,
         aggregated,
         truth,
+        *,
+        n_images: int,
     ) -> None:
         price = self.ledger.charge(
             is_set_query=isinstance(query, SetQuery),
             n_assignments=len(assigned),
+            n_images=n_images,
         )
         self.n_raw_answers += len(answers)
         self.n_raw_incorrect += sum(1 for answer in answers if answer != truth)

@@ -19,10 +19,31 @@ assignment counts, worker payments, and service fees.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["FixedPricing", "SizeDependentPricing", "CostLedger"]
+__all__ = ["PricingModel", "FixedPricing", "SizeDependentPricing", "CostLedger"]
+
+
+@runtime_checkable
+class PricingModel(Protocol):
+    """What the cost ledger needs from a pricing model.
+
+    Every model prices one published HIT from its redundancy and its
+    display size. Fixed pricing ignores ``n_images``; size-dependent
+    pricing is *defined* by it — the shared signature is what lets a
+    :class:`CostLedger` carry either model without caring which.
+    """
+
+    def hit_cost(self, n_assignments: int, n_images: int = 1) -> float:
+        """Worker payments for one HIT showing ``n_images`` images to
+        ``n_assignments`` redundant workers."""
+        ...
+
+    def fee(self, worker_payment: float) -> float:
+        """Platform service fee on top of ``worker_payment``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -43,8 +64,12 @@ class FixedPricing:
         """Cost of one worker assignment, before fees."""
         return self.price_per_hit
 
-    def hit_cost(self, n_assignments: int) -> float:
-        """Worker payments for one HIT with redundancy ``n_assignments``."""
+    def hit_cost(self, n_assignments: int, n_images: int = 1) -> float:
+        """Worker payments for one HIT with redundancy ``n_assignments``.
+
+        Fixed pricing is size-blind: ``n_images`` is accepted (the
+        :class:`PricingModel` protocol) and ignored.
+        """
         return self.price_per_hit * n_assignments
 
     def fee(self, worker_payment: float) -> float:
@@ -81,15 +106,28 @@ class SizeDependentPricing:
     def point_price(self) -> float:
         return self.query_price(1)
 
+    def hit_cost(self, n_assignments: int, n_images: int = 1) -> float:
+        """Worker payments for one HIT showing ``n_images`` images to
+        ``n_assignments`` workers — the :class:`PricingModel` form of
+        :meth:`query_price`."""
+        if n_assignments <= 0:
+            raise InvalidParameterError("n_assignments must be positive")
+        return self.query_price(n_images) * n_assignments
+
     def fee(self, worker_payment: float) -> float:
         return worker_payment * self.service_fee_rate
 
 
 @dataclass
 class CostLedger:
-    """Running totals of HITs, assignments, and dollars."""
+    """Running totals of HITs, assignments, and dollars.
 
-    pricing: FixedPricing = field(default_factory=FixedPricing)
+    Works with any :class:`PricingModel`; the paper's fixed-price model
+    is the default. Size-dependent models price each HIT by the
+    ``n_images`` the platform reports when charging.
+    """
+
+    pricing: PricingModel = field(default_factory=FixedPricing)
     n_set_hits: int = 0
     n_point_hits: int = 0
     n_assignments: int = 0
@@ -104,16 +142,25 @@ class CostLedger:
     def total_cost(self) -> float:
         return self.worker_payments + self.service_fees
 
-    def charge(self, *, is_set_query: bool, n_assignments: int) -> float:
-        """Record one published HIT; returns the worker payment charged."""
+    def charge(
+        self, *, is_set_query: bool, n_assignments: int, n_images: int = 1
+    ) -> float:
+        """Record one published HIT; returns the worker payment charged.
+
+        ``n_images`` is the HIT's display size (a point query shows
+        one); size-dependent pricing models bill by it, fixed pricing
+        ignores it.
+        """
         if n_assignments <= 0:
             raise InvalidParameterError("n_assignments must be positive")
+        if n_images < 1:
+            raise InvalidParameterError("a HIT shows at least one image")
         if is_set_query:
             self.n_set_hits += 1
         else:
             self.n_point_hits += 1
         self.n_assignments += n_assignments
-        payment = self.pricing.hit_cost(n_assignments)
+        payment = self.pricing.hit_cost(n_assignments, n_images)
         self.worker_payments += payment
         self.service_fees += self.pricing.fee(payment)
         return payment

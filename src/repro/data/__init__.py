@@ -20,6 +20,7 @@ from repro.data.corpora import (
 )
 from repro.data.dataset import LabeledDataset
 from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup, group
+from repro.data.membership import GroupMembershipIndex
 from repro.data.images import ImageRenderer, attach_images
 from repro.data.schema import Attribute, Schema
 from repro.data.synthetic import (
@@ -39,6 +40,7 @@ __all__ = [
     "Negation",
     "group",
     "LabeledDataset",
+    "GroupMembershipIndex",
     "ImageRenderer",
     "attach_images",
     "binary_dataset",

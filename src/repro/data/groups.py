@@ -75,6 +75,13 @@ class Group:
             raise InvalidParameterError("a Group needs at least one condition")
         items = tuple(sorted((str(k), str(v)) for k, v in conditions.items()))
         object.__setattr__(self, "conditions", items)
+        # Predicates are dict keys on every cache/dedup probe of the
+        # query engine; caching the hash keeps those probes O(1) instead
+        # of re-hashing the conditions tuple each time.
+        object.__setattr__(self, "_hash", hash(items))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -159,6 +166,7 @@ class SuperGroup:
                 f"duplicate members in super-group: {member_tuple!r}"
             )
         object.__setattr__(self, "members", member_tuple)
+        object.__setattr__(self, "_hash", hash(frozenset(member_tuple)))
 
     def matches_row(self, row: Mapping[str, str]) -> bool:
         return any(member.matches_row(row) for member in self.members)
@@ -184,7 +192,7 @@ class SuperGroup:
         return set(self.members) == set(other.members)
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.members))
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - repr sugar
         return self.describe()

@@ -5,7 +5,7 @@ layering and :class:`QueryEngine` for the scheduling loop.
 """
 
 from repro.engine.cache import AnswerCache
-from repro.engine.requests import QueryKey, SetRequest, set_query_key
+from repro.engine.requests import IndexKey, QueryKey, SetRequest, set_query_key
 from repro.engine.scheduler import CoverageStepper, QueryEngine
 from repro.engine.stats import EngineStats
 
@@ -13,6 +13,7 @@ __all__ = [
     "AnswerCache",
     "CoverageStepper",
     "EngineStats",
+    "IndexKey",
     "QueryEngine",
     "QueryKey",
     "SetRequest",

@@ -27,6 +27,10 @@ from repro.errors import InvalidParameterError
 
 __all__ = ["AnswerCache"]
 
+#: Sentinel distinguishing "key absent" from any cached value in one
+#: dict probe (values are plain bools, never identical to this object).
+_MISS = object()
+
 
 class AnswerCache:
     """Memoizes set-query answers by :data:`~repro.engine.requests.QueryKey`.
@@ -75,9 +79,14 @@ class AnswerCache:
         self._implications[parent] = tuple(members)
 
     def lookup(self, key: QueryKey) -> bool | None:
-        """The cached answer for ``key``, or ``None`` (counted as a miss)."""
-        answer = self._answers.get(key)
-        if answer is None and key not in self._answers:
+        """The cached answer for ``key``, or ``None`` (counted as a miss).
+
+        One dict probe per lookup: stored values are always ``bool``, so
+        a private sentinel distinguishes "absent" without a second
+        ``in`` check — this is the hottest lookup in engine mode.
+        """
+        answer = self._answers.get(key, _MISS)
+        if answer is _MISS:
             self.misses += 1
             return None
         self.hits += 1
@@ -88,9 +97,9 @@ class AnswerCache:
         answer = bool(answer)
         self._answers[key] = answer
         if not answer:
-            predicate, index_bytes = key
+            predicate, index_key = key
             for member in self._implications.get(predicate, ()):
-                self._answers.setdefault((member, index_bytes), False)
+                self._answers.setdefault((member, index_key), False)
 
     def entries(self) -> tuple[tuple[QueryKey, bool], ...]:
         """Every cached ``(key, answer)`` pair, insertion-ordered.

@@ -298,7 +298,8 @@ class QueryEngine:
         for start in range(0, len(fresh), self.batch_size):
             chunk = fresh[start : start + self.batch_size]
             batch_answers = self.oracle.ask_set_batch(
-                [(request.indices, request.predicate) for request in chunk]
+                [(request.indices, request.predicate) for request in chunk],
+                keys=[request.key for request in chunk],
             )
             self.oracle_round_trips += 1
             for request, answer in zip(chunk, batch_answers):

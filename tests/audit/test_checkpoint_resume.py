@@ -204,13 +204,50 @@ def test_checkpoint_survives_json_and_rejects_unknown_version(dataset):
         with session:
             session.run(GroupAuditSpec(predicate=FEMALE, tau=50))
     payload = json.loads(session.checkpoint())
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["pending"]
     assert payload["set_answers"]
+    # Contiguous-run answers serialize as compact endpoints, not
+    # exhaustive index lists.
+    assert any("run" in entry for entry in payload["set_answers"])
 
     payload["version"] = 99
     with pytest.raises(InvalidParameterError):
         AuditSession.resume(json.dumps(payload), oracle)
+
+
+def test_version1_checkpoints_remain_readable(dataset):
+    """Old checkpoints spell every run out as an index list; resuming
+    one must intern those lists back into run keys and replay them."""
+    import json
+
+    oracle = RecordingOracle(dataset)
+    session = AuditSession(oracle, engine=True, task_budget=40)
+    with pytest.raises(BudgetExceededError):
+        with session:
+            session.run(GroupAuditSpec(predicate=FEMALE, tau=50))
+    payload = json.loads(session.checkpoint())
+
+    # Downgrade to the version-1 shape: exhaustive index lists only.
+    payload["version"] = 1
+    for entry in payload["set_answers"]:
+        run = entry.pop("run", None)
+        if run is not None:
+            entry["indices"] = list(range(run[0], run[1]))
+
+    resumed = AuditSession.resume(json.dumps(payload), oracle)
+    mark = len(oracle.set_keys)
+    with resumed:
+        report = resumed.run_pending()
+    replayed = set(oracle.set_keys[:mark])
+    asked_after = set(oracle.set_keys[mark:])
+    assert not (asked_after & replayed)  # nothing paid for twice
+    (entry,) = report.entries
+    reference = AuditSession(GroundTruthOracle(dataset), engine=True)
+    with reference:
+        expected = reference.run(GroupAuditSpec(predicate=FEMALE, tau=50))
+    assert entry.result.covered == expected.entries[0].result.covered
+    assert entry.result.count == expected.entries[0].result.count
 
 
 def test_run_pending_requires_pending_specs(dataset):

@@ -41,6 +41,47 @@ class TestLabeledPool:
         assert len(pool) == 1
         assert pool.count(FEMALE) == 1
 
+    def test_relabel_clears_stale_attributes(self):
+        pool = LabeledPool()
+        pool.add(0, {"gender": "female", "race": "black"})
+        pool.add(0, {"gender": "female"})
+        assert pool.count(group(race="black")) == 0
+        assert pool.count(FEMALE) == 1
+
+    def test_members_preserve_insertion_order(self):
+        pool = LabeledPool()
+        for index in (9, 2, 7, 4):
+            pool.add(index, {"gender": "female"})
+        pool.add(2, {"gender": "female"})  # relabel keeps position
+        assert pool.members(FEMALE) == (9, 2, 7, 4)
+
+    def test_vectorized_count_matches_row_at_a_time(self, rng):
+        """The columnar pool must agree with matches_row over every row."""
+        values = {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+        pool = LabeledPool()
+        for index in range(200):
+            pool.add(index, {
+                name: domain[int(rng.integers(len(domain)))]
+                for name, domain in values.items()
+            })
+        predicates = [
+            FEMALE,
+            group(gender="female", race="asian"),
+            SuperGroup([group(race="black"), group(race="asian")]),
+            Negation(group(gender="male")),
+            group(age="old"),  # attribute never labeled
+        ]
+        for predicate in predicates:
+            expected = sum(
+                1 for labels in pool.rows.values() if predicate.matches_row(labels)
+            )
+            assert pool.count(predicate) == expected
+            assert pool.members(predicate) == tuple(
+                index
+                for index, labels in pool.rows.items()
+                if predicate.matches_row(labels)
+            )
+
 
 class TestLabelSamples:
     def test_sample_size_and_view_shrink(self, rng):
@@ -88,6 +129,24 @@ class TestLabelSamples:
         oracle = GroundTruthOracle(dataset)
         view, _ = label_samples(oracle, np.arange(100), tau=10, rng=rng)
         assert (np.diff(view) > 0).all()
+
+    def test_fractional_budget_rounds_up(self, rng):
+        """Regression: int(round(c·tau)) banker's-rounded half-integer
+        products down (c=2.5, tau=1 -> 2 samples, not 3); the paper's
+        c·tau budget must round up."""
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        _, pool = label_samples(oracle, np.arange(100), tau=1, c=2.5, rng=rng)
+        assert len(pool) == 3
+        assert oracle.ledger.n_point_queries == 3
+
+    def test_float_artifacts_do_not_inflate_ceiling(self, rng):
+        # 0.1 * 30 == 3.0000000000000004 in binary floating point; the
+        # sample size must still be 3, not 4.
+        dataset = binary_dataset(100, 10, rng=rng)
+        oracle = GroundTruthOracle(dataset)
+        _, pool = label_samples(oracle, np.arange(100), tau=30, c=0.1, rng=rng)
+        assert len(pool) == 3
 
     def test_invalid_parameters(self, rng):
         dataset = binary_dataset(10, 2, rng=rng)

@@ -73,6 +73,22 @@ class TestAccounting:
         assert platform.ledger.n_point_hits == 1
         assert platform.ledger.n_assignments == 6
 
+    def test_size_dependent_pricing_bills_display_size(self, dataset, rng):
+        """Regression: publishing with SizeDependentPricing used to raise
+        AttributeError; now each set HIT is billed by the number of
+        images it shows and each point HIT as a one-image task."""
+        from repro.crowd.pricing import SizeDependentPricing
+
+        pricing = SizeDependentPricing(
+            base_price=0.02, per_image=0.002, service_fee_rate=0.20
+        )
+        platform = CrowdPlatform(dataset, perfect_pool(), rng, pricing=pricing)
+        platform.publish_set_query(SetQuery(np.arange(50), FEMALE))
+        platform.publish_point_query(PointQuery(0))
+        expected = 3 * pricing.query_price(50) + 3 * pricing.point_price()
+        assert platform.ledger.worker_payments == pytest.approx(expected)
+        assert platform.ledger.service_fees == pytest.approx(0.2 * expected)
+
     def test_hit_records(self, dataset, rng):
         platform = CrowdPlatform(dataset, perfect_pool(), rng)
         platform.publish_set_query(SetQuery([0, 1], FEMALE))

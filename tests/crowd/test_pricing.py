@@ -1,10 +1,15 @@
-"""Unit tests for the pricing model and cost ledger."""
+"""Unit tests for the pricing models and cost ledger."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.crowd.pricing import CostLedger, FixedPricing
+from repro.crowd.pricing import (
+    CostLedger,
+    FixedPricing,
+    PricingModel,
+    SizeDependentPricing,
+)
 from repro.errors import InvalidParameterError
 
 
@@ -28,6 +33,29 @@ class TestFixedPricing:
             FixedPricing(service_fee_rate=-0.1)
 
 
+class TestPricingProtocol:
+    def test_both_models_implement_the_protocol(self):
+        assert isinstance(FixedPricing(), PricingModel)
+        assert isinstance(SizeDependentPricing(), PricingModel)
+
+    def test_fixed_pricing_ignores_hit_size(self):
+        pricing = FixedPricing(price_per_hit=0.05)
+        assert pricing.hit_cost(3, n_images=50) == pytest.approx(0.15)
+        assert pricing.hit_cost(3, n_images=1) == pytest.approx(0.15)
+
+    def test_size_dependent_hit_cost_bills_by_display_size(self):
+        pricing = SizeDependentPricing(base_price=0.02, per_image=0.002)
+        # price(50) = 0.02 + 0.002*50 = 0.12, times 3 assignments
+        assert pricing.hit_cost(3, n_images=50) == pytest.approx(0.36)
+        assert pricing.hit_cost(1) == pytest.approx(pricing.point_price())
+
+    def test_size_dependent_hit_cost_validates(self):
+        with pytest.raises(InvalidParameterError):
+            SizeDependentPricing().hit_cost(0, n_images=10)
+        with pytest.raises(InvalidParameterError):
+            SizeDependentPricing().hit_cost(3, n_images=0)
+
+
 class TestCostLedger:
     def test_charging(self):
         ledger = CostLedger()
@@ -44,6 +72,23 @@ class TestCostLedger:
     def test_invalid_assignments(self):
         with pytest.raises(InvalidParameterError):
             CostLedger().charge(is_set_query=True, n_assignments=0)
+        with pytest.raises(InvalidParameterError):
+            CostLedger().charge(is_set_query=True, n_assignments=3, n_images=0)
+
+    def test_size_dependent_ledger_charges_by_query_size(self):
+        """Regression: a ledger configured with SizeDependentPricing used
+        to raise AttributeError on charge (no hit_cost) and could never
+        see the query size. Now it bills exactly price(k)·assignments."""
+        pricing = SizeDependentPricing(
+            base_price=0.02, per_image=0.002, service_fee_rate=0.20
+        )
+        ledger = CostLedger(pricing=pricing)
+        payment = ledger.charge(is_set_query=True, n_assignments=3, n_images=50)
+        assert payment == pytest.approx(0.36)
+        payment = ledger.charge(is_set_query=False, n_assignments=3, n_images=1)
+        assert payment == pytest.approx(3 * 0.022)
+        assert ledger.worker_payments == pytest.approx(0.36 + 0.066)
+        assert ledger.service_fees == pytest.approx(0.2 * (0.36 + 0.066))
 
     def test_summary_mentions_totals(self):
         ledger = CostLedger()

@@ -1,0 +1,160 @@
+"""GroupMembershipIndex: vectorized answering must equal row-at-a-time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import Negation, SuperGroup, group
+from repro.data.membership import GroupMembershipIndex, as_run
+from repro.data.schema import Schema
+from repro.data.synthetic import binary_dataset, intersectional_dataset
+
+FEMALE = group(gender="female")
+
+
+@pytest.fixture
+def dataset(rng):
+    return binary_dataset(500, 60, rng=rng)
+
+
+@pytest.fixture
+def multi_dataset(rng):
+    schema = Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black", "asian"]}
+    )
+    joint = {
+        ("male", "white"): 200,
+        ("female", "white"): 90,
+        ("male", "black"): 40,
+        ("female", "black"): 12,
+        ("female", "asian"): 8,
+    }
+    return intersectional_dataset(schema, joint, rng=rng)
+
+
+class TestAsRun:
+    def test_detects_contiguous_ascending(self):
+        assert as_run(np.arange(5, 12)) == (5, 12)
+        assert as_run(np.array([3])) == (3, 4)
+
+    def test_rejects_non_runs(self):
+        assert as_run(np.array([], dtype=np.int64)) is None
+        assert as_run(np.array([1, 3])) is None
+        assert as_run(np.array([2, 1])) is None
+        assert as_run(np.array([1, 2, 2, 3])) is None
+        # Same endpoints/length as a run, but not ascending by 1.
+        assert as_run(np.array([0, 2, 1, 3])) is None
+
+
+class TestMembershipIndex:
+    def test_shared_per_dataset(self, dataset):
+        assert (
+            GroupMembershipIndex.for_dataset(dataset)
+            is GroupMembershipIndex.for_dataset(dataset)
+        )
+
+    def test_prefix_counts_match_mask(self, dataset):
+        index = GroupMembershipIndex.for_dataset(dataset)
+        prefix = index.prefix(FEMALE)
+        mask = dataset.mask(FEMALE)
+        assert prefix[0] == 0
+        assert prefix[-1] == mask.sum()
+        assert np.array_equal(np.diff(prefix), mask.astype(np.int64))
+
+    @pytest.mark.parametrize("predicate", [
+        FEMALE,
+        Negation(FEMALE),
+        SuperGroup([group(gender="female"), group(gender="male")]),
+    ])
+    def test_any_match_equals_row_at_a_time(self, dataset, rng, predicate):
+        index = GroupMembershipIndex.for_dataset(dataset)
+        for _ in range(50):
+            if rng.random() < 0.5:  # contiguous run
+                start = int(rng.integers(0, len(dataset)))
+                stop = int(rng.integers(start, len(dataset) + 1))
+                indices = np.arange(start, stop)
+            else:  # scattered
+                size = int(rng.integers(0, 40))
+                indices = rng.choice(len(dataset), size=size, replace=False)
+            expected = any(
+                predicate.matches_row(dataset.value_row(int(i))) for i in indices
+            )
+            assert index.any_match(predicate, indices) == expected
+            expected_count = sum(
+                predicate.matches_row(dataset.value_row(int(i))) for i in indices
+            )
+            assert index.count(predicate, indices) == expected_count
+
+    def test_any_match_batch_mixes_runs_and_scatter(self, multi_dataset, rng):
+        index = GroupMembershipIndex.for_dataset(multi_dataset)
+        predicates = [
+            group(race="black"),
+            group(gender="female", race="asian"),
+            Negation(group(gender="male")),
+        ]
+        queries = []
+        for _ in range(120):
+            predicate = predicates[int(rng.integers(len(predicates)))]
+            shape = rng.random()
+            if shape < 0.4:
+                start = int(rng.integers(0, len(multi_dataset)))
+                stop = int(rng.integers(start, len(multi_dataset) + 1))
+                indices = np.arange(start, stop)
+            elif shape < 0.8:
+                size = int(rng.integers(1, 30))
+                indices = rng.choice(len(multi_dataset), size=size, replace=False)
+            else:
+                indices = np.empty(0, dtype=np.int64)
+            queries.append((indices, predicate))
+        answers = index.any_match_batch(queries)
+        for (indices, predicate), answer in zip(queries, answers):
+            expected = any(
+                predicate.matches_row(multi_dataset.value_row(int(i)))
+                for i in indices
+            )
+            assert answer == expected
+
+    def test_any_match_runs_vectorized(self, dataset):
+        index = GroupMembershipIndex.for_dataset(dataset)
+        starts = np.array([0, 100, 250, 499])
+        stops = np.array([50, 100, 400, 500])
+        hits = index.any_match_runs(FEMALE, starts, stops)
+        for start, stop, hit in zip(starts, stops, hits):
+            expected = bool(dataset.mask(FEMALE)[start:stop].any())
+            assert bool(hit) == expected
+
+    def test_value_rows_match_value_row(self, multi_dataset, rng):
+        index = GroupMembershipIndex.for_dataset(multi_dataset)
+        indices = rng.choice(len(multi_dataset), size=25, replace=False)
+        rows = index.value_rows(indices)
+        assert rows == [multi_dataset.value_row(int(i)) for i in indices]
+        assert index.value_rows([]) == []
+
+    def test_value_rows_bounds_checked_like_value_row(self, dataset):
+        """Negative indices must raise, not silently wrap to the end of
+        the dataset the way raw fancy-indexing would."""
+        from repro.errors import OracleError
+
+        index = GroupMembershipIndex.for_dataset(dataset)
+        with pytest.raises(OracleError):
+            index.value_rows([0, -1])
+        with pytest.raises(OracleError):
+            index.value_rows([len(dataset)])
+
+
+class TestValidation:
+    def test_unknown_predicate_raises_like_dataset(self, dataset):
+        from repro.errors import UnknownGroupError
+
+        index = GroupMembershipIndex.for_dataset(dataset)
+        with pytest.raises(UnknownGroupError):
+            index.any_match(group(age="old"), np.arange(5))
+
+    def test_empty_dataset(self):
+        schema = Schema.from_dict({"gender": ["male", "female"]})
+        empty = LabeledDataset(schema, np.empty((0, 1), dtype=np.int16))
+        index = GroupMembershipIndex.for_dataset(empty)
+        assert index.any_match(FEMALE, np.empty(0, dtype=np.int64)) is False
+        assert index.prefix(FEMALE).tolist() == [0]
