@@ -1,0 +1,180 @@
+"""Service benchmark: latency overlap of concurrent audit jobs.
+
+The paper's cost model counts tasks; a deployment also pays *latency* —
+a published batch of HITs answers seconds to minutes later. This
+harness measures what the multi-tenant :class:`~repro.service.AuditService`
+buys on that axis: it runs N group audits over a
+:class:`~repro.crowd.backends.LatencyModelBackend` (simulated per-worker
+latency on a virtual clock, identical answers and dollar charges)
+
+* **serially** — ``max_active_jobs=1``: each audit waits out its own
+  batches, one after another (the blocking-oracle execution model), and
+* **overlapped** — all N jobs in flight on the shared engine: every
+  audit keeps its frontier outstanding while the others wait.
+
+Answers are identical and per-job task spend is unchanged (distinct
+predicates, shared cache notwithstanding) — only the clock differs. The
+harness asserts identical total spend and the wall-clock speedup target
+(≥ 4× at 8 jobs), plus bit-identical verdicts between an
+InlineBackend-driven service and the session API.
+
+Results land in ``BENCH_service.json``; CI runs this script on every
+push. Full run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.audit import AuditSession, GroupAuditSpec
+from repro.crowd.backends import LatencyModelBackend
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import single_attribute_dataset
+from repro.service import AuditService
+
+DEFAULT_JOBS = 8
+DEFAULT_TAU = 100
+SPEEDUP_TARGET = 4.0
+
+
+def build_dataset(n_jobs: int, rng: np.random.Generator):
+    counts = {f"group{i:02d}": 150 + 35 * i for i in range(n_jobs)}
+    return single_attribute_dataset(counts, rng=rng), list(counts)
+
+
+def build_specs(values: list[str], tau: int) -> list[GroupAuditSpec]:
+    return [GroupAuditSpec(predicate=group(race=value), tau=tau) for value in values]
+
+
+def run_arm(dataset, specs, *, max_active_jobs: int) -> dict:
+    """One benchmark arm: all specs through a latency-backend service."""
+    oracle = GroundTruthOracle(dataset)
+    service = AuditService(
+        oracle,
+        backend=lambda proxy: LatencyModelBackend(
+            proxy, rng=np.random.default_rng(1234)
+        ),
+        max_active_jobs=max_active_jobs,
+    )
+    started = time.perf_counter()
+    with service:
+        handles = [
+            service.submit(spec, tenant=f"tenant-{position}")
+            for position, spec in enumerate(specs)
+        ]
+        service.drain()
+        reports = [handle.result() for handle in handles]
+        makespan = service.backend.clock.now()
+    real_seconds = time.perf_counter() - started
+    return {
+        "max_active_jobs": max_active_jobs,
+        "n_jobs": len(specs),
+        "tasks": oracle.ledger.total,
+        "oracle_round_trips": oracle.ledger.n_rounds,
+        "virtual_makespan_seconds": makespan,
+        "jobs_per_virtual_hour": len(specs) / makespan * 3600.0,
+        "real_seconds": real_seconds,
+        "verdicts": [
+            {"covered": report.result.covered, "count": report.result.count}
+            for report in reports
+        ],
+    }
+
+
+def check_inline_equivalence(dataset, specs) -> dict:
+    """The zero-latency service must be bit-identical to the session API."""
+    session_oracle = GroundTruthOracle(dataset)
+    with AuditSession(session_oracle, engine=True) as session:
+        reference = session.run_many(specs)
+
+    service_oracle = GroundTruthOracle(dataset)
+    with AuditService(service_oracle, max_active_jobs=len(specs)) as service:
+        handles = [service.submit(spec) for spec in specs]
+        service.drain()
+        reports = [handle.result() for handle in handles]
+        engine_stats = service.engine.stats
+
+    for report, entry in zip(reports, reference.entries):
+        assert report.result.covered == entry.result.covered, "verdict drift"
+        assert report.result.count == entry.result.count, "count drift"
+        assert (
+            report.tasks.n_set_queries == entry.result.tasks.n_set_queries
+        ), "per-job attribution drift"
+    assert service_oracle.ledger.total == session_oracle.ledger.total, "spend drift"
+    assert engine_stats == reference.engine_stats, "engine-stats drift"
+    return {
+        "tasks": service_oracle.ledger.total,
+        "scheduler_rounds": engine_stats.scheduler_rounds,
+        "oracle_round_trips": engine_stats.oracle_round_trips,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--tau", type=int, default=DEFAULT_TAU)
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args()
+    if args.jobs < 2:
+        parser.error("--jobs must be >= 2 (overlap needs concurrency)")
+
+    dataset, values = build_dataset(args.jobs, np.random.default_rng(7))
+    specs = build_specs(values, args.tau)
+
+    print(f"service benchmark: {args.jobs} group audits, tau={args.tau}, "
+          f"N={len(dataset)}")
+    inline = check_inline_equivalence(dataset, specs)
+    print(f"  inline equivalence ok: {inline['tasks']} tasks, "
+          f"{inline['oracle_round_trips']} round-trips, bit-identical to sessions")
+
+    serial = run_arm(dataset, specs, max_active_jobs=1)
+    overlapped = run_arm(dataset, specs, max_active_jobs=args.jobs)
+
+    assert serial["verdicts"] == overlapped["verdicts"], (
+        "overlap changed a verdict"
+    )
+    assert serial["tasks"] == overlapped["tasks"], (
+        f"overlap changed the crowd bill: serial {serial['tasks']} vs "
+        f"overlapped {overlapped['tasks']}"
+    )
+    speedup = (
+        serial["virtual_makespan_seconds"] / overlapped["virtual_makespan_seconds"]
+    )
+    for row in (serial, overlapped):
+        mode = "serial " if row["max_active_jobs"] == 1 else "overlap"
+        print(
+            f"  {mode}: {row['virtual_makespan_seconds']:>10,.0f} virtual s, "
+            f"{row['tasks']} tasks, {row['jobs_per_virtual_hour']:.2f} jobs/h, "
+            f"{row['real_seconds']:.2f} real s"
+        )
+    print(f"  wall-clock speedup of overlap vs serial: {speedup:.1f}x "
+          f"(target >= {SPEEDUP_TARGET}x) at identical task spend")
+    assert speedup >= SPEEDUP_TARGET, (
+        f"overlap speedup {speedup:.2f}x is below the {SPEEDUP_TARGET}x target"
+    )
+
+    payload = {
+        "benchmark": "audit-service latency overlap",
+        "n_jobs": args.jobs,
+        "tau": args.tau,
+        "dataset_size": len(dataset),
+        "inline_equivalence": inline,
+        "serial": serial,
+        "overlapped": overlapped,
+        "speedup": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+    }
+    with open(args.out, "w") as sink:
+        json.dump(payload, sink, indent=2)
+    print(f"  wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

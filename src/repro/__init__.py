@@ -28,11 +28,16 @@ The legacy function forms are thin wrappers over the same specs:
 
 Packages
 --------
-* :mod:`repro.audit` — the blessed API: ``AuditSession``, declarative
-  specs, serializable ``AuditReport`` envelopes, checkpoint/resume.
+* :mod:`repro.service` — multi-tenant audit jobs: ``AuditService``,
+  fair-share scheduling, ``JobStore`` crash recovery.
+* :mod:`repro.audit` — the blessed single-caller API: ``AuditSession``,
+  declarative specs, serializable ``AuditReport`` envelopes,
+  checkpoint/resume.
 * :mod:`repro.core` — the paper's algorithms (Group-Coverage and friends).
-* :mod:`repro.engine` — batched query execution: scheduler, answer cache.
-* :mod:`repro.crowd` — the crowdsourcing platform simulator and oracles.
+* :mod:`repro.engine` — asynchronous query execution: the non-blocking
+  scheduler core and the answer cache.
+* :mod:`repro.crowd` — the crowdsourcing platform simulator, oracles,
+  and pluggable crowd backends (inline / latency-model / threaded).
 * :mod:`repro.data` — schemas, group predicates, datasets, generators.
 * :mod:`repro.patterns` — pattern graph, Pattern-Combiner, MUPs.
 * :mod:`repro.classifiers` — simulated pre-trained predictors + numpy MLP.
@@ -69,12 +74,25 @@ from repro.core import (
 )
 from repro.engine import AnswerCache, EngineStats, QueryEngine
 from repro.crowd import (
+    CrowdBackend,
     CrowdOracle,
     CrowdPlatform,
     FlakyOracle,
     GroundTruthOracle,
+    InlineBackend,
+    LatencyModel,
+    LatencyModelBackend,
     Oracle,
+    ThreadedBackend,
     make_worker_pool,
+)
+from repro.service import (
+    AuditService,
+    DirectoryJobStore,
+    InMemoryJobStore,
+    JobHandle,
+    JobStatus,
+    JobStore,
 )
 from repro.data import (
     Attribute,
@@ -91,6 +109,7 @@ from repro.data import (
 from repro.errors import (
     BudgetExceededError,
     InvalidParameterError,
+    JobFailedError,
     ReproError,
     SchemaError,
     UnknownGroupError,
@@ -137,6 +156,19 @@ __all__ = [
     "FlakyOracle",
     "CrowdPlatform",
     "make_worker_pool",
+    # crowd backends
+    "CrowdBackend",
+    "InlineBackend",
+    "LatencyModel",
+    "LatencyModelBackend",
+    "ThreadedBackend",
+    # service
+    "AuditService",
+    "JobHandle",
+    "JobStatus",
+    "JobStore",
+    "InMemoryJobStore",
+    "DirectoryJobStore",
     # data
     "Attribute",
     "Schema",
@@ -158,4 +190,5 @@ __all__ = [
     "SchemaError",
     "UnknownGroupError",
     "BudgetExceededError",
+    "JobFailedError",
 ]

@@ -48,7 +48,68 @@ __all__ = [
     "engine_stats_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "set_answer_to_dict",
+    "set_answers_from_list",
+    "point_answers_to_list",
+    "point_answers_from_list",
 ]
+
+
+# -- paid crowd answers (checkpoint substrate) --------------------------
+#
+# Sessions and the multi-tenant service both persist "everything the
+# crowd was paid for" — set answers keyed by (predicate, IndexKey),
+# point answers keyed by object index. Contiguous-run index keys
+# serialize as compact ``{"run": [start, stop]}`` endpoints instead of
+# exhaustive index lists; scattered arrays spell their indices out.
+
+
+def set_answer_to_dict(predicate, index_key, answer: bool) -> dict[str, Any]:
+    """One checkpointed set answer; runs stay compact endpoints."""
+    entry: dict[str, Any] = {
+        "predicate": predicate_to_dict(predicate),
+        "answer": bool(answer),
+    }
+    if index_key.is_run:
+        entry["run"] = [index_key.start, index_key.stop]
+    else:
+        entry["indices"] = index_key.to_array().tolist()
+    return entry
+
+
+def _index_key_from_dict(entry: Mapping[str, Any]):
+    """Rebuild the interned ``IndexKey`` of a checkpoint entry."""
+    import numpy as np
+
+    from repro.engine.requests import IndexKey
+
+    run = entry.get("run")
+    if run is not None:
+        return IndexKey.of_run(int(run[0]), int(run[1]))
+    return IndexKey.of(np.asarray(entry["indices"], dtype=np.int64))
+
+
+def set_answers_from_list(entries) -> dict:
+    """Invert a list of :func:`set_answer_to_dict` entries into the
+    ``{QueryKey: bool}`` mapping replay proxies and caches consume."""
+    return {
+        (
+            predicate_from_dict(entry["predicate"]),
+            _index_key_from_dict(entry),
+        ): bool(entry["answer"])
+        for entry in entries
+    }
+
+
+def point_answers_to_list(answers: Mapping[int, Mapping[str, str]]) -> list[dict]:
+    return [
+        {"index": index, "labels": dict(labels)}
+        for index, labels in answers.items()
+    ]
+
+
+def point_answers_from_list(entries) -> dict[int, dict[str, str]]:
+    return {int(entry["index"]): dict(entry["labels"]) for entry in entries}
 
 
 # -- predicates ---------------------------------------------------------

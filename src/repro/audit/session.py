@@ -53,13 +53,19 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.audit.proxy import RecordingOracleProxy
 from repro.audit.report import AuditEntry, AuditReport
 from repro.audit.runners import make_group_stepper, run_spec
-from repro.audit.serialization import predicate_from_dict, predicate_to_dict
+from repro.audit.serialization import (
+    point_answers_from_list,
+    point_answers_to_list,
+    set_answer_to_dict,
+    set_answers_from_list,
+)
 from repro.audit.specs import AuditSpec, GroupAuditSpec, spec_from_dict
 from repro.core.results import LedgerWindow, TaskUsage
 from repro.crowd.oracle import Oracle
-from repro.engine.requests import IndexKey, QueryKey, set_query_key
+from repro.engine.requests import QueryKey
 from repro.engine.scheduler import QueryEngine
 from repro.errors import BudgetExceededError, InvalidParameterError
 
@@ -74,26 +80,6 @@ __all__ = [
 #: lists; version-1 checkpoints (always exhaustive lists) remain readable.
 _CHECKPOINT_VERSION = 2
 _READABLE_CHECKPOINT_VERSIONS = frozenset({1, 2})
-
-
-def _set_answer_to_dict(
-    predicate, index_key: IndexKey, answer: bool
-) -> dict:
-    """One checkpointed set answer; runs stay compact endpoints."""
-    entry: dict = {"predicate": predicate_to_dict(predicate), "answer": answer}
-    if index_key.is_run:
-        entry["run"] = [index_key.start, index_key.stop]
-    else:
-        entry["indices"] = index_key.to_array().tolist()
-    return entry
-
-
-def _index_key_from_dict(entry: dict) -> IndexKey:
-    """Rebuild the interned :class:`IndexKey` of a checkpoint entry."""
-    run = entry.get("run")
-    if run is not None:
-        return IndexKey.of_run(int(run[0]), int(run[1]))
-    return IndexKey.of(np.asarray(entry["indices"], dtype=np.int64))
 
 #: Sessions currently inside their ``with`` block, for the legacy-path
 #: DeprecationWarning. Module-level and identity-based; sessions
@@ -149,116 +135,10 @@ class AuditProgress:
     rounds: int
 
 
-class _SessionOracle(Oracle):
-    """Recording/replaying proxy a session wraps around its oracle.
-
-    Shares the raw oracle's schema and ledger (charging is unchanged) and
-    delegates every fresh question to it, while
-
-    * **recording** each answer, so :meth:`AuditSession.checkpoint` can
-      persist everything the crowd was paid for, and
-    * **replaying** answers loaded from a checkpoint for free — the
-      mechanism behind resume-without-re-asking.
-
-    With nothing loaded the proxy is transparent: same calls, same
-    charges, same rounds, bit-identical results.
-    """
-
-    def __init__(self, inner: Oracle) -> None:
-        self._session_inner = inner
-        self.schema = inner.schema
-        self.ledger = inner.ledger
-        self._set_seen: dict[QueryKey, bool] = {}
-        self._point_seen: dict[int, dict[str, str]] = {}
-        self._set_replay: dict[QueryKey, bool] = {}
-        self._point_replay: dict[int, dict[str, str]] = {}
-
-    def __getattr__(self, name: str):
-        if name == "_session_inner":
-            raise AttributeError(name)
-        return getattr(self._session_inner, name)
-
-    # -- replay loading --------------------------------------------------
-    def load_set_answers(self, answers: dict[QueryKey, bool]) -> None:
-        self._set_replay.update(answers)
-        self._set_seen.update(answers)
-
-    def load_point_answers(self, answers: dict[int, dict[str, str]]) -> None:
-        self._point_replay.update(answers)
-        self._point_seen.update(answers)
-
-    # -- public oracle API ------------------------------------------------
-    def ask_set(self, indices, predicate, *, key=None) -> bool:
-        if key is None:
-            key = set_query_key(np.asarray(indices, dtype=np.int64), predicate)
-        if key in self._set_replay:
-            return self._set_replay[key]
-        answer = self._session_inner.ask_set(indices, predicate, key=key)
-        self._set_seen[key] = answer
-        return answer
-
-    def ask_set_batch(self, queries, *, keys=None) -> list[bool]:
-        prepared = [
-            (np.asarray(indices, dtype=np.int64), predicate)
-            for indices, predicate in queries
-        ]
-        if keys is None:
-            keys = [
-                set_query_key(indices, predicate) for indices, predicate in prepared
-            ]
-        fresh = [
-            (position, query)
-            for position, (key, query) in enumerate(zip(keys, prepared))
-            if key not in self._set_replay
-        ]
-        answers: list[bool] = [False] * len(prepared)
-        for position, key in enumerate(keys):
-            if key in self._set_replay:
-                answers[position] = self._set_replay[key]
-        if fresh:
-            fresh_answers = self._session_inner.ask_set_batch(
-                [query for _, query in fresh],
-                keys=[keys[position] for position, _ in fresh],
-            )
-            for (position, _), answer in zip(fresh, fresh_answers):
-                answers[position] = answer
-                self._set_seen[keys[position]] = answer
-        return answers
-
-    def ask_point(self, index: int) -> dict[str, str]:
-        index = int(index)
-        if index in self._point_replay:
-            return dict(self._point_replay[index])
-        labels = self._session_inner.ask_point(index)
-        self._point_seen[index] = dict(labels)
-        return labels
-
-    def ask_point_batch(self, indices) -> list[dict[str, str]]:
-        prepared = [int(index) for index in indices]
-        fresh = [
-            (position, index)
-            for position, index in enumerate(prepared)
-            if index not in self._point_replay
-        ]
-        answers: list[dict[str, str]] = [
-            dict(self._point_replay[index]) if index in self._point_replay else {}
-            for index in prepared
-        ]
-        if fresh:
-            fresh_answers = self._session_inner.ask_point_batch(
-                [index for _, index in fresh]
-            )
-            for (position, index), labels in zip(fresh, fresh_answers):
-                answers[position] = labels
-                self._point_seen[index] = dict(labels)
-        return answers
-
-    # -- implementation hooks (unused: public methods are overridden) -----
-    def _answer_set(self, indices, predicate) -> bool:  # pragma: no cover
-        return self._session_inner._answer_set(indices, predicate)
-
-    def _answer_point(self, index: int) -> dict[str, str]:  # pragma: no cover
-        return self._session_inner._answer_point(index)
+#: The recording/replaying proxy sessions wrap around their oracle now
+#: lives in :mod:`repro.audit.proxy`, shared with the multi-tenant
+#: :class:`~repro.service.AuditService`.
+_SessionOracle = RecordingOracleProxy
 
 
 def _infer_dataset_size(oracle: Oracle) -> int | None:
@@ -350,6 +230,11 @@ class AuditSession:
 
         if seed is not None and rng is not None:
             raise InvalidParameterError("pass either seed or rng, not both")
+        if task_budget is not None and task_budget <= 0:
+            raise InvalidParameterError(
+                f"task_budget must be positive, got {task_budget}; a "
+                "session with no budget ceiling is task_budget=None"
+            )
         self.seed = seed
         self.rng = rng if rng is not None else (
             np.random.default_rng(seed) if seed is not None else None
@@ -641,13 +526,10 @@ class AuditSession:
                 ),
                 "pending": [spec.to_dict() for spec in self._unfinished],
                 "set_answers": [
-                    _set_answer_to_dict(predicate, index_key, answer)
+                    set_answer_to_dict(predicate, index_key, answer)
                     for (predicate, index_key), answer in set_answers.items()
                 ],
-                "point_answers": [
-                    {"index": index, "labels": labels}
-                    for index, labels in self._proxy._point_seen.items()
-                ],
+                "point_answers": point_answers_to_list(self._proxy._point_seen),
             }
         )
 
@@ -701,22 +583,13 @@ class AuditSession:
             bit_generator = getattr(np.random, rng_state["bit_generator"])()
             bit_generator.state = rng_state
             session.rng = np.random.Generator(bit_generator)
-        set_answers = {
-            (
-                predicate_from_dict(entry["predicate"]),
-                _index_key_from_dict(entry),
-            ): bool(entry["answer"])
-            for entry in data["set_answers"]
-        }
+        set_answers = set_answers_from_list(data["set_answers"])
         session._proxy.load_set_answers(set_answers)
         if session.engine is not None:
             for key, answer in set_answers.items():
                 session.engine.cache.store(key, answer)
         session._proxy.load_point_answers(
-            {
-                int(entry["index"]): dict(entry["labels"])
-                for entry in data["point_answers"]
-            }
+            point_answers_from_list(data["point_answers"])
         )
         session._unfinished = [spec_from_dict(spec) for spec in data["pending"]]
         return session

@@ -1,6 +1,15 @@
 """Crowdsourcing simulator: queries, workers, QC, pricing, platform, oracles."""
 
 from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
+from repro.crowd.backends import (
+    CrowdBackend,
+    InlineBackend,
+    LatencyModel,
+    LatencyModelBackend,
+    SimulatedClock,
+    ThreadedBackend,
+    Ticket,
+)
 from repro.crowd.oracle import (
     CrowdOracle,
     FlakyOracle,
@@ -31,6 +40,13 @@ __all__ = [
     "majority_vote",
     "majority_point",
     "DawidSkene",
+    "CrowdBackend",
+    "Ticket",
+    "InlineBackend",
+    "LatencyModel",
+    "LatencyModelBackend",
+    "SimulatedClock",
+    "ThreadedBackend",
     "Oracle",
     "TaskLedger",
     "GroundTruthOracle",

@@ -1,0 +1,26 @@
+"""Pluggable crowd backends: asynchronous submit/poll/gather dispatch.
+
+See :mod:`repro.crowd.backends.base` for the protocol and the layering
+rationale; ``docs/architecture.md`` for how the
+:class:`~repro.engine.QueryEngine` and :class:`~repro.service.AuditService`
+sit on top.
+"""
+
+from repro.crowd.backends.base import CrowdBackend, Ticket
+from repro.crowd.backends.inline import InlineBackend
+from repro.crowd.backends.latency import (
+    LatencyModel,
+    LatencyModelBackend,
+    SimulatedClock,
+)
+from repro.crowd.backends.threaded import ThreadedBackend
+
+__all__ = [
+    "CrowdBackend",
+    "Ticket",
+    "InlineBackend",
+    "LatencyModel",
+    "LatencyModelBackend",
+    "SimulatedClock",
+    "ThreadedBackend",
+]

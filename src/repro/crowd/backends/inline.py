@@ -1,0 +1,47 @@
+"""The zero-latency backend: answers are ready at submission.
+
+:class:`InlineBackend` is the compatibility backend — it publishes a
+batch by calling ``oracle.ask_set_batch`` synchronously and holds the
+answers until they are gathered. A drain loop over it performs exactly
+the call sequence the blocking engine used to make (one
+``ask_set_batch`` per chunk, in chunk order), so verdicts, task counts,
+and engine statistics are bit-identical to the pre-backend design. It is
+the default backend of :class:`~repro.engine.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.crowd.backends.base import CrowdBackend, Ticket
+
+if TYPE_CHECKING:
+    from repro.engine.requests import SetRequest
+
+__all__ = ["InlineBackend"]
+
+
+class InlineBackend(CrowdBackend):
+    """Synchronous dispatch behind the asynchronous protocol.
+
+    ``submit`` answers the batch immediately through the oracle (ledger
+    charging and budget enforcement happen right there, as in the
+    blocking API); ``poll`` reports every outstanding ticket ready;
+    ``gather`` never blocks.
+    """
+
+    def __init__(self, oracle) -> None:
+        super().__init__(oracle)
+        self._answers: dict[int, list[bool]] = {}
+
+    def _submit(self, ticket: Ticket, requests: "Sequence[SetRequest]") -> None:
+        self._answers[ticket.ticket_id] = self._dispatch(requests)
+
+    def _ready(self, ticket: Ticket) -> bool:
+        return True
+
+    def _gather(self, ticket: Ticket) -> Sequence[bool]:
+        return self._answers.pop(ticket.ticket_id)
+
+    def _next_done(self) -> Ticket:
+        return next(iter(self._open.values()))

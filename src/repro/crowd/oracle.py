@@ -112,6 +112,11 @@ class Oracle(ABC):
     """
 
     def __init__(self, schema, *, budget: int | None = None) -> None:
+        if budget is not None and budget <= 0:
+            raise InvalidParameterError(
+                f"task budget must be positive, got {budget}; an oracle "
+                "with no budget ceiling is budget=None"
+            )
         self.schema = schema
         self.ledger = TaskLedger(budget=budget)
 

@@ -6,13 +6,14 @@ layering and :class:`QueryEngine` for the scheduling loop.
 
 from repro.engine.cache import AnswerCache
 from repro.engine.requests import IndexKey, QueryKey, SetRequest, set_query_key
-from repro.engine.scheduler import CoverageStepper, QueryEngine
+from repro.engine.scheduler import CoverageStepper, Flow, QueryEngine
 from repro.engine.stats import EngineStats
 
 __all__ = [
     "AnswerCache",
     "CoverageStepper",
     "EngineStats",
+    "Flow",
     "IndexKey",
     "QueryEngine",
     "QueryKey",

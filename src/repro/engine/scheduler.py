@@ -1,19 +1,30 @@
-"""The query-execution engine: batched, deduplicated oracle dispatch.
+"""The query-execution engine: batched, deduplicated, *asynchronous* dispatch.
 
-Sits between the coverage algorithms (:mod:`repro.core`) and the
-:class:`~repro.crowd.oracle.Oracle`. Algorithms are rewritten as
-*steppers* — resumable state machines that emit the set queries they are
-ready for and consume answers — and the engine drives any number of them
-concurrently:
+Sits between the coverage algorithms (:mod:`repro.core`) and the crowd.
+Algorithms are written as *steppers* — resumable state machines that
+emit the set queries they are ready for and consume answers — and the
+engine drives any number of them concurrently against one
+:class:`~repro.crowd.backends.CrowdBackend`:
 
-1. **collect** every ready request from every active stepper,
+1. **collect** every ready request from every admitted stepper,
 2. **dedup** them through the shared :class:`~repro.engine.cache.AnswerCache`
    and an in-flight table (two runs asking the same question pay once),
-3. **dispatch** the remainder to the oracle in batches
-   (``Oracle.ask_set_batch`` — one round-trip per batch, with vectorized
-   answering on simulated/classifier-style oracles),
-4. **feed** the answers back and let each stepper advance as far as its
+3. **submit** the remainder to the backend in batches — each batch is a
+   :class:`~repro.crowd.backends.Ticket` whose answers arrive later,
+4. **absorb** completed tickets, feeding each stepper as far as its
    dependencies allow.
+
+The core is non-blocking: :meth:`QueryEngine.pump` performs steps 1–3
+and returns immediately with the submitted tickets;
+:meth:`QueryEngine.absorb` performs step 4 for one completed ticket.
+A long-lived driver (the multi-tenant
+:class:`~repro.service.AuditService`) interleaves pumps and absorbs
+across many concurrent audits, overlapping their crowd latency.
+:meth:`QueryEngine.run` remains as a thin drain loop — pump, wait,
+absorb, repeat — and over the default
+:class:`~repro.crowd.backends.InlineBackend` it performs exactly the
+blocking call sequence of the pre-backend engine, so verdicts, task
+counts, and statistics are bit-identical for every existing caller.
 
 The per-query task cost is unchanged (the paper's dollar cost model);
 what the engine minimises is *round-trips* — the latency bottleneck of
@@ -24,6 +35,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, Sequence
 
+from repro.crowd.backends.base import CrowdBackend, Ticket
+from repro.crowd.backends.inline import InlineBackend
 from repro.engine.cache import AnswerCache
 from repro.engine.requests import QueryKey, SetRequest
 from repro.engine.stats import EngineStats
@@ -32,7 +45,7 @@ from repro.errors import InvalidParameterError
 if TYPE_CHECKING:
     from repro.crowd.oracle import Oracle
 
-__all__ = ["CoverageStepper", "QueryEngine"]
+__all__ = ["CoverageStepper", "Flow", "QueryEngine"]
 
 
 def _answer_source(oracle: "Oracle") -> object:
@@ -58,9 +71,8 @@ class CoverageStepper(Protocol):
     * ``pending()`` returns every query whose dispatch does **not** depend
       on an unanswered query, excluding queries already emitted and still
       awaiting their answer. It must be non-empty while ``done`` is false
-      and no emitted request is outstanding — the engine answers every
-      emitted request each round, so it treats an undone stepper with no
-      pending work as stalled.
+      and no emitted request is outstanding — the engine treats an undone
+      stepper with no pending work and nothing in flight as stalled.
     * ``feed`` accepts answers for any subset of previously pending
       requests, keyed by :data:`~repro.engine.requests.QueryKey`, and
       advances the run as far as the new answers allow.
@@ -74,16 +86,54 @@ class CoverageStepper(Protocol):
     def feed(self, answers: Mapping[QueryKey, bool]) -> None: ...
 
 
+class Flow:
+    """One admitted stepper's execution state inside the engine.
+
+    :meth:`QueryEngine.admit` returns the flow as a handle: drivers use
+    it to read progress (:attr:`dispatched` set queries billed to this
+    run, :attr:`finished`), and to :meth:`~QueryEngine.retire` the run.
+    ``spawned`` holds the flows the completion hook chained off this one
+    (Multiple-Coverage's penalty re-runs), so a driver can account a
+    whole completion tree to the audit that rooted it.
+    """
+
+    __slots__ = (
+        "stepper", "on_complete", "outstanding", "dispatched",
+        "spawned", "finished", "retired",
+    )
+
+    def __init__(self, stepper: CoverageStepper, on_complete: CompletionHook | None):
+        self.stepper = stepper
+        self.on_complete = on_complete
+        #: answers this flow is waiting on (in flight or queued on a ticket)
+        self.outstanding = 0
+        #: set queries dispatched to the crowd on this flow's behalf
+        self.dispatched = 0
+        #: flows chained off this one's completion hook
+        self.spawned: list[Flow] = []
+        self.finished = False
+        self.retired = False
+
+
 class QueryEngine:
-    """Schedules set queries from concurrent coverage runs onto one oracle.
+    """Schedules set queries from concurrent coverage runs onto one crowd
+    backend.
 
     Parameters
     ----------
     oracle:
         The answer source; every dispatched query is charged to its
-        ledger exactly as in sequential mode.
+        ledger exactly as in sequential mode. May be omitted when
+        ``backend`` is given.
+    backend:
+        A :class:`~repro.crowd.backends.CrowdBackend` to dispatch
+        through. Defaults to an
+        :class:`~repro.crowd.backends.InlineBackend` over ``oracle`` —
+        the zero-latency compatibility path. A backend must belong to
+        exactly one engine (the engine's ticket table is the single
+        source of truth for what is in flight).
     batch_size:
-        Maximum queries per oracle round-trip (HITs per published batch).
+        Maximum queries per backend submission (HITs per published batch).
     speculation:
         Per-run look-ahead budget: how many queries beyond its
         certification deficit each coverage run may keep in flight.
@@ -107,8 +157,9 @@ class QueryEngine:
 
     def __init__(
         self,
-        oracle: "Oracle",
+        oracle: "Oracle | None" = None,
         *,
+        backend: CrowdBackend | None = None,
         batch_size: int = 32,
         speculation: int | None = None,
         cache: AnswerCache | None = None,
@@ -121,15 +172,30 @@ class QueryEngine:
             raise InvalidParameterError(
                 f"speculation must be >= 0, got {speculation}"
             )
-        self.oracle = oracle
+        if oracle is None and backend is None:
+            raise InvalidParameterError(
+                "QueryEngine needs an oracle or a backend"
+            )
+        if backend is not None and oracle is not None and backend.oracle is not oracle:
+            raise InvalidParameterError(
+                "backend was constructed over a different oracle"
+            )
+        self.backend = backend if backend is not None else InlineBackend(oracle)
+        self.oracle = self.backend.oracle
         self.batch_size = batch_size
         self.speculation = batch_size if speculation is None else speculation
         self.cache = cache if cache is not None else AnswerCache()
-        self.cache.bind(_answer_source(oracle))
+        self.cache.bind(_answer_source(self.oracle))
         self.scheduler_rounds = 0
         self.oracle_round_trips = 0
         self.dispatched_queries = 0
         self.deduped_queries = 0
+        #: admitted, unfinished flows in admission order
+        self._flows: list[Flow] = []
+        #: key -> flows awaiting that key's answer (first = the dispatcher)
+        self._waiters: dict[QueryKey, list[Flow]] = {}
+        #: ticket id -> the keys it carries, in submission order
+        self._tickets: dict[int, list[QueryKey]] = {}
 
     def ensure_executes_for(self, oracle: "Oracle") -> None:
         """Raise unless this engine dispatches to ``oracle`` — algorithms
@@ -174,6 +240,110 @@ class QueryEngine:
         """Lifetime statistics of this engine."""
         return self.snapshot()
 
+    # -- the non-blocking core -------------------------------------------
+    def admit(
+        self,
+        stepper: CoverageStepper,
+        *,
+        on_complete: CompletionHook | None = None,
+    ) -> Flow:
+        """Register a stepper for scheduling; returns its :class:`Flow`.
+
+        A stepper that is already done (tau=0, empty view) completes
+        immediately — its ``on_complete`` fires before ``admit`` returns
+        and any steppers it spawns are admitted in turn.
+        """
+        flow = Flow(stepper, on_complete)
+        if stepper.done:
+            self._finish(flow)
+        else:
+            self._flows.append(flow)
+        return flow
+
+    def retire(self, flow: Flow) -> None:
+        """Withdraw an unfinished flow (a cancelled job): it is no longer
+        pumped and answers arriving for it are cached but not fed. Paid
+        queries stay paid — retirement abandons the audit, not the bill."""
+        flow.retired = True
+        if flow in self._flows:
+            self._flows.remove(flow)
+
+    def pump(self) -> list[Ticket]:
+        """Issue every ready frontier: settle completions, collect each
+        admitted flow's pending queries, answer what the cache and the
+        in-flight table already know, and submit the rest to the backend
+        in batches. Returns the tickets submitted by this call (answers
+        may not be ready yet); hand each to :meth:`absorb` once gathered.
+        """
+        collected, tickets = self._pump()
+        return tickets
+
+    def absorb(self, ticket: Ticket, answers: Sequence[bool]) -> None:
+        """Feed one completed ticket's answers back into the system:
+        store them in the cache and advance every flow that was waiting
+        on them. ``answers`` is what ``backend.gather(ticket)`` returned
+        — parallel to the ticket's queries. Completion hooks do not fire
+        here; they fire at the next :meth:`pump` (or :meth:`settle`), in
+        admission order.
+        """
+        keys = self._tickets.pop(ticket.ticket_id, None)
+        if keys is None:
+            raise InvalidParameterError(
+                f"ticket {ticket.ticket_id} is not outstanding on this engine"
+            )
+        if len(answers) != len(keys):
+            raise InvalidParameterError(
+                f"ticket {ticket.ticket_id} carried {len(keys)} queries "
+                f"but {len(answers)} answers were absorbed"
+            )
+        feeds: dict[Flow, dict[QueryKey, bool]] = {}
+        for key, answer in zip(keys, answers):
+            answer = bool(answer)
+            self.cache.store(key, answer)
+            for flow in self._waiters.pop(key, ()):
+                feeds.setdefault(flow, {})[key] = answer
+        for flow, answered in feeds.items():
+            flow.outstanding -= len(answered)
+            if not flow.retired:
+                flow.stepper.feed(answered)
+
+    def discard(self, ticket: Ticket) -> None:
+        """Drop an outstanding ticket whose answers will never arrive
+        (its gather failed). Waiting flows stop counting it as in
+        flight; the queries themselves are abandoned — drivers retire or
+        re-run the affected audits. A no-op for unknown tickets."""
+        keys = self._tickets.pop(ticket.ticket_id, None)
+        if keys is None:
+            return
+        for key in keys:
+            for flow in self._waiters.pop(key, ()):
+                flow.outstanding -= 1
+
+    def settle(self) -> None:
+        """Fire completion hooks for every flow whose stepper finished,
+        in admission order; spawned steppers are admitted (and, if born
+        done, completed) depth-first. :meth:`pump` calls this first, so
+        explicit calls are only needed to observe completions without
+        pumping."""
+        for flow in list(self._flows):
+            if flow.stepper.done and not flow.finished:
+                self._finish(flow)
+
+    @property
+    def outstanding_tickets(self) -> int:
+        """Tickets submitted by this engine and not yet absorbed."""
+        return len(self._tickets)
+
+    @property
+    def active_flows(self) -> int:
+        """Admitted flows that have not finished (or been retired)."""
+        return len(self._flows)
+
+    @property
+    def has_work(self) -> bool:
+        """True while any flow is unfinished or any ticket unabsorbed."""
+        return bool(self._flows or self._tickets)
+
     # -- scheduling ------------------------------------------------------
     def run(
         self,
@@ -184,74 +354,82 @@ class QueryEngine:
     ) -> dict[CoverageStepper, int]:
         """Drive ``steppers`` (plus any their completions spawn) to done.
 
-        Each scheduler round collects ready queries across all active
-        runs, answers them via cache/dedup/batched dispatch, and feeds
-        the results back. Completion order is deterministic: steppers are
-        polled in submission order. ``on_round`` (when given) fires after
+        A thin drain loop over the non-blocking core: pump the ready
+        frontier, wait for the backend, absorb completions, repeat until
+        every stepper this call admitted (and every stepper spawned from
+        them) has finished. Completion order is deterministic: flows
+        settle in admission order. ``on_round`` (when given) fires after
         every scheduler round — the progress hook audit sessions use.
+
+        Flows admitted by *other* drivers keep advancing while this call
+        runs (their frontiers share the same pumps); the call returns as
+        soon as its own steppers are done, leaving the rest in flight.
 
         Returns
         -------
         dict
-            Per-stepper count of set queries dispatched to the oracle on
+            Per-stepper count of set queries dispatched to the crowd on
             its behalf. A query several steppers asked in the same round
             is attributed to the first requester (the one that caused the
             dispatch); cache hits are attributed to nobody. Summed over
             all steppers this equals the window's dispatched-query total,
             so it splits the dollar bill of a shared run across its runs.
         """
-        active: list[CoverageStepper] = []
-        dispatched_for: dict[CoverageStepper, int] = {}
+        tracked = [self.admit(stepper, on_complete=on_complete) for stepper in steppers]
 
-        def admit(stepper: CoverageStepper) -> None:
-            dispatched_for.setdefault(stepper, 0)
-            # A stepper can be born done (tau=0, empty view): complete it
-            # immediately so its spawn chain still runs.
-            if stepper.done:
-                self._complete(stepper, on_complete, admit)
-            else:
-                active.append(stepper)
+        def all_finished() -> bool:
+            stack = list(tracked)
+            while stack:
+                flow = stack.pop()
+                if not (flow.finished or flow.retired):
+                    return False
+                stack.extend(flow.spawned)
+            return True
 
-        for stepper in steppers:
-            admit(stepper)
-
-        while active:
-            self.scheduler_rounds += 1
-            per_stepper: list[tuple[CoverageStepper, list[SetRequest]]] = []
-            for stepper in active:
-                requests = list(stepper.pending())
-                if not requests:
+        try:
+            while True:
+                self.settle()
+                if all_finished():
+                    break
+                collected, _ = self._pump()
+                while self._tickets:
+                    ticket = self.backend.next_done()
+                    try:
+                        answers = self.backend.gather(ticket)
+                    except BaseException:
+                        # The gather consumed the ticket backend-side;
+                        # drop it here too or the drain spins forever on
+                        # a ticket the backend no longer knows.
+                        self.discard(ticket)
+                        raise
+                    self.absorb(ticket, answers)
+                if collected:
+                    if on_round is not None:
+                        on_round()
+                elif not self._flows:
+                    # Tracked flows unfinished, yet nothing to collect and
+                    # nothing in flight: the bookkeeping is broken.
                     raise RuntimeError(
-                        "stepper is not done but has no pending queries — "
-                        "its dependency tracking is broken"
+                        "engine has unfinished flows but no pending work"
                     )
-                per_stepper.append((stepper, requests))
+        except BaseException:
+            # An aborted drive (budget exhaustion, oracle failure) must
+            # not leave its steppers admitted: a later drive on this
+            # engine would keep pumping them — and keep paying for them.
+            stack = list(tracked)
+            while stack:
+                flow = stack.pop()
+                if not flow.finished:
+                    self.retire(flow)
+                stack.extend(flow.spawned)
+            raise
 
-            answers, dispatched_keys = self._resolve(
-                [request for _, requests in per_stepper for request in requests]
-            )
-            unclaimed = set(dispatched_keys)
-            for stepper, requests in per_stepper:
-                for request in requests:
-                    if request.key in unclaimed:
-                        unclaimed.discard(request.key)
-                        dispatched_for[stepper] += 1
-
-            still_active: list[CoverageStepper] = []
-            for stepper, requests in per_stepper:
-                stepper.feed(
-                    {request.key: answers[request.key] for request in requests}
-                )
-                if stepper.done:
-                    self._complete(stepper, on_complete, admit)
-                else:
-                    still_active.append(stepper)
-            # Freshly spawned steppers were appended to `active` by admit;
-            # keep them for the next round alongside the survivors.
-            spawned = active[len(per_stepper):]
-            active = still_active + spawned
-            if on_round is not None:
-                on_round()
+        dispatched_for: dict[CoverageStepper, int] = {}
+        stack = list(tracked)
+        while stack:
+            flow = stack.pop(0)
+            dispatched_for[flow.stepper] = flow.dispatched
+            stack.extend(flow.spawned)
         return dispatched_for
 
     def drive(
@@ -264,46 +442,100 @@ class QueryEngine:
         self.run([stepper], on_round=on_round)
 
     # -- internals -------------------------------------------------------
-    def _complete(
-        self,
-        stepper: CoverageStepper,
-        on_complete: CompletionHook | None,
-        admit: Callable[[CoverageStepper], None],
-    ) -> None:
-        if on_complete is None:
+    def _finish(self, flow: Flow) -> None:
+        flow.finished = True
+        if flow in self._flows:
+            self._flows.remove(flow)
+        if flow.on_complete is None:
             return
-        for spawned in on_complete(stepper) or ():
-            admit(spawned)
+        for spawned in flow.on_complete(flow.stepper) or ():
+            flow.spawned.append(self.admit(spawned, on_complete=flow.on_complete))
 
-    def _resolve(
-        self, requests: Sequence[SetRequest]
-    ) -> tuple[dict[QueryKey, bool], set[QueryKey]]:
-        """Answer every request via cache, in-flight dedup, or dispatch.
+    def _pump(self) -> tuple[bool, list[Ticket]]:
+        """One scheduler round: settle, collect, resolve, submit.
 
-        Returns the answers plus the keys that actually went to the
-        oracle (for per-stepper cost attribution in :meth:`run`)."""
-        answers: dict[QueryKey, bool] = {}
-        to_dispatch: dict[QueryKey, SetRequest] = {}
-        for request in requests:
-            if request.key in answers or request.key in to_dispatch:
-                self.deduped_queries += 1
+        Returns ``(collected, tickets)`` — ``collected`` is False when no
+        flow had a ready query (every flow is waiting on in-flight
+        answers), in which case no round is counted.
+        """
+        self.settle()
+        if not self._flows:
+            return False, []
+        round_answers: dict[QueryKey, bool] = {}
+        to_dispatch: list[SetRequest] = []
+        feeds: list[tuple[Flow, dict[QueryKey, bool]]] = []
+        collected = False
+        for flow in list(self._flows):
+            if flow.outstanding:
+                # Answers are in flight for this flow: its frontier
+                # widens when they land, not before. Collecting only
+                # quiescent flows makes each flow's emission trace — and
+                # therefore its task bill — independent of how finely
+                # the driver interleaves pumps and absorbs (a drain loop
+                # and a one-ticket-at-a-time service dispatch the exact
+                # same queries per flow).
                 continue
-            cached = self.cache.lookup(request.key)
-            if cached is None:
-                to_dispatch[request.key] = request
-            else:
-                answers[request.key] = cached
-
-        fresh = list(to_dispatch.values())
-        for start in range(0, len(fresh), self.batch_size):
-            chunk = fresh[start : start + self.batch_size]
-            batch_answers = self.oracle.ask_set_batch(
-                [(request.indices, request.predicate) for request in chunk],
-                keys=[request.key for request in chunk],
-            )
-            self.oracle_round_trips += 1
-            for request, answer in zip(chunk, batch_answers):
-                self.cache.store(request.key, answer)
-                answers[request.key] = answer
-        self.dispatched_queries += len(fresh)
-        return answers, set(to_dispatch)
+            requests = list(flow.stepper.pending())
+            if not requests:
+                raise RuntimeError(
+                    "stepper is not done but has no pending queries — "
+                    "its dependency tracking is broken"
+                )
+            collected = True
+            feed: dict[QueryKey, bool] = {}
+            for request in requests:
+                key = request.key
+                if key in round_answers:
+                    # Another flow asked the same question this round and
+                    # the cache already answered it.
+                    self.deduped_queries += 1
+                    feed[key] = round_answers[key]
+                    continue
+                waiters = self._waiters.get(key)
+                if waiters is not None:
+                    # In flight (this round or an earlier pump): join the
+                    # waiters instead of paying twice.
+                    self.deduped_queries += 1
+                    waiters.append(flow)
+                    flow.outstanding += 1
+                    continue
+                cached = self.cache.lookup(key)
+                if cached is not None:
+                    round_answers[key] = cached
+                    feed[key] = cached
+                else:
+                    self._waiters[key] = [flow]
+                    to_dispatch.append(request)
+                    flow.outstanding += 1
+                    flow.dispatched += 1
+            if feed:
+                feeds.append((flow, feed))
+        if collected:
+            self.scheduler_rounds += 1
+        for flow, feed in feeds:
+            flow.stepper.feed(feed)
+        tickets: list[Ticket] = []
+        submitted = 0
+        try:
+            for start in range(0, len(to_dispatch), self.batch_size):
+                chunk = to_dispatch[start : start + self.batch_size]
+                ticket = self.backend.submit(chunk)
+                self.oracle_round_trips += 1
+                self._tickets[ticket.ticket_id] = [request.key for request in chunk]
+                tickets.append(ticket)
+                submitted += len(chunk)
+        except BaseException:
+            # A refused batch (budget exhaustion) publishes nothing: the
+            # unsubmitted requests must leave the in-flight table, or
+            # every later audit asking the same question would wait
+            # forever on a ticket that does not exist.
+            for request in to_dispatch[submitted:]:
+                waiters = self._waiters.pop(request.key, ())
+                for position, waiter in enumerate(waiters):
+                    waiter.outstanding -= 1
+                    if position == 0:  # the dispatcher carried the attribution
+                        waiter.dispatched -= 1
+            self.dispatched_queries += submitted
+            raise
+        self.dispatched_queries += len(to_dispatch)
+        return collected, tickets

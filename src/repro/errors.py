@@ -14,6 +14,7 @@ __all__ = [
     "SchemaError",
     "UnknownGroupError",
     "BudgetExceededError",
+    "JobFailedError",
     "OracleError",
     "PlatformError",
     "NoEligibleWorkersError",
@@ -52,6 +53,14 @@ class BudgetExceededError(ReproError, RuntimeError):
     violation means the requested audit is not answerable at the configured
     cost, and callers should either raise the budget or shrink the audit.
     """
+
+
+class JobFailedError(ReproError, RuntimeError):
+    """An :class:`~repro.service.AuditService` job reached a terminal
+    state without a result: its audit raised, or it was cancelled.
+
+    Raised when the job's result is *requested*; the originating error
+    message is carried in the text (and the job's event trail)."""
 
 
 class OracleError(ReproError, RuntimeError):

@@ -1,0 +1,23 @@
+"""Multi-tenant audit jobs over one shared crowd backend.
+
+:class:`AuditService` schedules concurrent audits for many tenants
+(fair-share), overlaps their crowd latency through the pluggable
+:mod:`repro.crowd.backends` layer, and checkpoints every paid answer
+plus per-job state into a :class:`JobStore` so a crashed service
+resumes without re-asking anything. See ``docs/architecture.md`` for
+the layering and the README for a quickstart.
+"""
+
+from repro.service.jobs import JobEvent, JobHandle, JobStatus
+from repro.service.service import AuditService
+from repro.service.store import DirectoryJobStore, InMemoryJobStore, JobStore
+
+__all__ = [
+    "AuditService",
+    "JobHandle",
+    "JobEvent",
+    "JobStatus",
+    "JobStore",
+    "InMemoryJobStore",
+    "DirectoryJobStore",
+]

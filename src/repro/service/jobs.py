@@ -1,0 +1,140 @@
+"""Job-level value objects of the multi-tenant audit service.
+
+A *job* is one audit spec submitted by one tenant. The service tracks it
+through a small state machine::
+
+    QUEUED ──▶ RUNNING ──▶ SUCCEEDED
+       │          │  ├───▶ FAILED      (the audit raised)
+       │          │  └───▶ SUSPENDED   (budget exhausted; resumable)
+       └──────────┴──────▶ CANCELLED
+
+Callers hold a :class:`JobHandle` — a thin, stable view over the
+service's internal record — and read :attr:`~JobHandle.status`,
+:meth:`~JobHandle.events`, :meth:`~JobHandle.result`, or
+:meth:`~JobHandle.cancel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.audit.report import AuditReport
+    from repro.audit.specs import AuditSpec
+
+__all__ = ["JobStatus", "JobEvent", "JobHandle"]
+
+
+class JobStatus(str, Enum):
+    """Lifecycle state of one submitted audit job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    #: Interrupted by budget exhaustion — resumable from a checkpoint.
+    SUSPENDED = "suspended"
+
+    @property
+    def terminal(self) -> bool:
+        """True when the job will never run again in this service."""
+        return self in (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One timestamped transition in a job's life.
+
+    Attributes
+    ----------
+    stage:
+        ``"submitted"``, ``"started"``, ``"succeeded"``, ``"failed"``,
+        ``"cancelled"``, ``"suspended"``, or ``"resumed"``.
+    detail:
+        Human-readable context (error text, resume provenance).
+    tasks:
+        The service ledger's total task count when the event fired — the
+        crowd bill so far, service-wide.
+    round:
+        The service's scheduler-round counter when the event fired.
+    """
+
+    stage: str
+    detail: str = ""
+    tasks: int = 0
+    round: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "detail": self.detail,
+            "tasks": self.tasks,
+            "round": self.round,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobEvent":
+        return cls(
+            stage=str(data["stage"]),
+            detail=str(data.get("detail", "")),
+            tasks=int(data.get("tasks", 0)),
+            round=int(data.get("round", 0)),
+        )
+
+
+class JobHandle:
+    """The caller's view of one submitted job.
+
+    Handles stay valid for the service's lifetime (and across
+    checkpoint/resume — a resumed service re-issues handles by job id).
+    All methods delegate to the owning service; the handle holds no
+    state of its own beyond identity.
+    """
+
+    __slots__ = ("_service", "job_id")
+
+    def __init__(self, service, job_id: str) -> None:
+        self._service = service
+        self.job_id = job_id
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def spec(self) -> "AuditSpec":
+        return self._service._job(self.job_id).spec
+
+    @property
+    def tenant(self) -> str:
+        return self._service._job(self.job_id).tenant
+
+    @property
+    def priority(self) -> int:
+        return self._service._job(self.job_id).priority
+
+    # -- observation ------------------------------------------------------
+    @property
+    def status(self) -> JobStatus:
+        return self._service.status(self.job_id)
+
+    def events(self) -> tuple[JobEvent, ...]:
+        return self._service.events(self.job_id)
+
+    def result(self, *, drain: bool = True) -> "AuditReport":
+        """The job's :class:`~repro.audit.report.AuditReport`.
+
+        With ``drain=True`` (default) the service is stepped until this
+        job reaches a terminal state. Raises
+        :class:`~repro.errors.JobFailedError` for failed or cancelled
+        jobs, and :class:`~repro.errors.InvalidParameterError` when the
+        job is not terminal and ``drain=False``.
+        """
+        return self._service.result(self.job_id, drain=drain)
+
+    def cancel(self) -> bool:
+        """Withdraw the job; True when it was still cancellable."""
+        return self._service.cancel(self.job_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"JobHandle({self.job_id!r}, {self.status.value})"

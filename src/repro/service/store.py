@@ -1,0 +1,114 @@
+"""Durable job state: the :class:`JobStore` behind service checkpointing.
+
+Crowd answers cost money and audits take wall-clock time, so a crashed
+service must come back without losing either. The service persists two
+kinds of state:
+
+* **per-job records** — spec, tenant, priority, seed, status, events,
+  and (for finished jobs) the full result report;
+* **the answer log** — every set/point answer the crowd was paid for,
+  shared across jobs (it feeds the replay proxy and the answer cache on
+  resume, which is what makes resumed audits re-ask nothing).
+
+Two stores ship: :class:`InMemoryJobStore` (tests, ephemeral services)
+and :class:`DirectoryJobStore` (one JSON file per job under ``jobs/``
+plus ``answers.json``, written atomically via rename so a crash
+mid-checkpoint never corrupts the previous one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JobStore", "InMemoryJobStore", "DirectoryJobStore"]
+
+
+class JobStore(ABC):
+    """Persistence boundary for :class:`~repro.service.AuditService`.
+
+    Implementations must make ``save_job``/``save_answers`` atomic per
+    call (the service may crash between calls, never mid-record).
+    """
+
+    @abstractmethod
+    def save_job(self, job_id: str, record: dict[str, Any]) -> None:
+        """Persist (create or overwrite) one job's record."""
+
+    @abstractmethod
+    def load_jobs(self) -> dict[str, dict[str, Any]]:
+        """All persisted job records, keyed by job id."""
+
+    @abstractmethod
+    def save_answers(self, payload: dict[str, Any]) -> None:
+        """Persist the shared answer log (full snapshot, not a delta)."""
+
+    @abstractmethod
+    def load_answers(self) -> dict[str, Any] | None:
+        """The last persisted answer log, or ``None`` for a fresh store."""
+
+
+class InMemoryJobStore(JobStore):
+    """Process-local store — checkpoint/resume without a filesystem.
+
+    Useful in tests and for handing state between services in one
+    process; contents die with the process.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, dict[str, Any]] = {}
+        self._answers: dict[str, Any] | None = None
+
+    def save_job(self, job_id: str, record: dict[str, Any]) -> None:
+        # Round-trip through JSON so in-memory resume exercises exactly
+        # the durable path (and mutations cannot leak back in).
+        self._jobs[job_id] = json.loads(json.dumps(record))
+
+    def load_jobs(self) -> dict[str, dict[str, Any]]:
+        return {job_id: dict(record) for job_id, record in self._jobs.items()}
+
+    def save_answers(self, payload: dict[str, Any]) -> None:
+        self._answers = json.loads(json.dumps(payload))
+
+    def load_answers(self) -> dict[str, Any] | None:
+        return None if self._answers is None else dict(self._answers)
+
+
+class DirectoryJobStore(JobStore):
+    """Filesystem store: ``<root>/jobs/<job_id>.json`` + ``<root>/answers.json``.
+
+    Every write lands in a temporary file first and is moved into place
+    with :func:`os.replace`, so readers (and the resuming service) only
+    ever see complete records.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+    def _write_atomic(self, path: Path, payload: dict[str, Any]) -> None:
+        scratch = path.with_suffix(path.suffix + ".tmp")
+        scratch.write_text(json.dumps(payload))
+        os.replace(scratch, path)
+
+    def save_job(self, job_id: str, record: dict[str, Any]) -> None:
+        self._write_atomic(self.jobs_dir / f"{job_id}.json", record)
+
+    def load_jobs(self) -> dict[str, dict[str, Any]]:
+        records: dict[str, dict[str, Any]] = {}
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            records[path.stem] = json.loads(path.read_text())
+        return records
+
+    def save_answers(self, payload: dict[str, Any]) -> None:
+        self._write_atomic(self.root / "answers.json", payload)
+
+    def load_answers(self) -> dict[str, Any] | None:
+        path = self.root / "answers.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())

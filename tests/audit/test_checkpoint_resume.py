@@ -254,3 +254,86 @@ def test_run_pending_requires_pending_specs(dataset):
     with AuditSession(GroundTruthOracle(dataset)) as session:
         with pytest.raises(InvalidParameterError):
             session.run_pending()
+
+
+class TestServiceJobStoreResume:
+    """The service-level analogue of session checkpointing: kill an
+    AuditService mid-job, resume from its JobStore, and pay for nothing
+    twice."""
+
+    def _specs(self):
+        return [
+            GroupAuditSpec(predicate=group(gender="female"), tau=50),
+            GroupAuditSpec(predicate=group(gender="male"), tau=5000),
+        ]
+
+    def test_killed_service_resumes_with_zero_reasked_queries(
+        self, dataset, tmp_path
+    ):
+        from repro.service import AuditService, DirectoryJobStore, JobStatus
+
+        reference_oracle = GroundTruthOracle(dataset)
+        with AuditSession(reference_oracle, engine=True) as session:
+            reference = session.run_many(self._specs())
+
+        store = DirectoryJobStore(tmp_path / "killed-service")
+        oracle = RecordingOracle(dataset)
+        service = AuditService(oracle, max_active_jobs=2, job_store=store)
+        for spec in self._specs():
+            service.submit(spec)
+        for _ in range(3):  # partial progress only
+            service.step()
+        service.checkpoint()
+        first_phase = set(oracle.set_keys)
+        assert first_phase  # the kill really is mid-job
+        assert any(
+            handle.status == JobStatus.RUNNING for handle in service.jobs()
+        )
+        del service  # the crash: no close(), no further checkpoints
+
+        # The store directory is all that survives.
+        revived = AuditService.resume(store, oracle)
+        mark = len(oracle.set_keys)
+        with revived:
+            revived.drain()
+            reports = [handle.result() for handle in revived.jobs()]
+        second_phase = set(oracle.set_keys[mark:])
+
+        # Not a single query the first phase paid for was asked again.
+        assert not (first_phase & second_phase)
+        # Identical verdicts, and the two phases together paid exactly
+        # the uninterrupted bill.
+        for report, entry in zip(reports, reference.entries):
+            assert report.result.covered == entry.result.covered
+            assert report.result.count == entry.result.count
+        assert oracle.ledger.total == reference_oracle.ledger.total
+
+    def test_resume_preserves_rng_dependent_jobs(self, tmp_path):
+        from repro.service import AuditService, InMemoryJobStore
+
+        counts = {"white": 900, "black": 60, "asian": 45}
+        dataset = single_attribute_dataset(counts, rng=np.random.default_rng(9))
+        spec = MultipleAuditSpec(
+            groups=tuple(group(race=value) for value in counts), tau=40
+        )
+
+        reference_oracle = GroundTruthOracle(dataset)
+        with AuditSession(reference_oracle, engine=True, seed=13) as session:
+            reference = session.run(spec)
+
+        # Kill the service before the job ever activates: the recorded
+        # per-job seed must survive into the revived service.
+        store = InMemoryJobStore()
+        oracle = RecordingOracle(dataset)
+        service = AuditService(oracle, job_store=store)
+        service.submit(spec, seed=13)
+        service.checkpoint()
+        del service
+
+        revived = AuditService.resume(store, oracle)
+        with revived:
+            revived.drain()
+            (report,) = [handle.result() for handle in revived.jobs()]
+        for ours, theirs in zip(report.result.entries, reference.result.entries):
+            assert (ours.covered, ours.count) == (theirs.covered, theirs.count)
+        assert oracle.ledger.total == reference_oracle.ledger.total
