@@ -1,0 +1,349 @@
+"""Out-of-core scale benchmark: audits over datasets larger than memory.
+
+Runs group / multiple / intersectional coverage audits at N ∈ {1M, 10M}
+over a :class:`~repro.data.sharded.ShardedDataset` whose code chunks are
+*generated on demand* (seeded per shard) and evicted LRU — the full
+``(N, d)`` matrix never exists. Three guarantees are asserted per row:
+
+* **bit-identity** — at sizes up to ``--dense-cap`` (default 1M) the
+  same chunks are concatenated into a dense
+  :class:`~repro.data.dataset.LabeledDataset` and the audit re-run over
+  the dense index: verdicts AND task counts must match exactly;
+* **structural memory bound** — the sharded path's tracked peak
+  (resident chunks + prefix tables + totals) never exceeds its
+  configuration cap (LRU + worker-held chunk budget, twice the
+  residency cap, plus the prefix-cache budget), and that cap stays below
+  :func:`~repro.data.sharded.dense_index_bytes` — what the dense index
+  would need resident for the same workload;
+* **completion at 10M** — the group audit finishes at N = 10M with the
+  cap several times under the dense requirement.
+
+Results land in ``BENCH_shards.json``. Full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py
+
+CI smoke slice (N = 1M split into exactly 2 shards)::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py \
+        --sizes 1000000 --shard-size 500000 --resident-shards 1 \
+        --out BENCH_shards.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import time
+
+import numpy as np
+
+from repro.audit import (
+    AuditSession,
+    GroupAuditSpec,
+    IntersectionalAuditSpec,
+    MultipleAuditSpec,
+)
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.dataset import LabeledDataset
+from repro.data.groups import group
+from repro.data.schema import Schema
+from repro.data.sharded import (
+    ShardedDataset,
+    ShardedMembershipIndex,
+    ShardExecutor,
+    dense_index_bytes,
+)
+
+DEFAULT_SIZES = (1_000_000, 10_000_000)
+DEFAULT_TAU = 50
+DEFAULT_RESIDENT = 2
+#: Above this N the dense comparison run is skipped (the dense index
+#: would need the memory the sharded path exists to avoid).
+DEFAULT_DENSE_CAP = 1_000_000
+
+GENDER_SCHEMA = Schema.from_dict({"gender": ["male", "female"]})
+RACE_SCHEMA = Schema.from_dict({"race": ["white", "black", "asian", "other"]})
+JOINT_SCHEMA = Schema.from_dict(
+    {"gender": ["male", "female"], "race": ["white", "black"]}
+)
+
+
+def _shard_rng(seed: int, case_tag: int, shard_index: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, case_tag, shard_index]))
+
+
+def _make_group_case(n_objects: int, tau: int, seed: int):
+    """Binary minority drawn i.i.d. at ~0.8·tau expected members."""
+    p_minority = 0.8 * tau / n_objects
+
+    def chunk(shard_index: int, start: int, stop: int) -> np.ndarray:
+        rng = _shard_rng(seed, 11, shard_index)
+        column = rng.random(stop - start) < p_minority
+        return column.astype(np.int16).reshape(-1, 1)
+
+    spec = GroupAuditSpec(predicate=group(gender="female"), tau=tau)
+    return GENDER_SCHEMA, chunk, spec
+
+
+def _make_multiple_case(n_objects: int, tau: int, seed: int):
+    p_minority = 0.8 * tau / n_objects
+    weights = np.array(
+        [1.0 - 3 * p_minority, p_minority, p_minority, p_minority]
+    )
+
+    def chunk(shard_index: int, start: int, stop: int) -> np.ndarray:
+        rng = _shard_rng(seed, 23, shard_index)
+        column = rng.choice(4, size=stop - start, p=weights)
+        return column.astype(np.int16).reshape(-1, 1)
+
+    spec = MultipleAuditSpec(
+        groups=tuple(group(race=value) for value in RACE_SCHEMA.attribute("race").values),
+        tau=tau,
+    )
+    return RACE_SCHEMA, chunk, spec
+
+
+def _make_intersectional_case(n_objects: int, tau: int, seed: int):
+    p_minority = 0.8 * tau / n_objects
+    # Flat codes over (gender, race): male/white majority, female/white
+    # comfortably covered, both black cells near the threshold.
+    weights = np.array(
+        [1.0 - 4 * tau / n_objects - 2 * p_minority,
+         p_minority,
+         4 * tau / n_objects,
+         p_minority]
+    )
+
+    def chunk(shard_index: int, start: int, stop: int) -> np.ndarray:
+        rng = _shard_rng(seed, 37, shard_index)
+        flat = rng.choice(4, size=stop - start, p=weights)
+        return np.column_stack([flat // 2, flat % 2]).astype(np.int16)
+
+    spec = IntersectionalAuditSpec(schema=JOINT_SCHEMA, tau=tau)
+    return JOINT_SCHEMA, chunk, spec
+
+
+CASES = {
+    "group": _make_group_case,
+    "multiple": _make_multiple_case,
+    "intersectional": _make_intersectional_case,
+}
+
+
+def _scrub_costs(payload):
+    """Drop cost counters (``tasks``, ``engine_stats``) at every nesting
+    level: engine mode legitimately spends differently (speculation,
+    per-stepper attribution), so verdict fingerprints must compare
+    substance — coverage bits, counts, discovered members, MUPs — only.
+    Task equality is asserted separately where modes make it exact."""
+    if isinstance(payload, dict):
+        return {
+            key: _scrub_costs(value)
+            for key, value in payload.items()
+            if key not in ("tasks", "engine_stats")
+        }
+    if isinstance(payload, list):
+        return [_scrub_costs(item) for item in payload]
+    return payload
+
+
+def _fingerprint(result) -> str:
+    """Kind-agnostic verdict fingerprint built from the lossless codec."""
+    from repro.audit.serialization import result_to_dict
+
+    return json.dumps(_scrub_costs(result_to_dict(result)), sort_keys=True)
+
+
+def _timed_session(oracle, spec, *, engine: bool, seed: int):
+    started = time.perf_counter()
+    with AuditSession(oracle, engine=True if engine else None, seed=seed) as session:
+        report = session.run(spec)
+    (entry,) = report.entries
+    return {
+        "seconds": round(time.perf_counter() - started, 6),
+        "tasks": report.tasks.total,
+        "set_queries": report.tasks.n_set_queries,
+        "point_queries": report.tasks.n_point_queries,
+        "round_trips": report.tasks.n_rounds,
+    }, entry.result
+
+
+def run_case(
+    audit: str,
+    n_objects: int,
+    tau: int,
+    *,
+    seed: int,
+    shard_size: int | None,
+    resident: int,
+    executor_mode: str,
+    dense_cap: int,
+) -> dict:
+    schema, chunk, spec = CASES[audit](n_objects, tau, seed)
+    size = shard_size if shard_size is not None else max(1, n_objects // 8)
+    row: dict = {
+        "audit": audit,
+        "n_objects": n_objects,
+        "tau": tau,
+        "shard_size": size,
+        "max_resident_shards": resident,
+        "executor_mode": executor_mode,
+    }
+
+    with ShardExecutor(mode=executor_mode) as executor:
+        dataset = ShardedDataset.from_generator(
+            schema, n_objects, size, chunk,
+            max_resident_shards=resident,
+            name=f"{audit}@{n_objects}",
+        )
+        index = ShardedMembershipIndex(dataset, executor=executor)
+        row["n_shards"] = dataset.n_shards
+
+        sharded, sharded_result = _timed_session(
+            GroundTruthOracle(dataset, index=index), spec, engine=False, seed=seed
+        )
+        row["sharded"] = sharded
+
+        # The engine run shares the index (and so its warm totals —
+        # like the warm chunks both runs already share through the
+        # dataset), which keeps the memory gate below accountable for
+        # every sharded structure the benchmark built.
+        engine_row, engine_result = _timed_session(
+            GroundTruthOracle(dataset, index=index),
+            spec, engine=True, seed=seed,
+        )
+        row["sharded_engine"] = engine_row
+        row["engine_verdict_identical"] = (
+            _fingerprint(engine_result) == _fingerprint(sharded_result)
+        )
+        if not row["engine_verdict_identical"]:
+            raise AssertionError(
+                f"{audit}@{n_objects}: engine-mode sharded verdict diverged "
+                "from sequential sharded execution"
+            )
+
+        memory = index.memory_report()
+        n_predicates = max(len(index._totals), 1)
+        dense_needed = dense_index_bytes(
+            n_objects, schema.n_attributes, n_predicates
+        )
+        row["memory"] = memory
+        row["n_indexed_predicates"] = n_predicates
+        row["dense_index_bytes"] = dense_needed
+        row["dense_over_sharded_cap"] = round(dense_needed / memory["cap_bytes"], 2)
+        # The acceptance gate: tracked peak inside the structural cap,
+        # and the cap itself below what the dense index would need.
+        if memory["peak_tracked_bytes"] > memory["cap_bytes"]:
+            raise AssertionError(
+                f"{audit}@{n_objects}: tracked peak "
+                f"{memory['peak_tracked_bytes']} exceeds the structural cap "
+                f"{memory['cap_bytes']}"
+            )
+        if memory["cap_bytes"] >= dense_needed:
+            raise AssertionError(
+                f"{audit}@{n_objects}: sharded memory cap "
+                f"{memory['cap_bytes']} is not below the dense index's "
+                f"{dense_needed} bytes — raise N or lower "
+                f"--shard-size/--resident-shards"
+            )
+
+    if n_objects <= dense_cap:
+        chunks = [
+            chunk(s, s * size, min((s + 1) * size, n_objects))
+            for s in range(row["n_shards"])
+        ]
+        dense_dataset = LabeledDataset(
+            schema,
+            np.concatenate(chunks) if chunks else np.empty((0, schema.n_attributes)),
+            name=f"{audit}@{n_objects}[dense]",
+        )
+        dense, dense_result = _timed_session(
+            GroundTruthOracle(dense_dataset), spec, engine=False, seed=seed
+        )
+        row["dense"] = dense
+        identical = _fingerprint(dense_result) == _fingerprint(sharded_result)
+        tasks_identical = dense["tasks"] == sharded["tasks"]
+        row["bit_identical"] = bool(identical and tasks_identical)
+        if not row["bit_identical"]:
+            raise AssertionError(
+                f"sharded path diverged from dense on {audit}@{n_objects}: "
+                f"verdicts equal={identical}, tasks {dense['tasks']} vs "
+                f"{sharded['tasks']}"
+            )
+    else:
+        row["dense"] = None
+        row["dense_skipped_reason"] = (
+            f"N={n_objects} above --dense-cap={dense_cap}: the dense index "
+            "would need the memory this benchmark exists to avoid"
+        )
+    return row
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="dataset sizes N to sweep",
+    )
+    parser.add_argument("--tau", type=int, default=DEFAULT_TAU)
+    parser.add_argument(
+        "--audits", nargs="+", choices=sorted(CASES), default=sorted(CASES),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--shard-size", type=int, default=None,
+        help="rows per shard (default: N//8 per size)",
+    )
+    parser.add_argument("--resident-shards", type=int, default=DEFAULT_RESIDENT)
+    parser.add_argument(
+        "--executor", choices=["serial", "threads"], default="threads",
+    )
+    parser.add_argument("--dense-cap", type=int, default=DEFAULT_DENSE_CAP)
+    parser.add_argument("--out", default="BENCH_shards.json")
+    args = parser.parse_args(argv)
+
+    results = []
+    for n_objects in args.sizes:
+        for audit in sorted(args.audits):
+            row = run_case(
+                audit, n_objects, args.tau,
+                seed=args.seed,
+                shard_size=args.shard_size,
+                resident=args.resident_shards,
+                executor_mode=args.executor,
+                dense_cap=args.dense_cap,
+            )
+            results.append(row)
+            headroom = f"dense/sharded-cap {row['dense_over_sharded_cap']}x"
+            compared = (
+                "bit-identical vs dense"
+                if row.get("bit_identical")
+                else "dense skipped"
+            )
+            print(
+                f"{audit:>15} @ N={n_objects:>10,}: "
+                f"sharded {row['sharded']['seconds']:.3f}s "
+                f"({row['sharded']['tasks']} tasks, {row['n_shards']} shards, "
+                f"{headroom}, {compared})"
+            )
+
+    payload = {
+        "benchmark": "bench_shards",
+        "tau": args.tau,
+        "seed": args.seed,
+        "sizes": args.sizes,
+        "resident_shards": args.resident_shards,
+        "executor": args.executor,
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(results)} rows)")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -100,6 +100,9 @@ from repro.data import (
     LabeledDataset,
     Negation,
     Schema,
+    ShardedDataset,
+    ShardedMembershipIndex,
+    ShardExecutor,
     SuperGroup,
     binary_dataset,
     group,
@@ -108,6 +111,7 @@ from repro.data import (
 )
 from repro.errors import (
     BudgetExceededError,
+    CheckpointVersionError,
     InvalidParameterError,
     JobFailedError,
     ReproError,
@@ -177,6 +181,9 @@ __all__ = [
     "Negation",
     "group",
     "LabeledDataset",
+    "ShardedDataset",
+    "ShardedMembershipIndex",
+    "ShardExecutor",
     "binary_dataset",
     "single_attribute_dataset",
     "intersectional_dataset",
@@ -190,5 +197,6 @@ __all__ = [
     "SchemaError",
     "UnknownGroupError",
     "BudgetExceededError",
+    "CheckpointVersionError",
     "JobFailedError",
 ]

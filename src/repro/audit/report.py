@@ -37,16 +37,33 @@ _FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class AuditEntry:
-    """One (spec, result) pair inside an :class:`AuditReport`."""
+    """One (spec, result) pair inside an :class:`AuditReport`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditSession, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(500, 10, rng=np.random.default_rng(0))
+    >>> with AuditSession(GroundTruthOracle(ds)) as session:
+    ...     report = session.run(GroupAuditSpec(predicate=group(gender="female"),
+    ...                                         tau=5))
+    >>> entry = report.entries[0]
+    >>> entry.spec.tau, entry.result.covered
+    (5, True)
+    """
 
     spec: AuditSpec
     result: Any
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready pair; :meth:`from_dict` inverts it losslessly."""
         return {"spec": self.spec.to_dict(), "result": result_to_dict(self.result)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AuditEntry":
+        """Rebuild one entry from its :meth:`to_dict` form."""
         return cls(
             spec=spec_from_dict(data["spec"]),
             result=result_from_dict(data["result"]),
@@ -71,6 +88,21 @@ class AuditReport:
         sequential sessions.
     wall_clock_seconds:
         End-to-end wall-clock time of the window.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditReport, AuditSession, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(500, 10, rng=np.random.default_rng(0))
+    >>> with AuditSession(GroundTruthOracle(ds)) as session:
+    ...     report = session.run(GroupAuditSpec(predicate=group(gender="female"),
+    ...                                         tau=5))
+    >>> report.result.covered
+    True
+    >>> AuditReport.from_json(report.to_json()) == report
+    True
     """
 
     entries: tuple[AuditEntry, ...]
@@ -91,9 +123,11 @@ class AuditReport:
 
     @property
     def results(self) -> tuple[Any, ...]:
+        """Every entry's result, in input order."""
         return tuple(entry.result for entry in self.entries)
 
     def describe(self) -> str:
+        """Multi-line human-readable rendering of the whole envelope."""
         lines = [
             f"audit report ({len(self.entries)} spec"
             f"{'s' if len(self.entries) != 1 else ''}, "
@@ -110,6 +144,7 @@ class AuditReport:
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """Version-stamped JSON-ready form; :meth:`from_dict` inverts it."""
         return {
             "version": _FORMAT_VERSION,
             "entries": [entry.to_dict() for entry in self.entries],
@@ -124,6 +159,7 @@ class AuditReport:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AuditReport":
+        """Rebuild a report from :meth:`to_dict`; the result compares equal."""
         version = data.get("version")
         if version != _FORMAT_VERSION:
             raise InvalidParameterError(
@@ -139,4 +175,5 @@ class AuditReport:
 
     @classmethod
     def from_json(cls, payload: str) -> "AuditReport":
+        """Inverse of :meth:`to_json`: an equal-comparing report."""
         return cls.from_dict(json.loads(payload))

@@ -63,6 +63,20 @@ def run_spec(
     session holds; the legacy wrappers pass exactly their own keyword
     arguments through, so validation and behavior match the pre-spec
     functions call for call.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.audit import GroupAuditSpec, run_spec
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.groups import group
+    >>> from repro.data.synthetic import binary_dataset
+    >>> ds = binary_dataset(500, 10, rng=np.random.default_rng(0))
+    >>> result = run_spec(GroundTruthOracle(ds),
+    ...                   GroupAuditSpec(predicate=group(gender="female"), tau=5),
+    ...                   dataset_size=len(ds))
+    >>> result.covered
+    True
     """
     if isinstance(spec, GroupAuditSpec):
         return execute_group_coverage(

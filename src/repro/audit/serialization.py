@@ -33,7 +33,7 @@ from repro.core.results import (
 from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup
 from repro.data.schema import Attribute, Schema
 from repro.engine.stats import EngineStats
-from repro.errors import InvalidParameterError
+from repro.errors import CheckpointVersionError, InvalidParameterError
 from repro.patterns.combiner import PatternCoverageReport, PatternVerdict
 from repro.patterns.pattern import Pattern
 
@@ -86,19 +86,40 @@ def _index_key_from_dict(entry: Mapping[str, Any]):
     run = entry.get("run")
     if run is not None:
         return IndexKey.of_run(int(run[0]), int(run[1]))
-    return IndexKey.of(np.asarray(entry["indices"], dtype=np.int64))
+    indices = entry.get("indices")
+    if indices is None:
+        raise CheckpointVersionError(
+            "checkpointed set answer carries neither 'run' endpoints nor an "
+            "'indices' list — the entry was written by an incompatible "
+            f"checkpoint version (keys: {sorted(entry)})"
+        )
+    return IndexKey.of(np.asarray(indices, dtype=np.int64))
 
 
 def set_answers_from_list(entries) -> dict:
     """Invert a list of :func:`set_answer_to_dict` entries into the
     ``{QueryKey: bool}`` mapping replay proxies and caches consume."""
-    return {
-        (
-            predicate_from_dict(entry["predicate"]),
-            _index_key_from_dict(entry),
-        ): bool(entry["answer"])
-        for entry in entries
-    }
+    try:
+        return {
+            (
+                predicate_from_dict(entry["predicate"]),
+                _index_key_from_dict(entry),
+            ): bool(entry["answer"])
+            for entry in entries
+        }
+    except CheckpointVersionError:
+        raise
+    except KeyError as error:
+        raise CheckpointVersionError(
+            f"checkpointed set answer is missing the {error.args[0]!r} "
+            "field — written by an incompatible checkpoint version?"
+        ) from error
+    except (InvalidParameterError, ValueError) as error:
+        # e.g. an unknown predicate type, or corrupt values, from a
+        # newer build.
+        raise CheckpointVersionError(
+            f"checkpointed set answer is not readable by this build ({error})"
+        ) from error
 
 
 def point_answers_to_list(answers: Mapping[int, Mapping[str, str]]) -> list[dict]:
@@ -109,14 +130,27 @@ def point_answers_to_list(answers: Mapping[int, Mapping[str, str]]) -> list[dict
 
 
 def point_answers_from_list(entries) -> dict[int, dict[str, str]]:
-    return {int(entry["index"]): dict(entry["labels"]) for entry in entries}
+    try:
+        return {int(entry["index"]): dict(entry["labels"]) for entry in entries}
+    except (KeyError, ValueError, TypeError) as error:
+        raise CheckpointVersionError(
+            f"checkpointed point answer is not readable by this build "
+            f"({error}) — written by an incompatible checkpoint version?"
+        ) from error
 
 
 # -- predicates ---------------------------------------------------------
 
 
 def predicate_to_dict(predicate: GroupPredicate) -> dict[str, Any]:
-    """Structure-preserving form of a group predicate."""
+    """Structure-preserving form of a group predicate.
+
+    Examples
+    --------
+    >>> from repro.data.groups import group
+    >>> predicate_to_dict(group(gender="female"))
+    {'type': 'group', 'conditions': {'gender': 'female'}}
+    """
     if isinstance(predicate, Group):
         return {"type": "group", "conditions": dict(predicate.conditions)}
     if isinstance(predicate, SuperGroup):
@@ -132,6 +166,15 @@ def predicate_to_dict(predicate: GroupPredicate) -> dict[str, Any]:
 
 
 def predicate_from_dict(data: Mapping[str, Any]) -> Group | SuperGroup | Negation:
+    """Inverse of :func:`predicate_to_dict` — the rebuilt predicate
+    compares (and hashes) equal to the original.
+
+    Examples
+    --------
+    >>> from repro.data.groups import group
+    >>> predicate_from_dict(predicate_to_dict(group(race="black"))) == group(race="black")
+    True
+    """
     kind = data.get("type")
     if kind == "group":
         return Group(data["conditions"])
@@ -146,6 +189,14 @@ def predicate_from_dict(data: Mapping[str, Any]) -> Group | SuperGroup | Negatio
 
 
 def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """JSON-ready form of a schema: attribute names with ordered domains.
+
+    Examples
+    --------
+    >>> from repro.data.schema import Schema
+    >>> schema_to_dict(Schema.from_dict({"gender": ["male", "female"]}))
+    {'attributes': [{'name': 'gender', 'values': ['male', 'female']}]}
+    """
     return {
         "attributes": [
             {"name": attribute.name, "values": list(attribute.values)}
@@ -155,6 +206,15 @@ def schema_to_dict(schema: Schema) -> dict[str, Any]:
 
 
 def schema_from_dict(data: Mapping[str, Any]) -> Schema:
+    """Inverse of :func:`schema_to_dict`; the rebuilt schema compares equal.
+
+    Examples
+    --------
+    >>> from repro.data.schema import Schema
+    >>> schema = Schema.from_dict({"gender": ["male", "female"]})
+    >>> schema_from_dict(schema_to_dict(schema)) == schema
+    True
+    """
     return Schema(
         Attribute(entry["name"], entry["values"]) for entry in data["attributes"]
     )
@@ -400,7 +460,19 @@ _FROM_DICT = {
 
 
 def result_to_dict(result: Any) -> dict[str, Any]:
-    """Lossless dict form of any coverage result/report; tagged by ``kind``."""
+    """Lossless dict form of any coverage result/report; tagged by ``kind``.
+
+    Examples
+    --------
+    >>> from repro.core.results import GroupCoverageResult, TaskUsage
+    >>> from repro.data.groups import group
+    >>> result = GroupCoverageResult(predicate=group(gender="female"),
+    ...                              covered=True, count=3, tau=3,
+    ...                              tasks=TaskUsage(n_set_queries=5),
+    ...                              discovered_indices=(1, 2, 9))
+    >>> result_to_dict(result)["kind"]
+    'group-coverage'
+    """
     converter = _TO_DICT.get(type(result))
     if converter is None:
         raise InvalidParameterError(
@@ -411,7 +483,19 @@ def result_to_dict(result: Any) -> dict[str, Any]:
 
 
 def result_from_dict(data: Mapping[str, Any]) -> Any:
-    """Inverse of :func:`result_to_dict`: ``result_from_dict(result_to_dict(x)) == x``."""
+    """Inverse of :func:`result_to_dict`: ``result_from_dict(result_to_dict(x)) == x``.
+
+    Examples
+    --------
+    >>> from repro.core.results import GroupCoverageResult, TaskUsage
+    >>> from repro.data.groups import group
+    >>> result = GroupCoverageResult(predicate=group(gender="female"),
+    ...                              covered=True, count=3, tau=3,
+    ...                              tasks=TaskUsage(n_set_queries=5),
+    ...                              discovered_indices=(1, 2, 9))
+    >>> result_from_dict(result_to_dict(result)) == result
+    True
+    """
     converter = _FROM_DICT.get(data.get("kind"))
     if converter is None:
         raise InvalidParameterError(

@@ -67,7 +67,11 @@ from repro.core.results import LedgerWindow, TaskUsage
 from repro.crowd.oracle import Oracle
 from repro.engine.requests import QueryKey
 from repro.engine.scheduler import QueryEngine
-from repro.errors import BudgetExceededError, InvalidParameterError
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointVersionError,
+    InvalidParameterError,
+)
 
 __all__ = [
     "AuditProgress",
@@ -127,6 +131,20 @@ class AuditProgress:
     ``spec`` is ``None`` for the ``"round"`` events of a ``run_many``
     batch's concurrent group phase, which serve every spec in the batch
     at once.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditSession, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(500, 10, rng=np.random.default_rng(0))
+    >>> stages = []
+    >>> with AuditSession(GroundTruthOracle(ds),
+    ...                   progress=lambda p: stages.append(p.stage)) as session:
+    ...     _ = session.run(GroupAuditSpec(predicate=group(gender="female"), tau=5))
+    >>> stages[0], stages[-1], "round" in stages
+    ('start', 'finish', True)
     """
 
     spec: AuditSpec | None
@@ -151,6 +169,19 @@ def _infer_dataset_size(oracle: Oracle) -> int | None:
 
 class AuditSession:
     """Shared execution state for a batch of coverage audits.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditSession, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(1_000, 30, rng=np.random.default_rng(0))
+    >>> with AuditSession(GroundTruthOracle(ds), engine=True) as session:
+    ...     report = session.run(GroupAuditSpec(predicate=group(gender="female"),
+    ...                                         tau=50))
+    >>> report.result.covered, report.result.count
+    (False, 30)
 
     Parameters
     ----------
@@ -555,23 +586,40 @@ class AuditSession:
         data = json.loads(checkpoint)
         version = data.get("version")
         if version not in _READABLE_CHECKPOINT_VERSIONS:
-            raise InvalidParameterError(
+            raise CheckpointVersionError(
                 f"unsupported checkpoint version {version!r} "
                 f"(this build reads versions {sorted(_READABLE_CHECKPOINT_VERSIONS)})"
             )
-        engine_config = data["engine"]
+        # Field extraction is wrapped narrowly so only the checkpoint's
+        # own shape can produce a CheckpointVersionError — a KeyError
+        # raised later by user code (oracle, progress callback) during
+        # session construction must propagate untouched.
+        try:
+            engine_config = data["engine"]
+            batch_size = (
+                engine_config["batch_size"] if engine_config is not None else None
+            )
+            speculation = (
+                engine_config["speculation"] if engine_config is not None else None
+            )
+            seed = data["seed"]
+            dataset_size = data["dataset_size"]
+            raw_set_answers = data["set_answers"]
+            raw_point_answers = data["point_answers"]
+            raw_pending = data["pending"]
+        except KeyError as error:
+            raise CheckpointVersionError(
+                f"checkpoint declares version {version} but is missing the "
+                f"{error.args[0]!r} field that version requires"
+            ) from error
         session = cls(
             oracle,
             engine=True if engine_config is not None else None,
-            batch_size=(
-                engine_config["batch_size"] if engine_config is not None else None
-            ),
-            speculation=(
-                engine_config["speculation"] if engine_config is not None else None
-            ),
-            seed=data["seed"],
+            batch_size=batch_size,
+            speculation=speculation,
+            seed=seed,
             task_budget=task_budget,
-            dataset_size=data["dataset_size"],
+            dataset_size=dataset_size,
             progress=progress,
         )
         rng_state = data.get("rng_state")
@@ -580,18 +628,36 @@ class AuditSession:
             # interrupted spec started from, so its sampling phase
             # re-draws identically on the resumed run. This works whether
             # the original session was built from seed= or a live rng.
-            bit_generator = getattr(np.random, rng_state["bit_generator"])()
-            bit_generator.state = rng_state
+            try:
+                bit_generator = getattr(np.random, rng_state["bit_generator"])()
+                bit_generator.state = rng_state
+            except (KeyError, AttributeError, TypeError, ValueError) as error:
+                raise CheckpointVersionError(
+                    "checkpointed rng_state is not a bit-generator state "
+                    "this build can restore — written by an incompatible "
+                    f"version? ({error})"
+                ) from error
             session.rng = np.random.Generator(bit_generator)
-        set_answers = set_answers_from_list(data["set_answers"])
+        set_answers = set_answers_from_list(raw_set_answers)
         session._proxy.load_set_answers(set_answers)
         if session.engine is not None:
             for key, answer in set_answers.items():
                 session.engine.cache.store(key, answer)
         session._proxy.load_point_answers(
-            point_answers_from_list(data["point_answers"])
+            point_answers_from_list(raw_point_answers)
         )
-        session._unfinished = [spec_from_dict(spec) for spec in data["pending"]]
+        try:
+            session._unfinished = [spec_from_dict(spec) for spec in raw_pending]
+        except CheckpointVersionError:
+            raise
+        except (KeyError, InvalidParameterError, ValueError) as error:
+            # Missing fields, unknown spec kinds, and corrupt field
+            # values alike mean "written by an incompatible build",
+            # which is this error's contract.
+            raise CheckpointVersionError(
+                f"checkpointed pending spec is not readable by this build "
+                f"({error}) — written by an incompatible checkpoint version?"
+            ) from error
         return session
 
     def run_pending(self) -> AuditReport:

@@ -77,6 +77,16 @@ class GroupAuditSpec:
     view:
         Dataset indices to search; ``None`` means the session's whole
         dataset.
+
+    Examples
+    --------
+    >>> from repro.audit import GroupAuditSpec, spec_from_dict
+    >>> from repro.data.groups import group
+    >>> spec = GroupAuditSpec(predicate=group(gender="female"), tau=50)
+    >>> spec.describe()
+    'group-coverage(gender=female, tau=50)'
+    >>> spec_from_dict(spec.to_dict()) == spec
+    True
     """
 
     kind: ClassVar[str] = "group"
@@ -90,12 +100,15 @@ class GroupAuditSpec:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
     def view_array(self) -> np.ndarray | None:
+        """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the audit question."""
         return f"group-coverage({self.predicate.describe()}, tau={self.tau})"
 
     def to_dict(self) -> dict[str, Any]:
+        """Kind-tagged JSON form; :func:`spec_from_dict` inverts it losslessly."""
         return {
             "kind": self.kind,
             "predicate": predicate_to_dict(self.predicate),
@@ -106,6 +119,7 @@ class GroupAuditSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GroupAuditSpec":
+        """Rebuild the spec from its :meth:`to_dict` form."""
         return cls(
             predicate=predicate_from_dict(data["predicate"]),
             tau=int(data["tau"]),
@@ -116,7 +130,15 @@ class GroupAuditSpec:
 
 @dataclass(frozen=True)
 class BaseAuditSpec:
-    """Audit one group with the Base-Coverage baseline (Algorithm 7)."""
+    """Audit one group with the Base-Coverage baseline (Algorithm 7).
+
+    Examples
+    --------
+    >>> from repro.audit import BaseAuditSpec
+    >>> from repro.data.groups import group
+    >>> BaseAuditSpec(predicate=group(gender="female"), tau=50).describe()
+    'base-coverage(gender=female, tau=50)'
+    """
 
     kind: ClassVar[str] = "base"
 
@@ -128,12 +150,15 @@ class BaseAuditSpec:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
     def view_array(self) -> np.ndarray | None:
+        """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the audit question."""
         return f"base-coverage({self.predicate.describe()}, tau={self.tau})"
 
     def to_dict(self) -> dict[str, Any]:
+        """Kind-tagged JSON form; :func:`spec_from_dict` inverts it losslessly."""
         return {
             "kind": self.kind,
             "predicate": predicate_to_dict(self.predicate),
@@ -143,6 +168,7 @@ class BaseAuditSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BaseAuditSpec":
+        """Rebuild the spec from its :meth:`to_dict` form."""
         return cls(
             predicate=predicate_from_dict(data["predicate"]),
             tau=int(data["tau"]),
@@ -156,6 +182,15 @@ class MultipleAuditSpec:
 
     Requires the session to hold an rng (``AuditSession(..., seed=...)``
     or ``rng=...``) for the sampling phase.
+
+    Examples
+    --------
+    >>> from repro.audit import MultipleAuditSpec
+    >>> from repro.data.groups import group
+    >>> spec = MultipleAuditSpec(
+    ...     groups=(group(race="black"), group(race="asian")), tau=50)
+    >>> spec.describe()
+    'multiple-coverage(2 groups, tau=50)'
     """
 
     kind: ClassVar[str] = "multiple"
@@ -173,12 +208,15 @@ class MultipleAuditSpec:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
     def view_array(self) -> np.ndarray | None:
+        """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the audit question."""
         return f"multiple-coverage({len(self.groups)} groups, tau={self.tau})"
 
     def to_dict(self) -> dict[str, Any]:
+        """Kind-tagged JSON form; :func:`spec_from_dict` inverts it losslessly."""
         return {
             "kind": self.kind,
             "groups": [predicate_to_dict(group) for group in self.groups],
@@ -192,6 +230,7 @@ class MultipleAuditSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MultipleAuditSpec":
+        """Rebuild the spec from its :meth:`to_dict` form."""
         return cls(
             groups=(predicate_from_dict(group) for group in data["groups"]),
             tau=int(data["tau"]),
@@ -208,6 +247,15 @@ class IntersectionalAuditSpec:
     """Audit all attribute combinations of a schema with Algorithm 3.
 
     Requires a session rng (sampling phase of the leaf-level solve).
+
+    Examples
+    --------
+    >>> from repro.audit import IntersectionalAuditSpec
+    >>> from repro.data.schema import Schema
+    >>> schema = Schema.from_dict(
+    ...     {"gender": ["male", "female"], "race": ["white", "black"]})
+    >>> IntersectionalAuditSpec(schema=schema, tau=50).describe()
+    'intersectional-coverage(2x2, tau=50)'
     """
 
     kind: ClassVar[str] = "intersectional"
@@ -222,15 +270,18 @@ class IntersectionalAuditSpec:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
     def view_array(self) -> np.ndarray | None:
+        """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the audit question."""
         return (
             f"intersectional-coverage({'x'.join(map(str, self.schema.cardinalities))}"
             f", tau={self.tau})"
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """Kind-tagged JSON form; :func:`spec_from_dict` inverts it losslessly."""
         return {
             "kind": self.kind,
             "schema": schema_to_dict(self.schema),
@@ -242,6 +293,7 @@ class IntersectionalAuditSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "IntersectionalAuditSpec":
+        """Rebuild the spec from its :meth:`to_dict` form."""
         return cls(
             schema=schema_from_dict(data["schema"]),
             tau=int(data["tau"]),
@@ -256,6 +308,17 @@ class ClassifierAuditSpec:
     """Verify a classifier's predicted-positive set with Algorithm 4.
 
     Requires a session rng (the precision-estimation sample).
+
+    Examples
+    --------
+    >>> from repro.audit import ClassifierAuditSpec
+    >>> from repro.data.groups import group
+    >>> spec = ClassifierAuditSpec(group=group(gender="female"), tau=50,
+    ...                            predicted_positive=(3, 1, 4))
+    >>> spec.describe()
+    'classifier-coverage(gender=female, tau=50, |G|=3)'
+    >>> spec.predicted_positive_array()
+    array([3, 1, 4])
     """
 
     kind: ClassVar[str] = "classifier"
@@ -275,18 +338,22 @@ class ClassifierAuditSpec:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
     def view_array(self) -> np.ndarray | None:
+        """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
     def predicted_positive_array(self) -> np.ndarray:
+        """The classifier's predicted-positive set as an ``int64`` array."""
         return np.asarray(self.predicted_positive, dtype=np.int64)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the audit question."""
         return (
             f"classifier-coverage({self.group.describe()}, tau={self.tau}, "
             f"|G|={len(self.predicted_positive)})"
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """Kind-tagged JSON form; :func:`spec_from_dict` inverts it losslessly."""
         return {
             "kind": self.kind,
             "group": predicate_to_dict(self.group),
@@ -300,6 +367,7 @@ class ClassifierAuditSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ClassifierAuditSpec":
+        """Rebuild the spec from its :meth:`to_dict` form."""
         return cls(
             group=predicate_from_dict(data["group"]),
             tau=int(data["tau"]),
@@ -333,7 +401,16 @@ _SPEC_TYPES: dict[str, type] = {
 
 
 def spec_from_dict(data: Mapping[str, Any]) -> AuditSpec:
-    """Rebuild any spec from its :meth:`to_dict` form (kind-tagged)."""
+    """Rebuild any spec from its :meth:`to_dict` form (kind-tagged).
+
+    Examples
+    --------
+    >>> from repro.audit import GroupAuditSpec, spec_from_dict
+    >>> from repro.data.groups import group
+    >>> spec = GroupAuditSpec(predicate=group(gender="female"), tau=9)
+    >>> spec_from_dict(spec.to_dict()) == spec
+    True
+    """
     spec_type = _SPEC_TYPES.get(data.get("kind"))
     if spec_type is None:
         raise InvalidParameterError(

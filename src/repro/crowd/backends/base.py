@@ -56,6 +56,20 @@ class Ticket:
     and passed to :meth:`~CrowdBackend.gather`; the backend keys its
     bookkeeping on :attr:`ticket_id`.
 
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.backends import InlineBackend
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> from repro.engine.requests import SetRequest
+    >>> ds = binary_dataset(100, 10, rng=np.random.default_rng(0))
+    >>> backend = InlineBackend(GroundTruthOracle(ds))
+    >>> ticket = backend.submit([SetRequest(np.arange(100), group(gender="female"))])
+    >>> (ticket.ticket_id, ticket.n_queries)
+    (0, 1)
+
     Attributes
     ----------
     ticket_id:
@@ -88,6 +102,24 @@ class CrowdBackend(ABC):
     it ultimately answers from; ledger charging (one task per query, one
     round-trip per batch, atomic budget enforcement) happens inside the
     oracle exactly as in the blocking API.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.backends import InlineBackend
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> from repro.engine.requests import SetRequest
+    >>> ds = binary_dataset(100, 10, rng=np.random.default_rng(0))
+    >>> backend = InlineBackend(GroundTruthOracle(ds))       # any CrowdBackend
+    >>> ticket = backend.submit([SetRequest(np.arange(100), group(gender="female"))])
+    >>> ticket in backend.poll() or backend.next_done() is ticket
+    True
+    >>> backend.gather(ticket)
+    [True]
+    >>> backend.outstanding
+    0
     """
 
     def __init__(self, oracle: "Oracle") -> None:

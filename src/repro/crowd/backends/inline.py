@@ -28,6 +28,23 @@ class InlineBackend(CrowdBackend):
     charging and budget enforcement happen right there, as in the
     blocking API); ``poll`` reports every outstanding ticket ready;
     ``gather`` never blocks.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.backends import InlineBackend
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> from repro.engine.requests import SetRequest
+    >>> ds = binary_dataset(100, 10, rng=np.random.default_rng(0))
+    >>> backend = InlineBackend(GroundTruthOracle(ds))
+    >>> ticket = backend.submit([SetRequest(np.arange(50), group(gender="female")),
+    ...                          SetRequest(np.arange(0), group(gender="female"))])
+    >>> backend.gather(ticket)                    # ready immediately
+    [True, False]
+    >>> backend.oracle.ledger.n_rounds            # one round-trip per batch
+    1
     """
 
     def __init__(self, oracle) -> None:

@@ -41,12 +41,22 @@ __all__ = ["SimulatedClock", "LatencyModel", "LatencyModelBackend"]
 
 
 class SimulatedClock:
-    """A virtual clock that moves only when a caller waits on it."""
+    """A virtual clock that moves only when a caller waits on it.
+
+    Examples
+    --------
+    >>> clock = SimulatedClock()
+    >>> clock.advance_to(12.5)
+    >>> clock.advance_to(3.0)    # never backward
+    >>> clock.now()
+    12.5
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 
     def now(self) -> float:
+        """Current simulated time in virtual seconds."""
         return self._now
 
     def advance_to(self, instant: float) -> None:
@@ -77,6 +87,16 @@ class LatencyModel:
     publish_overhead_seconds:
         Fixed cost per published batch (platform acceptance, worker
         discovery) paid before any HIT starts.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> model = LatencyModel(n_workers=4, median_seconds=30.0, sigma=0.0,
+    ...                      worker_sigma=0.0, publish_overhead_seconds=5.0)
+    >>> rng = np.random.default_rng(0)
+    >>> # 8 deterministic HITs over 4 workers: 2 sequential HITs each.
+    >>> model.batch_seconds(8, model.draw_speed_factors(rng), rng)
+    65.0
     """
 
     n_workers: int = 8
@@ -132,6 +152,23 @@ class LatencyModelBackend(CrowdBackend):
     clock:
         A :class:`SimulatedClock`; a fresh one when omitted. Pass a
         shared clock to let several backends tell one story of time.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> from repro.engine.requests import SetRequest
+    >>> ds = binary_dataset(100, 10, rng=np.random.default_rng(0))
+    >>> backend = LatencyModelBackend(GroundTruthOracle(ds))
+    >>> ticket = backend.submit([SetRequest(np.arange(100), group(gender="female"))])
+    >>> backend.poll()                      # not ready: no virtual time passed
+    []
+    >>> backend.gather(ticket)              # waiting advances the clock
+    [True]
+    >>> backend.clock.now() > 0.0
+    True
     """
 
     def __init__(

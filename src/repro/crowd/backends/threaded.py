@@ -51,6 +51,20 @@ class ThreadedBackend(CrowdBackend):
     are captured in the future and re-raised when the ticket is
     gathered — asynchronous publication means refusal is asynchronous
     too.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> from repro.engine.requests import SetRequest
+    >>> ds = binary_dataset(100, 10, rng=np.random.default_rng(0))
+    >>> backend = ThreadedBackend(GroundTruthOracle(ds), max_workers=2)
+    >>> ticket = backend.submit([SetRequest(np.arange(100), group(gender="female"))])
+    >>> backend.gather(backend.next_done())
+    [True]
+    >>> backend.close()
     """
 
     def __init__(
@@ -106,6 +120,7 @@ class ThreadedBackend(CrowdBackend):
         raise RuntimeError("wait() returned but no outstanding ticket is done")
 
     def close(self) -> None:
+        """Shut the pool down after in-flight batches finish (idempotent)."""
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True)

@@ -34,7 +34,8 @@ from repro.crowd.platform import CrowdPlatform
 from repro.crowd.queries import PointQuery, SetQuery
 from repro.data.dataset import LabeledDataset
 from repro.data.groups import GroupPredicate
-from repro.data.membership import GroupMembershipIndex
+from repro.data.membership import GroupMembershipIndex, membership_index_for
+from repro.data.sharded import ShardedDataset
 from repro.errors import BudgetExceededError, InvalidParameterError
 
 __all__ = ["TaskLedger", "Oracle", "GroundTruthOracle", "CrowdOracle", "FlakyOracle"]
@@ -250,12 +251,28 @@ class GroundTruthOracle(Oracle):
     fancy-index per attribute. Pass ``index=`` to share a prebuilt
     index; by default the dataset's process-wide shared index is used,
     so many oracles over one dataset never recompute a membership
-    column.
+    column. ``dataset`` may also be a sharded out-of-core
+    :class:`~repro.data.sharded.ShardedDataset`, in which case answers
+    flow through its :class:`~repro.data.sharded.ShardedMembershipIndex`
+    — bit-identical, without the dataset ever fully materializing.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.crowd.oracle import GroundTruthOracle
+    >>> from repro.data.groups import group
+    >>> from repro.data.synthetic import binary_dataset
+    >>> oracle = GroundTruthOracle(
+    ...     binary_dataset(1_000, 30, rng=np.random.default_rng(0)))
+    >>> oracle.ask_set(np.arange(0, 1_000), group(gender="female"))
+    True
+    >>> oracle.ledger.total
+    1
     """
 
     def __init__(
         self,
-        dataset: LabeledDataset,
+        dataset: "LabeledDataset | ShardedDataset",
         *,
         budget: int | None = None,
         index: GroupMembershipIndex | None = None,
@@ -267,7 +284,7 @@ class GroundTruthOracle(Oracle):
                 "membership index was built over a different dataset"
             )
         self.membership_index = (
-            index if index is not None else GroupMembershipIndex.for_dataset(dataset)
+            index if index is not None else membership_index_for(dataset)
         )
         # Subclasses (tracing/recording test doubles, decorators) that
         # override the classic two-argument hooks must keep seeing every
@@ -347,7 +364,7 @@ class FlakyOracle(Oracle):
 
     def __init__(
         self,
-        dataset: LabeledDataset,
+        dataset: "LabeledDataset | ShardedDataset",
         rng: np.random.Generator,
         *,
         set_error_rate: float = 0.0,
@@ -358,7 +375,7 @@ class FlakyOracle(Oracle):
             raise InvalidParameterError("error rates must be in [0, 1]")
         super().__init__(dataset.schema, budget=budget)
         self.dataset = dataset
-        self.membership_index = GroupMembershipIndex.for_dataset(dataset)
+        self.membership_index = membership_index_for(dataset)
         self.rng = rng
         self.set_error_rate = set_error_rate
         self.point_error_rate = point_error_rate

@@ -24,7 +24,8 @@ from repro.crowd.quality import QC_MAJORITY_ONLY, ScreeningPolicy, screen_worker
 from repro.crowd.queries import HitRecord, PointQuery, SetQuery
 from repro.crowd.workers import Worker
 from repro.data.dataset import LabeledDataset
-from repro.data.membership import GroupMembershipIndex
+from repro.data.membership import membership_index_for
+from repro.data.sharded import ShardedDataset
 from repro.errors import InvalidParameterError, NoEligibleWorkersError
 
 __all__ = ["CrowdPlatform"]
@@ -36,7 +37,11 @@ class CrowdPlatform:
     Parameters
     ----------
     dataset:
-        The dataset whose hidden labels workers answer from.
+        The dataset whose hidden labels workers answer from — a dense
+        :class:`~repro.data.dataset.LabeledDataset` or a sharded
+        out-of-core :class:`~repro.data.sharded.ShardedDataset` (the
+        hidden-truth computation then streams through the sharded
+        membership index).
     workers:
         The full worker population; screening policies select the eligible
         subset at construction time.
@@ -55,7 +60,7 @@ class CrowdPlatform:
 
     def __init__(
         self,
-        dataset: LabeledDataset,
+        dataset: "LabeledDataset | ShardedDataset",
         workers: Sequence[Worker],
         rng: np.random.Generator,
         *,
@@ -67,7 +72,7 @@ class CrowdPlatform:
         if assignments_per_hit <= 0:
             raise InvalidParameterError("assignments_per_hit must be positive")
         self.dataset = dataset
-        self.membership_index = GroupMembershipIndex.for_dataset(dataset)
+        self.membership_index = membership_index_for(dataset)
         self.rng = rng
         self.assignments_per_hit = assignments_per_hit
         self.eligible_workers = screen_workers(workers, screening, rng)

@@ -6,6 +6,10 @@ Public surface:
 * :class:`~repro.data.groups.Group`, :class:`~repro.data.groups.SuperGroup`,
   :class:`~repro.data.groups.Negation`, :func:`~repro.data.groups.group`
 * :class:`~repro.data.dataset.LabeledDataset`
+* the sharded out-of-core layer (:mod:`repro.data.sharded`):
+  :class:`~repro.data.sharded.ShardedDataset`,
+  :class:`~repro.data.sharded.ShardedMembershipIndex`,
+  :class:`~repro.data.sharded.ShardExecutor`
 * synthetic generators (:mod:`repro.data.synthetic`)
 * image rendering (:mod:`repro.data.images`)
 * the paper's evaluation corpora (:mod:`repro.data.corpora`)
@@ -18,11 +22,18 @@ from repro.data.corpora import (
     utkface_gender_pool,
     utkface_slice,
 )
-from repro.data.dataset import LabeledDataset
+from repro.data.dataset import LabeledDataset, predicate_mask
 from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup, group
-from repro.data.membership import GroupMembershipIndex
+from repro.data.membership import GroupMembershipIndex, membership_index_for
 from repro.data.images import ImageRenderer, attach_images
 from repro.data.schema import Attribute, Schema
+from repro.data.sharded import (
+    ShardedDataset,
+    ShardedMembershipIndex,
+    ShardExecutor,
+    ShardStats,
+    dense_index_bytes,
+)
 from repro.data.synthetic import (
     adversarial_tightness_dataset,
     binary_dataset,
@@ -40,7 +51,14 @@ __all__ = [
     "Negation",
     "group",
     "LabeledDataset",
+    "predicate_mask",
     "GroupMembershipIndex",
+    "membership_index_for",
+    "ShardedDataset",
+    "ShardedMembershipIndex",
+    "ShardExecutor",
+    "ShardStats",
+    "dense_index_bytes",
     "ImageRenderer",
     "attach_images",
     "binary_dataset",

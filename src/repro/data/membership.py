@@ -36,7 +36,72 @@ from repro.data.dataset import LabeledDataset
 from repro.data.groups import GroupPredicate
 from repro.errors import OracleError
 
-__all__ = ["GroupMembershipIndex", "as_run"]
+__all__ = ["GroupMembershipIndex", "as_run", "membership_index_for"]
+
+
+def membership_index_for(dataset):
+    """The shared membership index of ``dataset``, whatever its kind.
+
+    Dense :class:`~repro.data.dataset.LabeledDataset` instances get the
+    in-RAM :class:`GroupMembershipIndex`; sharded out-of-core datasets
+    (:class:`~repro.data.sharded.ShardedDataset`) get a
+    :class:`~repro.data.sharded.ShardedMembershipIndex`. Both expose the
+    same query surface, which is how oracles and platforms accept either
+    dataset kind transparently.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data.membership import membership_index_for
+    >>> from repro.data.sharded import ShardedDataset
+    >>> from repro.data.synthetic import binary_dataset
+    >>> dense = binary_dataset(100, 5, rng=np.random.default_rng(0))
+    >>> type(membership_index_for(dense)).__name__
+    'GroupMembershipIndex'
+    >>> type(membership_index_for(
+    ...     ShardedDataset.from_dataset(dense, shard_size=40))).__name__
+    'ShardedMembershipIndex'
+    """
+    from repro.data.sharded import ShardedDataset, ShardedMembershipIndex
+
+    if isinstance(dataset, ShardedDataset):
+        return ShardedMembershipIndex.for_dataset(dataset)
+    return GroupMembershipIndex.for_dataset(dataset)
+
+
+def check_object_indices(index_array: np.ndarray, n_objects: int) -> None:
+    """Raise :class:`~repro.errors.OracleError` for any index outside
+    ``[0, n_objects)`` — the bounds contract every membership substrate
+    (dense and sharded) enforces on set queries and label decoding
+    alike, so a negative index raises instead of silently wrapping."""
+    out_of_range = (index_array < 0) | (index_array >= n_objects)
+    if out_of_range.any():
+        bad = int(index_array[out_of_range][0])
+        raise OracleError(f"object index {bad} out of range [0, {n_objects})")
+
+
+def decode_value_rows(schema, codes: np.ndarray) -> list[dict[str, str]]:
+    """Decode a gathered ``(k, d)`` code matrix into ``{attribute:
+    value}`` rows — one fancy-index per attribute, shared by the dense
+    and sharded ``value_rows`` paths."""
+    columns: list[tuple[str, np.ndarray]] = []
+    for j, attribute in enumerate(schema):
+        values = np.asarray(attribute.values, dtype=object)
+        columns.append((attribute.name, values[codes[:, j]]))
+    return [
+        {name: column[i] for name, column in columns}
+        for i in range(len(codes))
+    ]
+
+
+def segmented_any(hits: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment ``any`` over a concatenated boolean gather: segment
+    ``i`` covers the next ``lengths[i]`` entries of ``hits`` (every
+    segment non-empty — ``reduceat`` cannot express empty segments).
+    Shared by the dense and sharded scattered-batch paths."""
+    bounds = np.zeros(len(lengths), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=bounds[1:])
+    return np.logical_or.reduceat(hits, bounds)
 
 
 def as_run(indices: np.ndarray) -> tuple[int, int] | None:
@@ -114,12 +179,24 @@ class GroupMembershipIndex:
     # ------------------------------------------------------------------
     # single-query forms
     # ------------------------------------------------------------------
+    def _check_run(self, start: int, stop: int) -> None:
+        """Out-of-range runs raise like the sharded index — a negative
+        start would otherwise silently wrap through the prefix table."""
+        if start < 0 or stop > len(self.dataset):
+            raise OracleError(
+                f"query run [{start}, {stop}) outside dataset "
+                f"[0, {len(self.dataset)})"
+            )
+
     def count(self, predicate: GroupPredicate, indices: np.ndarray) -> int:
         """Number of objects in ``indices`` matching ``predicate``."""
         run = as_run(indices)
         if run is not None:
+            self._check_run(run[0], run[1])
             prefix = self.prefix(predicate)
             return int(prefix[run[1]] - prefix[run[0]])
+        if len(indices):
+            check_object_indices(np.asarray(indices, dtype=np.int64), len(self.dataset))
         return int(self.mask(predicate)[indices].sum())
 
     def any_match(
@@ -134,19 +211,33 @@ class GroupMembershipIndex:
         """
         if key is not None:
             if key.payload is None:
+                if key.stop <= key.start:
+                    return False
+                self._check_run(key.start, key.stop)
                 prefix = self.prefix(predicate)
                 return bool(prefix[key.stop] > prefix[key.start])
             if len(indices) == 0:
                 return False
+            check_object_indices(
+                np.asarray(indices, dtype=np.int64), len(self.dataset)
+            )
             return bool(self.mask(predicate)[indices].any())
         run = as_run(indices)
         if run is not None:
+            self._check_run(run[0], run[1])
             prefix = self.prefix(predicate)
             return bool(prefix[run[1]] > prefix[run[0]])
+        if len(indices):
+            check_object_indices(
+                np.asarray(indices, dtype=np.int64), len(self.dataset)
+            )
         return bool(self.mask(predicate)[indices].any())
 
     def matches(self, predicate: GroupPredicate, index: int) -> bool:
         """Ground-truth membership of a single object."""
+        check_object_indices(
+            np.asarray([index], dtype=np.int64), len(self.dataset)
+        )
         return bool(self.mask(predicate)[index])
 
     # ------------------------------------------------------------------
@@ -160,6 +251,14 @@ class GroupMembershipIndex:
         prefix = self.prefix(predicate)
         starts = np.asarray(starts, dtype=np.int64)
         stops = np.asarray(stops, dtype=np.int64)
+        if len(starts) and (
+            int(starts.min()) < 0 or int(stops.max()) > len(self.dataset)
+        ):
+            bad = np.flatnonzero((starts < 0) | (stops > len(self.dataset)))[0]
+            raise OracleError(
+                f"query run [{int(starts[bad])}, {int(stops[bad])}) outside "
+                f"dataset [0, {len(self.dataset)})"
+            )
         return prefix[stops] > prefix[starts]
 
     def any_match_batch(
@@ -215,11 +314,14 @@ class GroupMembershipIndex:
                 mask = self.mask(predicate)
                 arrays = [queries[position][0] for position in scattered]
                 lengths = np.array([len(a) for a in arrays])
-                gathered = mask[np.concatenate(arrays)]
-                bounds = np.zeros(len(arrays), dtype=np.int64)
-                np.cumsum(lengths[:-1], out=bounds[1:])
-                segment_any = np.logical_or.reduceat(gathered, bounds)
-                for position, hit in zip(scattered, segment_any):
+                flat = np.concatenate(arrays)
+                check_object_indices(
+                    np.asarray(flat, dtype=np.int64), len(self.dataset)
+                )
+                gathered = mask[flat]
+                for position, hit in zip(
+                    scattered, segmented_any(gathered, lengths)
+                ):
                     answers[position] = bool(hit)
         return answers
 
@@ -238,22 +340,10 @@ class GroupMembershipIndex:
         if len(indices) == 0:
             return []
         index_array = np.asarray(indices, dtype=np.int64)
-        out_of_range = (index_array < 0) | (index_array >= len(self.dataset))
-        if out_of_range.any():
-            bad = int(index_array[out_of_range][0])
-            raise OracleError(
-                f"object index {bad} out of range [0, {len(self.dataset)})"
-            )
-        codes = self.dataset.codes[index_array]
-        schema = self.dataset.schema
-        columns: list[tuple[str, np.ndarray]] = []
-        for j, attribute in enumerate(schema):
-            values = np.asarray(attribute.values, dtype=object)
-            columns.append((attribute.name, values[codes[:, j]]))
-        return [
-            {name: column[i] for name, column in columns}
-            for i in range(len(index_array))
-        ]
+        check_object_indices(index_array, len(self.dataset))
+        return decode_value_rows(
+            self.dataset.schema, self.dataset.codes[index_array]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar
         return (

@@ -1,0 +1,948 @@
+"""Sharded, out-of-core datasets and the membership index over them.
+
+The dense :class:`~repro.data.membership.GroupMembershipIndex` keeps one
+boolean column plus one prefix-count table per predicate fully resident,
+so the largest auditable dataset is whatever fits in RAM. This module
+removes that ceiling: a :class:`ShardedDataset` partitions the object
+space into fixed-size **shards** whose columnar code chunks are loaded
+lazily (from a memory map, a generator, or any loader callable) and
+evicted LRU under a resident-shard cap, and a
+:class:`ShardedMembershipIndex` answers the same ``count`` /
+``any_match`` / batched-gather API as the dense index by combining
+
+* **cross-shard totals** — one ``int64`` per shard per predicate
+  (``totals[s]`` = members among shards ``[0, s)``), built in a single
+  streaming pass and from then on answering every *shard-aligned* run in
+  O(1) without touching a single chunk; and
+* **per-shard prefix tables** — built on demand only for the (at most
+  two) *partially* covered boundary shards of a run, and cached LRU
+  under their own entry-count budget (each entry is at most
+  ``8·(shard_size+1)`` bytes, so the byte footprint is bounded too).
+
+A contiguous-run query spanning many shards therefore splits at shard
+boundaries — interior shards answer from the totals, boundary shards
+from their local prefix tables — and the partial counts re-merge into
+the exact dense answer. Scattered index arrays group by owning shard and
+resolve shard-parallel through a :class:`ShardExecutor`.
+
+Everything is *exact*, so oracles answering through a sharded index are
+bit-identical to the dense path: same verdicts, same task counts, same
+rng streams (pinned by ``tests/crowd/test_sharded_equivalence.py``).
+Peak memory is structurally bounded by ``max_resident_shards`` chunks
+plus the prefix-table budget — ``benchmarks/bench_shards.py`` asserts it
+while auditing datasets 10× larger than the dense index could hold.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import LabeledDataset, predicate_mask
+from repro.data.groups import GroupPredicate
+from repro.data.membership import (
+    as_run,
+    check_object_indices,
+    decode_value_rows,
+    segmented_any,
+)
+from repro.data.schema import Schema
+from repro.errors import InvalidParameterError, OracleError
+
+__all__ = [
+    "ShardStats",
+    "ShardExecutor",
+    "ShardedDataset",
+    "ShardedMembershipIndex",
+    "dense_index_bytes",
+]
+
+
+@dataclass
+class ShardStats:
+    """Residency accounting of one :class:`ShardedDataset`.
+
+    The structural memory guarantee of the sharded path lives here:
+    ``peak_resident_bytes`` can never exceed ``max_resident_shards ×
+    bytes-per-chunk``, whatever the dataset size — the number
+    ``benchmarks/bench_shards.py`` asserts against the dense index's
+    requirement.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.sharded import ShardedDataset
+    >>> dense = binary_dataset(100, 5, rng=np.random.default_rng(0))
+    >>> sharded = ShardedDataset.from_dataset(dense, shard_size=30,
+    ...                                       max_resident_shards=2)
+    >>> _ = [sharded.chunk(s) for s in range(sharded.n_shards)]
+    >>> sharded.stats.loads, sharded.stats.peak_resident_shards
+    (4, 2)
+    """
+
+    #: chunk materializations (a regenerated evicted shard counts again)
+    loads: int = 0
+    #: chunks dropped to respect ``max_resident_shards``
+    evictions: int = 0
+    #: chunks resident right now / the lifetime high-water mark
+    resident_shards: int = 0
+    peak_resident_shards: int = 0
+    #: bytes of resident chunks right now / the lifetime high-water mark
+    resident_bytes: int = 0
+    peak_resident_bytes: int = 0
+
+
+class ShardExecutor:
+    """Maps a function over shards, serially or on a thread pool.
+
+    The executor is the parallelism seam of the sharded path: cross-shard
+    totals builds and scattered-batch gathers hand it one callable per
+    shard. ``mode="serial"`` runs in the calling thread (the default —
+    exact answers need no concurrency); ``mode="threads"`` uses a
+    :class:`~concurrent.futures.ThreadPoolExecutor`, which pays off when
+    chunk loading is IO-bound or mask evaluation dominates (NumPy
+    releases the GIL for large chunks). Results always come back in
+    input order, so answers are identical in either mode.
+
+    Examples
+    --------
+    >>> from repro.data.sharded import ShardExecutor
+    >>> with ShardExecutor(mode="threads", max_workers=2) as executor:
+    ...     executor.map(lambda s: s * s, range(4))
+    [0, 1, 4, 9]
+    """
+
+    def __init__(
+        self, *, mode: str = "serial", max_workers: int | None = None
+    ) -> None:
+        if mode not in ("serial", "threads"):
+            raise InvalidParameterError(
+                f"executor mode must be 'serial' or 'threads', got {mode!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.mode = mode
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def map(self, fn: Callable, items) -> list:
+        """``[fn(item) for item in items]``, possibly shard-parallel;
+        result order always matches input order."""
+        items = list(items)
+        if self.mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="shard"
+                )
+            pool = self._pool
+        return list(pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent; serial mode is a no-op)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ShardedDataset:
+    """A dataset partitioned into fixed-size, lazily materialized shards.
+
+    Rows ``[s·shard_size, (s+1)·shard_size)`` form shard ``s``; the last
+    shard may be shorter. Chunks — ``(rows, d)`` ``int16`` code matrices
+    — are produced by ``loader(shard_index, start, stop)`` on first
+    access, kept in an LRU table capped at ``max_resident_shards``, and
+    transparently regenerated after eviction, so the full ``(N, d)``
+    matrix never exists in memory. The loader must be **deterministic**:
+    an evicted shard that reloads with different content would break the
+    exactness guarantees of every index built on top.
+
+    Use the constructors instead of wiring a loader by hand:
+    :meth:`from_dataset` (shard an in-RAM :class:`~repro.data.dataset.\
+LabeledDataset` — equivalence tests and small jobs),
+    :meth:`from_generator` (compute chunks on demand — synthetic
+    benchmarks at any N), and :meth:`from_memmap` (``.npy`` file via
+    ``numpy`` memory mapping — on-disk corpora).
+
+    The class mirrors the read-only surface oracles need
+    (``schema`` / ``__len__`` / ``value_row``) so
+    :class:`~repro.crowd.oracle.GroundTruthOracle`,
+    :class:`~repro.crowd.oracle.FlakyOracle`, and
+    :class:`~repro.crowd.platform.CrowdPlatform` accept it wherever they
+    accept a dense dataset.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.sharded import ShardedDataset
+    >>> dense = binary_dataset(1_000, 30, rng=np.random.default_rng(0))
+    >>> sharded = ShardedDataset.from_dataset(dense, shard_size=256)
+    >>> len(sharded), sharded.n_shards
+    (1000, 4)
+    >>> sharded.value_row(17) == dense.value_row(17)
+    True
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        n_objects: int,
+        shard_size: int,
+        loader: Callable[[int, int, int], np.ndarray],
+        *,
+        max_resident_shards: int = 4,
+        name: str = "sharded-dataset",
+    ) -> None:
+        if n_objects < 0:
+            raise InvalidParameterError(
+                f"n_objects must be non-negative, got {n_objects}"
+            )
+        if shard_size < 1:
+            raise InvalidParameterError(
+                f"shard_size must be >= 1, got {shard_size}"
+            )
+        if max_resident_shards < 1:
+            raise InvalidParameterError(
+                f"max_resident_shards must be >= 1, got {max_resident_shards}"
+            )
+        self.schema = schema
+        self.name = name
+        self.shard_size = int(shard_size)
+        self.max_resident_shards = int(max_resident_shards)
+        self._n_objects = int(n_objects)
+        self._loader = loader
+        self.stats = ShardStats()
+        self._chunks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Bounds how many chunks shard-parallel workers may *hold*
+        #: (load + compute over) at once, so threaded execution cannot
+        #: materialize more than ``max_resident_shards`` chunks beyond
+        #: the LRU table — the worst-case footprint stays at twice the
+        #: residency cap, which is what ``memory_report`` budgets for.
+        self.hold_slots = threading.BoundedSemaphore(self.max_resident_shards)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: LabeledDataset,
+        shard_size: int,
+        *,
+        max_resident_shards: int = 4,
+        name: str | None = None,
+    ) -> "ShardedDataset":
+        """Shard an in-RAM dense dataset (chunks are copies of its code
+        slices, so residency accounting stays honest). The sharded view
+        holds identical content — the substrate of every
+        dense-vs-sharded equivalence test.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.data.synthetic import binary_dataset
+        >>> dense = binary_dataset(100, 7, rng=np.random.default_rng(3))
+        >>> sharded = ShardedDataset.from_dataset(dense, shard_size=33)
+        >>> [sharded.shard_bounds(s) for s in range(sharded.n_shards)]
+        [(0, 33), (33, 66), (66, 99), (99, 100)]
+        """
+        codes = dataset.codes
+
+        def load(shard_index: int, start: int, stop: int) -> np.ndarray:
+            return np.array(codes[start:stop], dtype=np.int16)
+
+        return cls(
+            dataset.schema,
+            len(dataset),
+            shard_size,
+            load,
+            max_resident_shards=max_resident_shards,
+            name=name or f"{dataset.name}[sharded:{shard_size}]",
+        )
+
+    @classmethod
+    def from_generator(
+        cls,
+        schema: Schema,
+        n_objects: int,
+        shard_size: int,
+        generate: Callable[[int, int, int], np.ndarray],
+        *,
+        max_resident_shards: int = 4,
+        name: str = "generated-sharded-dataset",
+    ) -> "ShardedDataset":
+        """A dataset whose chunks are computed on demand.
+
+        ``generate(shard_index, start, stop)`` must deterministically
+        return the ``(stop-start, d)`` code chunk of rows ``[start,
+        stop)`` — seed a per-shard rng from the shard index so a
+        regenerated chunk is identical to the evicted one. This is how
+        the benchmarks audit 10M-row datasets that never materialize.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.data.schema import Schema
+        >>> schema = Schema.from_dict({"gender": ["male", "female"]})
+        >>> def chunk(shard, start, stop):
+        ...     rng = np.random.default_rng([7, shard])
+        ...     return (rng.random((stop - start, 1)) < 0.01).astype(np.int16)
+        >>> ds = ShardedDataset.from_generator(schema, 10_000, 2_500, chunk)
+        >>> ds.n_shards
+        4
+        """
+        return cls(
+            schema,
+            n_objects,
+            shard_size,
+            generate,
+            max_resident_shards=max_resident_shards,
+            name=name,
+        )
+
+    @classmethod
+    def from_memmap(
+        cls,
+        schema: Schema,
+        path,
+        shard_size: int,
+        *,
+        max_resident_shards: int = 4,
+        name: str | None = None,
+    ) -> "ShardedDataset":
+        """A dataset backed by an on-disk ``.npy`` code matrix.
+
+        The file (written with ``np.save(path, codes)``) is opened with
+        ``mmap_mode="r"``, so only the chunk slices a query touches are
+        ever paged in and copied; evicted chunks fall back to the page
+        cache, not the Python heap.
+
+        Examples
+        --------
+        >>> import numpy as np, tempfile, os
+        >>> from repro.data.schema import Schema
+        >>> schema = Schema.from_dict({"gender": ["male", "female"]})
+        >>> path = os.path.join(tempfile.mkdtemp(), "codes.npy")
+        >>> np.save(path, np.zeros((1_000, 1), dtype=np.int16))
+        >>> ds = ShardedDataset.from_memmap(schema, path, shard_size=400)
+        >>> len(ds), ds.n_shards
+        (1000, 3)
+        """
+        mapped = np.load(path, mmap_mode="r")
+        if mapped.ndim != 2 or mapped.shape[1] != schema.n_attributes:
+            raise InvalidParameterError(
+                f"memmapped codes at {path!r} have shape {mapped.shape}, "
+                f"need (N, {schema.n_attributes})"
+            )
+
+        def load(shard_index: int, start: int, stop: int) -> np.ndarray:
+            return np.array(mapped[start:stop], dtype=np.int16)
+
+        return cls(
+            schema,
+            mapped.shape[0],
+            shard_size,
+            load,
+            max_resident_shards=max_resident_shards,
+            name=name or f"memmap({path})",
+        )
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def n_objects(self) -> int:
+        """Dataset size ``N`` (rows across all shards)."""
+        return self._n_objects
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards, ``ceil(N / shard_size)`` (0 when empty)."""
+        return -(-self._n_objects // self.shard_size)
+
+    def shard_bounds(self, shard_index: int) -> tuple[int, int]:
+        """The global row range ``[start, stop)`` of one shard."""
+        if not 0 <= shard_index < self.n_shards:
+            raise InvalidParameterError(
+                f"shard index {shard_index} out of range [0, {self.n_shards})"
+            )
+        start = shard_index * self.shard_size
+        return start, min(start + self.shard_size, self._n_objects)
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning global row ``index``."""
+        return int(index) // self.shard_size
+
+    # ------------------------------------------------------------------
+    # chunk residency
+    # ------------------------------------------------------------------
+    def chunk(self, shard_index: int) -> np.ndarray:
+        """The shard's resident ``(rows, d)`` code chunk, loading (and
+        evicting the least recently used shard) as needed. Thread-safe;
+        returned arrays are read-only."""
+        with self._lock:
+            cached = self._chunks.get(shard_index)
+            if cached is not None:
+                self._chunks.move_to_end(shard_index)
+                return cached
+        start, stop = self.shard_bounds(shard_index)
+        chunk = np.asarray(self._loader(shard_index, start, stop), dtype=np.int16)
+        if chunk.ndim != 2 or chunk.shape != (stop - start, self.schema.n_attributes):
+            raise InvalidParameterError(
+                f"loader returned shape {chunk.shape} for shard {shard_index}, "
+                f"expected ({stop - start}, {self.schema.n_attributes})"
+            )
+        for j, attribute in enumerate(self.schema):
+            column = chunk[:, j]
+            if column.size and (
+                column.min() < 0 or column.max() >= attribute.cardinality
+            ):
+                raise InvalidParameterError(
+                    f"shard {shard_index} codes for attribute "
+                    f"{attribute.name!r} outside [0, {attribute.cardinality})"
+                )
+        chunk.setflags(write=False)
+        with self._lock:
+            raced = self._chunks.get(shard_index)
+            if raced is not None:
+                # Another thread loaded it first; this thread's loader
+                # call still materialized a chunk, so it still counts.
+                self.stats.loads += 1
+                self._chunks.move_to_end(shard_index)
+                return raced
+            self.stats.loads += 1
+            self._chunks[shard_index] = chunk
+            self.stats.resident_bytes += chunk.nbytes
+            self.stats.resident_shards += 1
+            while len(self._chunks) > self.max_resident_shards:
+                _, evicted = self._chunks.popitem(last=False)
+                self.stats.evictions += 1
+                self.stats.resident_bytes -= evicted.nbytes
+                self.stats.resident_shards -= 1
+            self.stats.peak_resident_shards = max(
+                self.stats.peak_resident_shards, self.stats.resident_shards
+            )
+            self.stats.peak_resident_bytes = max(
+                self.stats.peak_resident_bytes, self.stats.resident_bytes
+            )
+        return chunk
+
+    # ------------------------------------------------------------------
+    # row access (the oracle surface)
+    # ------------------------------------------------------------------
+    def value_row(self, index: int) -> dict[str, str]:
+        """Ground-truth ``{attribute: value}`` mapping of one object,
+        decoded from its owning shard's chunk."""
+        index = int(index)
+        if not 0 <= index < self._n_objects:
+            raise OracleError(
+                f"object index {index} out of range [0, {self._n_objects})"
+            )
+        shard = self.shard_of(index)
+        row = self.chunk(shard)[index - shard * self.shard_size]
+        return {
+            attribute.name: attribute.value_of(int(row[j]))
+            for j, attribute in enumerate(self.schema)
+        }
+
+    def describe(self) -> str:
+        """A short summary used by examples and reports."""
+        return (
+            f"{self.name}: N={self._n_objects}, shards={self.n_shards}"
+            f"×{self.shard_size}, resident≤{self.max_resident_shards}, "
+            f"attributes={list(self.schema.names)}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"ShardedDataset(name={self.name!r}, N={self._n_objects}, "
+            f"shards={self.n_shards}x{self.shard_size})"
+        )
+
+
+@dataclass
+class _PrefixCache:
+    """Entry-capped LRU of per-shard prefix tables (internal).
+
+    Eviction triggers on entry count; since every entry is at most
+    ``8·(shard_size+1)`` bytes, the byte footprint is bounded by
+    ``max_entries`` times that — the ``prefix_cap`` term of
+    :meth:`ShardedMembershipIndex.memory_report`. Byte counters are
+    tracked for reporting, not for eviction."""
+
+    max_entries: int
+    entries: "OrderedDict[tuple[GroupPredicate, int], np.ndarray]" = field(
+        default_factory=OrderedDict
+    )
+    resident_bytes: int = 0
+    peak_resident_bytes: int = 0
+    builds: int = 0
+    evictions: int = 0
+
+    def get(self, key) -> np.ndarray | None:
+        cached = self.entries.get(key)
+        if cached is not None:
+            self.entries.move_to_end(key)
+        return cached
+
+    def put(self, key, prefix: np.ndarray) -> None:
+        if key in self.entries:
+            return
+        self.builds += 1
+        self.entries[key] = prefix
+        self.resident_bytes += prefix.nbytes
+        while len(self.entries) > self.max_entries:
+            _, evicted = self.entries.popitem(last=False)
+            self.evictions += 1
+            self.resident_bytes -= evicted.nbytes
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, self.resident_bytes
+        )
+
+
+class ShardedMembershipIndex:
+    """The out-of-core answering substrate: dense-index API, sharded spine.
+
+    Exposes the same query surface as
+    :class:`~repro.data.membership.GroupMembershipIndex` —
+    :meth:`count`, :meth:`any_match`, :meth:`any_match_runs`,
+    :meth:`any_match_batch`, :meth:`matches`, :meth:`value_rows` — with
+    identical (exact) answers, so every oracle, platform, session, and
+    service runs unmodified over it. Internally a query splits at shard
+    boundaries: interior shards answer from the cross-shard totals
+    (built once per predicate in a streaming pass), boundary shards from
+    their local prefix tables (built on demand, LRU-capped), and the
+    partial counts merge. Shard-aligned runs never load a chunk at all.
+
+    Parameters
+    ----------
+    dataset:
+        The :class:`ShardedDataset` to answer over.
+    executor:
+        The :class:`ShardExecutor` for totals builds and scattered-batch
+        gathers; defaults to a serial executor (answers are identical in
+        every mode).
+    max_cached_prefixes:
+        LRU capacity of the per-shard prefix-table cache, in entries
+        (each ≤ ``8·(shard_size+1)`` bytes). Defaults to the dataset's
+        ``max_resident_shards``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data.groups import group
+    >>> from repro.data.membership import GroupMembershipIndex
+    >>> from repro.data.sharded import ShardedDataset, ShardedMembershipIndex
+    >>> from repro.data.synthetic import binary_dataset
+    >>> dense = binary_dataset(1_000, 30, rng=np.random.default_rng(0))
+    >>> sharded = ShardedMembershipIndex.for_dataset(
+    ...     ShardedDataset.from_dataset(dense, shard_size=137))
+    >>> female = group(gender="female")
+    >>> run = np.arange(100, 900)
+    >>> sharded.count(female, run) == GroupMembershipIndex.for_dataset(
+    ...     dense).count(female, run)
+    True
+    """
+
+    def __init__(
+        self,
+        dataset: ShardedDataset,
+        *,
+        executor: ShardExecutor | None = None,
+        max_cached_prefixes: int | None = None,
+    ) -> None:
+        if max_cached_prefixes is not None and max_cached_prefixes < 1:
+            raise InvalidParameterError(
+                f"max_cached_prefixes must be >= 1, got {max_cached_prefixes}"
+            )
+        self.dataset = dataset
+        self.executor = executor if executor is not None else ShardExecutor()
+        self._totals: dict[GroupPredicate, np.ndarray] = {}
+        self._prefixes = _PrefixCache(
+            max_entries=(
+                max_cached_prefixes
+                if max_cached_prefixes is not None
+                else dataset.max_resident_shards
+            )
+        )
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_dataset(cls, dataset: ShardedDataset) -> "ShardedMembershipIndex":
+        """The shared index of one sharded dataset (created on first
+        use), mirroring ``GroupMembershipIndex.for_dataset`` so oracles
+        and platforms over the same dataset share totals and caches.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.data.sharded import ShardedDataset, ShardedMembershipIndex
+        >>> from repro.data.synthetic import binary_dataset
+        >>> ds = ShardedDataset.from_dataset(
+        ...     binary_dataset(100, 5, rng=np.random.default_rng(0)), shard_size=40)
+        >>> a = ShardedMembershipIndex.for_dataset(ds)
+        >>> a is ShardedMembershipIndex.for_dataset(ds)
+        True
+        """
+        index = dataset.__dict__.get("_membership_index")
+        if index is None:
+            index = cls(dataset)
+            dataset.__dict__["_membership_index"] = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    # ------------------------------------------------------------------
+    # the sharded substrate
+    # ------------------------------------------------------------------
+    def shard_totals(self, predicate: GroupPredicate) -> np.ndarray:
+        """Cumulative member counts at shard boundaries: ``totals[s]`` =
+        members among shards ``[0, s)`` (length ``n_shards + 1``).
+
+        Built once per predicate by a streaming pass over every shard
+        (shard-parallel through the executor); afterwards any
+        shard-aligned range is answered in O(1) from this table alone.
+        """
+        with self._lock:
+            cached = self._totals.get(predicate)
+        if cached is not None:
+            return cached
+        predicate.validate(self.dataset.schema)
+        schema = self.dataset.schema
+
+        def count_shard(shard_index: int) -> int:
+            # The hold slot bounds how many chunks threaded workers keep
+            # alive at once (load + mask evaluation) to the residency cap.
+            with self.dataset.hold_slots:
+                chunk = self.dataset.chunk(shard_index)
+                return int(predicate_mask(schema, chunk, predicate).sum())
+
+        counts = self.executor.map(count_shard, range(self.dataset.n_shards))
+        totals = np.zeros(self.dataset.n_shards + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=totals[1:])
+        totals.setflags(write=False)
+        with self._lock:
+            # A racing build produced identical content; keep the first.
+            cached = self._totals.setdefault(predicate, totals)
+        return cached
+
+    def _shard_prefix(
+        self, predicate: GroupPredicate, shard_index: int
+    ) -> np.ndarray:
+        """The shard's local prefix-count table (length ``rows + 1``),
+        built from its chunk on demand and cached LRU."""
+        key = (predicate, shard_index)
+        with self._lock:
+            cached = self._prefixes.get(key)
+        if cached is not None:
+            return cached
+        chunk = self.dataset.chunk(shard_index)
+        mask = predicate_mask(self.dataset.schema, chunk, predicate)
+        prefix = np.zeros(len(mask) + 1, dtype=np.int64)
+        np.cumsum(mask, out=prefix[1:])
+        prefix.setflags(write=False)
+        with self._lock:
+            raced = self._prefixes.get(key)
+            if raced is not None:
+                return raced
+            self._prefixes.put(key, prefix)
+        return prefix
+
+    def _count_run(
+        self,
+        predicate: GroupPredicate,
+        start: int,
+        stop: int,
+        totals: np.ndarray | None = None,
+    ) -> int:
+        """Exact member count over the contiguous run ``[start, stop)``:
+        totals for whole shards, local prefixes for the (at most two)
+        partially covered boundary shards. ``totals`` lets batched
+        callers hoist the per-predicate lookup (and its lock) out of
+        their per-run loop."""
+        if stop <= start:
+            return 0
+        if start < 0 or stop > len(self.dataset):
+            # Same contract as value_rows: out-of-range queries raise
+            # instead of silently clamping (the dense index's prefix
+            # table would overrun on the same input).
+            raise OracleError(
+                f"query run [{start}, {stop}) outside dataset "
+                f"[0, {len(self.dataset)})"
+            )
+        size = self.dataset.shard_size
+        first = start // size
+        last = (stop - 1) // size
+        if totals is None:
+            totals = self.shard_totals(predicate)
+        count = int(totals[last + 1] - totals[first])
+        first_base = first * size
+        if start > first_base:
+            count -= int(self._shard_prefix(predicate, first)[start - first_base])
+        last_base = last * size
+        _, last_stop = self.dataset.shard_bounds(last)
+        if stop < last_stop:
+            in_last = int(totals[last + 1] - totals[last])
+            count -= in_last - int(
+                self._shard_prefix(predicate, last)[stop - last_base]
+            )
+        return count
+
+    def _scattered_hits(
+        self, predicate: GroupPredicate, indices: np.ndarray
+    ) -> np.ndarray:
+        """Per-index membership of an arbitrary (non-empty) index array,
+        resolved shard-by-shard through the executor."""
+        check_object_indices(indices, len(self.dataset))
+        size = self.dataset.shard_size
+        shards = indices // size
+        unique_shards = np.unique(shards)
+        hits = np.zeros(len(indices), dtype=bool)
+
+        def eval_shard(shard_index: int):
+            selector = shards == shard_index
+            local = indices[selector] - shard_index * size
+            with self.dataset.hold_slots:
+                prefix = self._shard_prefix(predicate, int(shard_index))
+            return selector, prefix[local + 1] > prefix[local]
+
+        for selector, shard_hits in self.executor.map(
+            eval_shard, (int(s) for s in unique_shards)
+        ):
+            hits[selector] = shard_hits
+        return hits
+
+    # ------------------------------------------------------------------
+    # the dense-index query surface
+    # ------------------------------------------------------------------
+    def count(self, predicate: GroupPredicate, indices: np.ndarray) -> int:
+        """Number of objects in ``indices`` matching ``predicate``
+        (exact — identical to the dense index).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.data.groups import group
+        >>> from repro.data.sharded import ShardedDataset, ShardedMembershipIndex
+        >>> from repro.data.synthetic import binary_dataset
+        >>> ds = ShardedDataset.from_dataset(
+        ...     binary_dataset(100, 100, rng=np.random.default_rng(0)),
+        ...     shard_size=32)
+        >>> ShardedMembershipIndex(ds).count(group(gender="female"),
+        ...                                  np.arange(10, 90))
+        80
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        run = as_run(indices)
+        if run is not None:
+            return self._count_run(predicate, run[0], run[1])
+        if len(indices) == 0:
+            return 0
+        return int(self._scattered_hits(predicate, indices).sum())
+
+    def any_match(
+        self, predicate: GroupPredicate, indices: np.ndarray, *, key=None
+    ) -> bool:
+        """Does ``indices`` contain at least one member of ``predicate``?
+        ``key`` (an :class:`~repro.engine.requests.IndexKey`) skips run
+        re-detection exactly as on the dense index."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if key is not None:
+            if key.payload is None:
+                return self._count_run(predicate, key.start, key.stop) > 0
+            if len(indices) == 0:
+                return False
+            return bool(self._scattered_hits(predicate, indices).any())
+        run = as_run(indices)
+        if run is not None:
+            return self._count_run(predicate, run[0], run[1]) > 0
+        if len(indices) == 0:
+            return False
+        return bool(self._scattered_hits(predicate, indices).any())
+
+    def matches(self, predicate: GroupPredicate, index: int) -> bool:
+        """Ground-truth membership of a single object."""
+        index = int(index)
+        check_object_indices(np.asarray([index], dtype=np.int64), len(self.dataset))
+        shard = self.dataset.shard_of(index)
+        prefix = self._shard_prefix(predicate, shard)
+        local = index - shard * self.dataset.shard_size
+        return bool(prefix[local + 1] > prefix[local])
+
+    def any_match_runs(
+        self, predicate: GroupPredicate, starts: np.ndarray, stops: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`any_match` over many runs of one predicate."""
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        totals = self.shard_totals(predicate)
+        return np.array(
+            [
+                self._count_run(predicate, int(start), int(stop), totals) > 0
+                for start, stop in zip(starts, stops)
+            ],
+            dtype=bool,
+        )
+
+    def any_match_batch(
+        self,
+        queries: Sequence[tuple[np.ndarray, GroupPredicate]],
+        *,
+        keys: "Sequence | None" = None,
+    ) -> list[bool]:
+        """Answer many set queries; same grouping semantics (and
+        identical answers) as the dense ``any_match_batch``. Run-shaped
+        queries split/merge at shard boundaries; scattered queries of
+        one predicate concatenate into a single shard-parallel gather."""
+        answers = [False] * len(queries)
+        by_predicate: dict[GroupPredicate, list[int]] = {}
+        for position, (_, predicate) in enumerate(queries):
+            by_predicate.setdefault(predicate, []).append(position)
+        for predicate, positions in by_predicate.items():
+            totals = self.shard_totals(predicate)
+            scattered: list[int] = []
+            for position in positions:
+                indices = queries[position][0]
+                if keys is not None:
+                    key = keys[position]
+                    if key.payload is None:
+                        if key.stop > key.start:
+                            answers[position] = (
+                                self._count_run(
+                                    predicate, key.start, key.stop, totals
+                                )
+                                > 0
+                            )
+                        continue
+                    if len(indices):
+                        scattered.append(position)
+                    continue
+                if len(indices) == 0:
+                    continue
+                run = as_run(indices)
+                if run is not None:
+                    answers[position] = (
+                        self._count_run(predicate, run[0], run[1], totals) > 0
+                    )
+                else:
+                    scattered.append(position)
+            if scattered:
+                arrays = [
+                    np.asarray(queries[position][0], dtype=np.int64)
+                    for position in scattered
+                ]
+                lengths = np.array([len(a) for a in arrays])
+                hits = self._scattered_hits(predicate, np.concatenate(arrays))
+                for position, hit in zip(
+                    scattered, segmented_any(hits, lengths)
+                ):
+                    answers[position] = bool(hit)
+        return answers
+
+    # ------------------------------------------------------------------
+    # point labels
+    # ------------------------------------------------------------------
+    def value_rows(self, indices: Sequence[int]) -> list[dict[str, str]]:
+        """Ground-truth ``{attribute: value}`` rows for many objects,
+        decoded shard by shard; bounds-checked like the dense index."""
+        if len(indices) == 0:
+            return []
+        index_array = np.asarray(indices, dtype=np.int64)
+        check_object_indices(index_array, len(self.dataset))
+        size = self.dataset.shard_size
+        shards = index_array // size
+        codes = np.empty(
+            (len(index_array), self.dataset.schema.n_attributes), dtype=np.int16
+        )
+        for shard_index in np.unique(shards):
+            selector = shards == shard_index
+            local = index_array[selector] - int(shard_index) * size
+            codes[selector] = self.dataset.chunk(int(shard_index))[local]
+        return decode_value_rows(self.dataset.schema, codes)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def memory_report(self) -> dict[str, int]:
+        """Structural memory accounting of the sharded path.
+
+        ``peak_tracked_bytes`` (resident chunks + prefix tables + totals,
+        at their high-water marks) is what ``benchmarks/bench_shards.py``
+        compares against :func:`dense_index_bytes`; ``cap_bytes`` is the
+        configuration-implied ceiling it can never exceed.
+        """
+        stats = self.dataset.stats
+        row_bytes = 2 * self.dataset.schema.n_attributes
+        # LRU-resident chunks plus the chunks shard-parallel workers may
+        # hold outside the table (bounded by the dataset's hold_slots
+        # semaphore to the same count): worst case 2 × the residency cap.
+        chunk_cap = 2 * self.dataset.max_resident_shards * (
+            self.dataset.shard_size * row_bytes
+        )
+        prefix_cap = self._prefixes.max_entries * 8 * (self.dataset.shard_size + 1)
+        totals_bytes = sum(t.nbytes for t in self._totals.values())
+        return {
+            "peak_chunk_bytes": stats.peak_resident_bytes,
+            "peak_prefix_bytes": self._prefixes.peak_resident_bytes,
+            "totals_bytes": totals_bytes,
+            "peak_tracked_bytes": (
+                stats.peak_resident_bytes
+                + self._prefixes.peak_resident_bytes
+                + totals_bytes
+            ),
+            "cap_bytes": chunk_cap
+            + prefix_cap
+            + (self.dataset.n_shards + 1) * 8 * max(len(self._totals), 1),
+            "chunk_loads": stats.loads,
+            "chunk_evictions": stats.evictions,
+            "prefix_builds": self._prefixes.builds,
+            "prefix_evictions": self._prefixes.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"ShardedMembershipIndex({self.dataset.name!r}, "
+            f"N={len(self.dataset)}, shards={self.dataset.n_shards}, "
+            f"indexed_predicates={len(self._totals)})"
+        )
+
+
+def dense_index_bytes(n_objects: int, n_attributes: int, n_predicates: int) -> int:
+    """Bytes the dense path needs resident for the same workload: the
+    ``(N, d)`` ``int16`` code matrix plus, per indexed predicate, one
+    boolean membership column and one ``int64`` prefix table.
+
+    The yardstick ``benchmarks/bench_shards.py`` measures the sharded
+    path's tracked peak against.
+
+    Examples
+    --------
+    >>> dense_index_bytes(1_000_000, 1, 1)  # ~11 MB at N=1M, one predicate
+    11000008
+    """
+    codes = n_objects * n_attributes * 2
+    per_predicate = n_objects * 1 + 8 * (n_objects + 1)
+    return codes + n_predicates * per_predicate

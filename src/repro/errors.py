@@ -14,6 +14,7 @@ __all__ = [
     "SchemaError",
     "UnknownGroupError",
     "BudgetExceededError",
+    "CheckpointVersionError",
     "JobFailedError",
     "OracleError",
     "PlatformError",
@@ -52,6 +53,20 @@ class BudgetExceededError(ReproError, RuntimeError):
     The partially collected state is intentionally *not* attached: a budget
     violation means the requested audit is not answerable at the configured
     cost, and callers should either raise the budget or shrink the audit.
+    """
+
+
+class CheckpointVersionError(InvalidParameterError):
+    """A checkpoint (session string, service answer log, or job record)
+    carries a version this build cannot read, or entries that do not
+    match their declared version's shape.
+
+    Raised by :meth:`~repro.audit.AuditSession.resume` and
+    :meth:`~repro.service.AuditService.resume` instead of a bare
+    ``KeyError`` so callers can tell "written by an incompatible build"
+    apart from programming errors. Subclasses
+    :class:`InvalidParameterError`, so existing ``except`` clauses keep
+    working.
     """
 
 

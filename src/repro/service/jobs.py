@@ -28,7 +28,15 @@ __all__ = ["JobStatus", "JobEvent", "JobHandle"]
 
 
 class JobStatus(str, Enum):
-    """Lifecycle state of one submitted audit job."""
+    """Lifecycle state of one submitted audit job.
+
+    Examples
+    --------
+    >>> JobStatus("queued") is JobStatus.QUEUED
+    True
+    >>> JobStatus.SUCCEEDED.terminal, JobStatus.SUSPENDED.terminal
+    (True, False)
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
@@ -60,6 +68,12 @@ class JobEvent:
         crowd bill so far, service-wide.
     round:
         The service's scheduler-round counter when the event fired.
+
+    Examples
+    --------
+    >>> event = JobEvent(stage="submitted", detail="tenant=default", tasks=0)
+    >>> JobEvent.from_dict(event.to_dict()) == event
+    True
     """
 
     stage: str
@@ -68,6 +82,7 @@ class JobEvent:
     round: int = 0
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form persisted inside job records."""
         return {
             "stage": self.stage,
             "detail": self.detail,
@@ -77,6 +92,7 @@ class JobEvent:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
         return cls(
             stage=str(data["stage"]),
             detail=str(data.get("detail", "")),
@@ -92,6 +108,20 @@ class JobHandle:
     checkpoint/resume — a resumed service re-issues handles by job id).
     All methods delegate to the owning service; the handle holds no
     state of its own beyond identity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditService, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(500, 10, rng=np.random.default_rng(0))
+    >>> with AuditService(GroundTruthOracle(ds)) as service:
+    ...     handle = service.submit(GroupAuditSpec(predicate=group(gender="female"),
+    ...                                            tau=5), tenant="team-a")
+    ...     report = handle.result()        # drains the service
+    >>> handle.tenant, handle.status.value, report.result.covered
+    ('team-a', 'succeeded', True)
     """
 
     __slots__ = ("_service", "job_id")
@@ -103,22 +133,27 @@ class JobHandle:
     # -- identity ---------------------------------------------------------
     @property
     def spec(self) -> "AuditSpec":
+        """The audit spec this job was submitted with."""
         return self._service._job(self.job_id).spec
 
     @property
     def tenant(self) -> str:
+        """The tenant the job is billed and fair-share-scheduled under."""
         return self._service._job(self.job_id).tenant
 
     @property
     def priority(self) -> int:
+        """Within-tenant queue priority (higher activates first)."""
         return self._service._job(self.job_id).priority
 
     # -- observation ------------------------------------------------------
     @property
     def status(self) -> JobStatus:
+        """The job's current :class:`JobStatus`."""
         return self._service.status(self.job_id)
 
     def events(self) -> tuple[JobEvent, ...]:
+        """The job's transition trail, oldest first."""
         return self._service.events(self.job_id)
 
     def result(self, *, drain: bool = True) -> "AuditReport":

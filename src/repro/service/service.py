@@ -63,6 +63,7 @@ from repro.crowd.oracle import Oracle
 from repro.engine.scheduler import Flow, QueryEngine
 from repro.errors import (
     BudgetExceededError,
+    CheckpointVersionError,
     InvalidParameterError,
     JobFailedError,
 )
@@ -72,6 +73,7 @@ from repro.service.store import JobStore
 __all__ = ["AuditService"]
 
 _CHECKPOINT_VERSION = 1
+_READABLE_CHECKPOINT_VERSIONS = frozenset({1})
 
 
 class _Job:
@@ -122,24 +124,60 @@ class _Job:
 
     @classmethod
     def from_dict(cls, record: dict[str, Any]) -> "_Job":
-        job = cls(
-            str(record["job_id"]),
-            spec_from_dict(record["spec"]),
-            tenant=str(record["tenant"]),
-            priority=int(record["priority"]),
-            seed=record["seed"],
-            seq=int(record["seq"]),
-        )
-        job.status = JobStatus(record["status"])
-        job.events = [JobEvent.from_dict(event) for event in record["events"]]
-        if record["result"] is not None:
-            job.result = AuditReport.from_dict(record["result"])
-        job.error = record["error"]
+        version = record.get("version")
+        if version not in _READABLE_CHECKPOINT_VERSIONS:
+            raise CheckpointVersionError(
+                f"unsupported job-record version {version!r} (this build "
+                f"reads versions {sorted(_READABLE_CHECKPOINT_VERSIONS)})"
+            )
+        try:
+            job = cls(
+                str(record["job_id"]),
+                spec_from_dict(record["spec"]),
+                tenant=str(record["tenant"]),
+                priority=int(record["priority"]),
+                seed=record["seed"],
+                seq=int(record["seq"]),
+            )
+            job.status = JobStatus(record["status"])
+            job.events = [JobEvent.from_dict(event) for event in record["events"]]
+            if record["result"] is not None:
+                job.result = AuditReport.from_dict(record["result"])
+            job.error = record["error"]
+        except CheckpointVersionError:
+            raise
+        except KeyError as error:
+            raise CheckpointVersionError(
+                f"job record declares version {version} but is missing the "
+                f"{error.args[0]!r} field that version requires"
+            ) from error
+        except (InvalidParameterError, ValueError) as error:
+            # Unknown spec kinds, report versions, or corrupt field
+            # values inside the record also mean "written by an
+            # incompatible build".
+            raise CheckpointVersionError(
+                f"job record is not readable by this build ({error})"
+            ) from error
         return job
 
 
 class AuditService:
     """Multi-tenant audit jobs over one shared crowd backend.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import AuditService, GroundTruthOracle, GroupAuditSpec
+    >>> from repro.data.synthetic import binary_dataset
+    >>> from repro.data.groups import group
+    >>> ds = binary_dataset(1_000, 30, rng=np.random.default_rng(0))
+    >>> with AuditService(GroundTruthOracle(ds)) as service:
+    ...     handle = service.submit(GroupAuditSpec(predicate=group(gender="female"),
+    ...                                            tau=50), tenant="fairness")
+    ...     service.drain()
+    ...     report = handle.result()
+    >>> report.result.covered, handle.status.value
+    (False, 'succeeded')
 
     Parameters
     ----------
@@ -337,12 +375,17 @@ class AuditService:
         return tuple(JobHandle(self, job.job_id) for job in ordered)
 
     def status(self, job_id: str) -> JobStatus:
+        """The job's current :class:`~repro.service.jobs.JobStatus`."""
         return self._job(job_id).status
 
     def events(self, job_id: str) -> tuple[JobEvent, ...]:
+        """The job's transition trail, oldest first."""
         return tuple(self._job(job_id).events)
 
     def result(self, job_id: str, *, drain: bool = True) -> AuditReport:
+        """The job's report; with ``drain=True`` the service is stepped
+        until the job is terminal. Raises
+        :class:`~repro.errors.JobFailedError` for failed/cancelled jobs."""
         job = self._job(job_id)
         if drain:
             while not job.status.terminal and job.status != JobStatus.SUSPENDED:
@@ -375,6 +418,7 @@ class AuditService:
         return bool(self._queue) or self.engine.has_work
 
     def describe(self) -> str:
+        """One-line service summary: job tally, bill, engine counters."""
         tally = ", ".join(
             f"{status}={count}" for status, count in sorted(self.counts.items())
         )
@@ -617,38 +661,56 @@ class AuditService:
                 "job store holds no checkpoint to resume from"
             )
         version = answers.get("version")
-        if version != _CHECKPOINT_VERSION:
-            raise InvalidParameterError(
+        if version not in _READABLE_CHECKPOINT_VERSIONS:
+            raise CheckpointVersionError(
                 f"unsupported service checkpoint version {version!r} "
-                f"(this build reads version {_CHECKPOINT_VERSION})"
+                f"(this build reads versions {sorted(_READABLE_CHECKPOINT_VERSIONS)})"
             )
-        engine_config = answers["engine"]
+        # Narrow extraction: only the checkpoint's own shape may raise
+        # CheckpointVersionError — a KeyError from user code (oracle,
+        # backend factory, job store) during construction propagates as-is.
+        try:
+            engine_config = answers["engine"]
+            batch_size = engine_config["batch_size"]
+            speculation = engine_config["speculation"]
+            stored_max_active_jobs = answers["max_active_jobs"]
+            dataset_size = answers["dataset_size"]
+            seed = answers["seed"]
+            raw_set_answers = answers["set_answers"]
+            raw_point_answers = answers["point_answers"]
+            next_seq = int(answers["next_seq"])
+        except KeyError as error:
+            raise CheckpointVersionError(
+                f"service checkpoint declares version {version} but is missing "
+                f"the {error.args[0]!r} field that version requires"
+            ) from error
         service = cls(
             oracle,
             backend=backend,
-            batch_size=engine_config["batch_size"],
-            speculation=engine_config["speculation"],
+            batch_size=batch_size,
+            speculation=speculation,
             max_active_jobs=(
                 max_active_jobs
                 if max_active_jobs is not None
-                else answers["max_active_jobs"]
+                else stored_max_active_jobs
             ),
-            dataset_size=answers["dataset_size"],
-            seed=answers["seed"],
+            dataset_size=dataset_size,
+            seed=seed,
             job_store=job_store,
             checkpoint_every=checkpoint_every,
             task_budget=task_budget,
         )
-        set_answers = set_answers_from_list(answers["set_answers"])
+        set_answers = set_answers_from_list(raw_set_answers)
         service._proxy.load_set_answers(set_answers)
         for key, answer in set_answers.items():
             service.engine.cache.store(key, answer)
         service._proxy.load_point_answers(
-            point_answers_from_list(answers["point_answers"])
+            point_answers_from_list(raw_point_answers)
         )
         max_seq = -1
         for record in sorted(
-            job_store.load_jobs().values(), key=lambda r: int(r["seq"])
+            job_store.load_jobs().values(),
+            key=lambda r: int(r.get("seq", -1)),
         ):
             job = _Job.from_dict(record)
             service._jobs[job.job_id] = job
@@ -663,7 +725,7 @@ class AuditService:
         # checkpoints: jobs submitted after the last checkpoint carry
         # sequence numbers past the recorded next_seq, and reusing those
         # ids would silently overwrite their records.
-        service._seq = max(int(answers["next_seq"]), max_seq + 1)
+        service._seq = max(next_seq, max_seq + 1)
         return service
 
     # -- batch conveniences ----------------------------------------------

@@ -32,6 +32,16 @@ class JobStore(ABC):
 
     Implementations must make ``save_job``/``save_answers`` atomic per
     call (the service may crash between calls, never mid-record).
+
+    Examples
+    --------
+    >>> from repro.service import InMemoryJobStore, JobStore
+    >>> store = InMemoryJobStore()              # any JobStore
+    >>> isinstance(store, JobStore)
+    True
+    >>> store.save_job("job-00000", {"version": 1, "seq": 0})
+    >>> sorted(store.load_jobs())
+    ['job-00000']
     """
 
     @abstractmethod
@@ -56,6 +66,15 @@ class InMemoryJobStore(JobStore):
 
     Useful in tests and for handing state between services in one
     process; contents die with the process.
+
+    Examples
+    --------
+    >>> store = InMemoryJobStore()
+    >>> store.load_answers() is None            # fresh store
+    True
+    >>> store.save_answers({"version": 1, "set_answers": []})
+    >>> store.load_answers()["version"]
+    1
     """
 
     def __init__(self) -> None:
@@ -63,17 +82,20 @@ class InMemoryJobStore(JobStore):
         self._answers: dict[str, Any] | None = None
 
     def save_job(self, job_id: str, record: dict[str, Any]) -> None:
-        # Round-trip through JSON so in-memory resume exercises exactly
-        # the durable path (and mutations cannot leak back in).
+        """Store one job record (JSON round-tripped, so in-memory resume
+        exercises exactly the durable path and mutations cannot leak)."""
         self._jobs[job_id] = json.loads(json.dumps(record))
 
     def load_jobs(self) -> dict[str, dict[str, Any]]:
+        """Every stored job record, keyed by job id."""
         return {job_id: dict(record) for job_id, record in self._jobs.items()}
 
     def save_answers(self, payload: dict[str, Any]) -> None:
+        """Replace the shared answer-log snapshot."""
         self._answers = json.loads(json.dumps(payload))
 
     def load_answers(self) -> dict[str, Any] | None:
+        """The last answer-log snapshot, or ``None`` when never saved."""
         return None if self._answers is None else dict(self._answers)
 
 
@@ -83,6 +105,16 @@ class DirectoryJobStore(JobStore):
     Every write lands in a temporary file first and is moved into place
     with :func:`os.replace`, so readers (and the resuming service) only
     ever see complete records.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> store = DirectoryJobStore(tempfile.mkdtemp())
+    >>> store.save_job("job-00000", {"version": 1, "seq": 0})
+    >>> store.load_jobs()["job-00000"]["seq"]
+    0
+    >>> sorted(p.name for p in store.jobs_dir.glob("*.json"))
+    ['job-00000.json']
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
@@ -96,18 +128,22 @@ class DirectoryJobStore(JobStore):
         os.replace(scratch, path)
 
     def save_job(self, job_id: str, record: dict[str, Any]) -> None:
+        """Atomically write ``jobs/<job_id>.json``."""
         self._write_atomic(self.jobs_dir / f"{job_id}.json", record)
 
     def load_jobs(self) -> dict[str, dict[str, Any]]:
+        """Every ``jobs/*.json`` record, keyed by file stem (= job id)."""
         records: dict[str, dict[str, Any]] = {}
         for path in sorted(self.jobs_dir.glob("*.json")):
             records[path.stem] = json.loads(path.read_text())
         return records
 
     def save_answers(self, payload: dict[str, Any]) -> None:
+        """Atomically write ``answers.json`` (a full snapshot)."""
         self._write_atomic(self.root / "answers.json", payload)
 
     def load_answers(self) -> dict[str, Any] | None:
+        """The persisted answer log, or ``None`` for a fresh directory."""
         path = self.root / "answers.json"
         if not path.exists():
             return None

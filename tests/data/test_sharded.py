@@ -1,0 +1,352 @@
+"""ShardedDataset / ShardedMembershipIndex: geometry, residency, exactness.
+
+The sharded out-of-core path must be a pure re-arrangement of the dense
+index: every count, membership bit, and label row identical, with memory
+structurally bounded by the resident-shard cap. Shard-boundary edge
+cases (runs starting/ending exactly on a boundary, single-row shards,
+an exact-multiple N with no trailing partial shard) get explicit tests
+on top of the randomized property test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.groups import Negation, SuperGroup, group
+from repro.data.membership import GroupMembershipIndex, membership_index_for
+from repro.data.schema import Schema
+from repro.data.sharded import (
+    ShardedDataset,
+    ShardedMembershipIndex,
+    ShardExecutor,
+    dense_index_bytes,
+)
+from repro.data.synthetic import binary_dataset, intersectional_dataset
+from repro.engine.requests import IndexKey
+from repro.errors import InvalidParameterError, OracleError
+
+FEMALE = group(gender="female")
+
+
+@pytest.fixture
+def dense():
+    return binary_dataset(1_000, 37, rng=np.random.default_rng(11))
+
+
+def sharded_over(dense, shard_size, **kwargs):
+    return ShardedDataset.from_dataset(dense, shard_size, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# geometry
+# ----------------------------------------------------------------------
+def test_shard_geometry_with_partial_trailing_shard(dense):
+    ds = sharded_over(dense, 300)
+    assert len(ds) == 1_000
+    assert ds.n_shards == 4
+    assert [ds.shard_bounds(s) for s in range(4)] == [
+        (0, 300), (300, 600), (600, 900), (900, 1_000),
+    ]
+    with pytest.raises(InvalidParameterError):
+        ds.shard_bounds(4)
+
+
+def test_exact_multiple_has_no_trailing_partial_shard(dense):
+    ds = sharded_over(dense, 250)
+    assert ds.n_shards == 4
+    assert ds.shard_bounds(3) == (750, 1_000)
+    # The last shard is full-sized; indexing one past it raises.
+    with pytest.raises(InvalidParameterError):
+        ds.shard_bounds(4)
+    index = ShardedMembershipIndex(ds)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    run = np.arange(0, 1_000)
+    assert index.count(FEMALE, run) == dense_index.count(FEMALE, run)
+
+
+def test_empty_dataset_answers_empty():
+    schema = Schema.from_dict({"gender": ["male", "female"]})
+    ds = ShardedDataset.from_generator(
+        schema, 0, 10, lambda s, a, b: np.empty((0, 1), dtype=np.int16)
+    )
+    assert ds.n_shards == 0
+    index = ShardedMembershipIndex(ds)
+    assert index.count(FEMALE, np.empty(0, dtype=np.int64)) == 0
+    assert index.any_match(FEMALE, np.empty(0, dtype=np.int64)) is False
+    assert index.value_rows([]) == []
+
+
+def test_single_row_shards_match_dense(dense):
+    ds = sharded_over(dense, 1, max_resident_shards=3)
+    assert ds.n_shards == 1_000
+    index = ShardedMembershipIndex(ds)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        a, b = sorted(int(x) for x in rng.integers(0, 1_001, size=2))
+        run = np.arange(a, b)
+        assert index.count(FEMALE, run) == dense_index.count(FEMALE, run)
+    for i in (0, 17, 999):
+        assert index.matches(FEMALE, i) == dense_index.matches(FEMALE, i)
+
+
+# ----------------------------------------------------------------------
+# residency
+# ----------------------------------------------------------------------
+def test_lru_residency_cap_is_respected(dense):
+    ds = sharded_over(dense, 100, max_resident_shards=2)
+    for s in range(ds.n_shards):
+        ds.chunk(s)
+    assert ds.stats.loads == 10
+    assert ds.stats.evictions == 8
+    assert ds.stats.resident_shards == 2
+    assert ds.stats.peak_resident_shards == 2
+    row_bytes = 2 * dense.schema.n_attributes
+    assert ds.stats.peak_resident_bytes <= 2 * 100 * row_bytes
+
+
+def test_evicted_chunks_reload_identically(dense):
+    ds = sharded_over(dense, 100, max_resident_shards=1)
+    first = np.array(ds.chunk(0))
+    ds.chunk(5)  # evicts shard 0
+    assert ds.stats.evictions >= 1
+    np.testing.assert_array_equal(np.array(ds.chunk(0)), first)
+
+
+def test_loader_shape_and_range_validation():
+    schema = Schema.from_dict({"gender": ["male", "female"]})
+    bad_shape = ShardedDataset(
+        schema, 10, 5, lambda s, a, b: np.zeros((1, 1), dtype=np.int16)
+    )
+    with pytest.raises(InvalidParameterError, match="shape"):
+        bad_shape.chunk(0)
+    bad_codes = ShardedDataset(
+        schema, 10, 5, lambda s, a, b: np.full((b - a, 1), 7, dtype=np.int16)
+    )
+    with pytest.raises(InvalidParameterError, match="outside"):
+        bad_codes.chunk(0)
+
+
+def test_constructor_validation():
+    schema = Schema.from_dict({"gender": ["male", "female"]})
+    loader = lambda s, a, b: np.zeros((b - a, 1), dtype=np.int16)  # noqa: E731
+    with pytest.raises(InvalidParameterError):
+        ShardedDataset(schema, -1, 5, loader)
+    with pytest.raises(InvalidParameterError):
+        ShardedDataset(schema, 10, 0, loader)
+    with pytest.raises(InvalidParameterError):
+        ShardedDataset(schema, 10, 5, loader, max_resident_shards=0)
+
+
+def test_from_memmap_round_trip(tmp_path, dense):
+    path = tmp_path / "codes.npy"
+    np.save(path, dense.codes)
+    ds = ShardedDataset.from_memmap(dense.schema, path, 128)
+    assert len(ds) == len(dense)
+    index = ShardedMembershipIndex(ds)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    run = np.arange(40, 900)
+    assert index.count(FEMALE, run) == dense_index.count(FEMALE, run)
+    assert ds.value_row(123) == dense.value_row(123)
+    with pytest.raises(InvalidParameterError, match="shape"):
+        ShardedDataset.from_memmap(
+            Schema.from_dict({"a": ["x", "y"], "b": ["x", "y"]}), path, 128
+        )
+
+
+# ----------------------------------------------------------------------
+# shard-boundary behavior
+# ----------------------------------------------------------------------
+def test_boundary_aligned_runs_touch_no_chunks(dense):
+    ds = sharded_over(dense, 200, max_resident_shards=2)
+    index = ShardedMembershipIndex(ds)
+    index.shard_totals(FEMALE)  # streaming build pays its chunk loads
+    loads_after_build = ds.stats.loads
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    # Runs starting AND ending exactly on shard boundaries resolve from
+    # the totals alone — no boundary shard is ever materialized.
+    for start, stop in [(0, 200), (200, 800), (0, 1_000), (400, 400), (800, 1_000)]:
+        run = np.arange(start, stop)
+        assert index.count(FEMALE, run) == dense_index.count(FEMALE, run)
+        assert index.any_match(FEMALE, run) == dense_index.any_match(FEMALE, run)
+    assert ds.stats.loads == loads_after_build
+
+
+def test_runs_starting_or_ending_on_boundary(dense):
+    ds = sharded_over(dense, 128)
+    index = ShardedMembershipIndex(ds)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    cases = [
+        (128, 300),    # starts exactly on a boundary
+        (50, 256),     # ends exactly on a boundary
+        (128, 256),    # both aligned, single whole shard
+        (127, 129),    # straddles a boundary by one row each side
+        (255, 256),    # last row of a shard
+        (256, 257),    # first row of a shard
+        (900, 1_000),  # into the trailing partial shard
+    ]
+    for start, stop in cases:
+        run = np.arange(start, stop)
+        assert index.count(FEMALE, run) == dense_index.count(FEMALE, run), (start, stop)
+
+
+def test_key_hinted_answers_match_unhinted(dense):
+    ds = sharded_over(dense, 96)
+    index = ShardedMembershipIndex(ds)
+    run_key = IndexKey.of_run(100, 500)
+    run = np.arange(100, 500)
+    assert index.any_match(FEMALE, run, key=run_key) == index.any_match(FEMALE, run)
+    scattered = np.array([5, 97, 300, 999], dtype=np.int64)
+    scattered_key = IndexKey.of(scattered)
+    assert index.any_match(FEMALE, scattered, key=scattered_key) == index.any_match(
+        FEMALE, scattered
+    )
+
+
+# ----------------------------------------------------------------------
+# the randomized property: sharded == dense on random views
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shard_size", [1, 7, 64, 250, 1_000, 4_096])
+@pytest.mark.parametrize("mode", ["serial", "threads"])
+def test_property_sharded_equals_dense_on_random_views(shard_size, mode):
+    rng = np.random.default_rng(shard_size * 31 + (mode == "threads"))
+    schema = Schema.from_dict(
+        {"gender": ["male", "female"], "race": ["white", "black"]}
+    )
+    n = 1_000
+    joint = {
+        ("male", "white"): n - 90,
+        ("female", "white"): 40,
+        ("male", "black"): 30,
+        ("female", "black"): 20,
+    }
+    dense = intersectional_dataset(schema, joint, rng=rng)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    with ShardExecutor(mode=mode, max_workers=3) as executor:
+        index = ShardedMembershipIndex(
+            ShardedDataset.from_dataset(dense, shard_size, max_resident_shards=2),
+            executor=executor,
+        )
+        predicates = [
+            group(gender="female"),
+            group(gender="female", race="black"),
+            SuperGroup([group(race="black"), group(gender="female")]),
+            Negation(group(gender="male")),
+        ]
+        for predicate in predicates:
+            queries, keys = [], []
+            for _ in range(40):
+                if rng.random() < 0.5:
+                    a, b = sorted(int(x) for x in rng.integers(0, n + 1, size=2))
+                    indices = np.arange(a, b)
+                else:
+                    k = int(rng.integers(0, 40))
+                    indices = np.sort(rng.choice(n, size=k, replace=False))
+                queries.append((indices, predicate))
+                keys.append(IndexKey.of(indices))
+                assert index.count(predicate, indices) == dense_index.count(
+                    predicate, indices
+                )
+                assert index.any_match(predicate, indices) == dense_index.any_match(
+                    predicate, indices
+                )
+            assert index.any_match_batch(queries) == dense_index.any_match_batch(
+                queries
+            )
+            assert index.any_match_batch(
+                queries, keys=keys
+            ) == dense_index.any_match_batch(queries, keys=keys)
+        starts = rng.integers(0, n // 2, size=25)
+        stops = starts + rng.integers(0, n // 2, size=25)
+        np.testing.assert_array_equal(
+            index.any_match_runs(predicates[0], starts, stops),
+            dense_index.any_match_runs(predicates[0], starts, stops),
+        )
+
+
+# ----------------------------------------------------------------------
+# rows and labels
+# ----------------------------------------------------------------------
+def test_value_rows_match_dense_and_validate_bounds(dense):
+    ds = sharded_over(dense, 333)
+    index = ShardedMembershipIndex(ds)
+    dense_index = GroupMembershipIndex.for_dataset(dense)
+    picks = [0, 332, 333, 334, 999, 500]
+    assert index.value_rows(picks) == dense_index.value_rows(picks)
+    with pytest.raises(OracleError, match="out of range"):
+        index.value_rows([5, -1])
+    with pytest.raises(OracleError, match="out of range"):
+        index.value_rows([1_000])
+    assert ds.value_row(999) == dense.value_row(999)
+    with pytest.raises(OracleError):
+        ds.value_row(-1)
+
+
+# ----------------------------------------------------------------------
+# executor and plumbing
+# ----------------------------------------------------------------------
+def test_shard_executor_modes_and_validation():
+    with pytest.raises(InvalidParameterError):
+        ShardExecutor(mode="processes")
+    with pytest.raises(InvalidParameterError):
+        ShardExecutor(max_workers=0)
+    serial = ShardExecutor()
+    assert serial.map(lambda x: x + 1, range(5)) == [1, 2, 3, 4, 5]
+    serial.close()  # no-op
+    with ShardExecutor(mode="threads", max_workers=2) as threaded:
+        assert threaded.map(lambda x: x * 2, range(10)) == [x * 2 for x in range(10)]
+
+
+def test_for_dataset_caches_one_index_and_dispatch_helper(dense):
+    ds = sharded_over(dense, 100)
+    first = ShardedMembershipIndex.for_dataset(ds)
+    assert ShardedMembershipIndex.for_dataset(ds) is first
+    assert membership_index_for(ds) is first
+    assert isinstance(membership_index_for(dense), GroupMembershipIndex)
+
+
+def test_memory_report_stays_under_structural_cap(dense):
+    ds = sharded_over(dense, 100, max_resident_shards=2)
+    index = ShardedMembershipIndex(ds)
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        a, b = sorted(int(x) for x in rng.integers(0, 1_001, size=2))
+        index.count(FEMALE, np.arange(a, b))
+    report = index.memory_report()
+    assert report["peak_tracked_bytes"] <= report["cap_bytes"]
+    assert report["peak_tracked_bytes"] < dense_index_bytes(
+        len(dense), dense.schema.n_attributes, 1
+    )
+    assert report["chunk_loads"] >= ds.n_shards  # at least the totals build
+
+
+def test_out_of_range_queries_raise_instead_of_clamping(dense):
+    """Out-of-range queries must raise OracleError on *both* substrates
+    — never clamp, never wrap through numpy negative indexing."""
+    for index in (
+        ShardedMembershipIndex(sharded_over(dense, 137)),
+        GroupMembershipIndex.for_dataset(dense),
+    ):
+        with pytest.raises(OracleError, match="outside dataset"):
+            index.count(FEMALE, np.arange(990, 1_010))
+        with pytest.raises(OracleError, match="outside dataset"):
+            index.any_match(
+                FEMALE, np.arange(990, 1_010), key=IndexKey.of_run(990, 1_010)
+            )
+        with pytest.raises(OracleError, match="out of range"):
+            index.count(FEMALE, np.array([-5, 3], dtype=np.int64))
+        with pytest.raises(OracleError, match="out of range"):
+            index.any_match(FEMALE, np.array([3, 1_000], dtype=np.int64))
+        with pytest.raises(OracleError, match="out of range"):
+            index.matches(FEMALE, -1)
+        with pytest.raises(OracleError, match="outside dataset"):
+            index.any_match_runs(FEMALE, np.array([-1]), np.array([5]))
+        with pytest.raises(OracleError):
+            index.any_match_batch([(np.array([3, -2], dtype=np.int64), FEMALE)])
+
+
+def test_invalid_predicate_validated_against_schema(dense):
+    index = ShardedMembershipIndex(sharded_over(dense, 100))
+    with pytest.raises(Exception):
+        index.count(group(nonexistent="value"), np.arange(0, 10))

@@ -1,0 +1,207 @@
+"""Unreadable checkpoints raise CheckpointVersionError, never KeyError.
+
+Session checkpoints are version 2 (compact ``{"run": [start, stop]}``
+set-answer entries); version-1 checkpoints (exhaustive index lists)
+remain readable. Anything else — an unknown version stamp, a file whose
+entries do not match the version it declares, a job record from a
+different build — must fail with a clear
+:class:`~repro.errors.CheckpointVersionError` carrying the offending
+field, not surface as a ``KeyError`` from deep inside the parser.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.audit import AuditSession, GroupAuditSpec
+from repro.audit.serialization import set_answers_from_list
+from repro.crowd.oracle import GroundTruthOracle
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.errors import CheckpointVersionError, InvalidParameterError
+from repro.service import AuditService, DirectoryJobStore
+
+FEMALE = group(gender="female")
+
+
+@pytest.fixture
+def dataset():
+    return binary_dataset(2_000, 30, rng=np.random.default_rng(1))
+
+
+# ----------------------------------------------------------------------
+# session checkpoints
+# ----------------------------------------------------------------------
+def test_hand_written_v1_session_checkpoint_resumes_and_replays(dataset):
+    """The v1 format — exhaustive ``indices`` lists, no ``run`` keys —
+    must keep resuming: answers replay for free, verdicts match."""
+    from repro.errors import BudgetExceededError
+
+    spec = GroupAuditSpec(predicate=FEMALE, tau=50)
+    interrupted = AuditSession(GroundTruthOracle(dataset), task_budget=40)
+    with pytest.raises(BudgetExceededError):
+        with interrupted:
+            interrupted.run(spec)
+    v2 = json.loads(interrupted.checkpoint())
+    assert v2["version"] == 2 and any("run" in e for e in v2["set_answers"])
+    # Down-convert to the version-1 shape an older build wrote: every
+    # entry spells its indices out, nothing uses compact run endpoints.
+    v1 = dict(v2, version=1)
+    v1["set_answers"] = [
+        (
+            {
+                "predicate": entry["predicate"],
+                "indices": list(range(entry["run"][0], entry["run"][1])),
+                "answer": entry["answer"],
+            }
+            if "run" in entry
+            else entry
+        )
+        for entry in v2["set_answers"]
+    ]
+
+    def finish(checkpoint_text):
+        oracle = GroundTruthOracle(dataset)
+        session = AuditSession.resume(checkpoint_text, oracle)
+        assert session.pending_specs == (spec,)
+        with session:
+            report = session.run_pending()
+        return report.entries[0].result, oracle.ledger.total
+
+    v1_result, v1_paid = finish(json.dumps(v1))
+    v2_result, v2_paid = finish(json.dumps(v2))
+    assert (v1_result.covered, v1_result.count) == (v2_result.covered, v2_result.count)
+    assert v1_paid == v2_paid  # identical replay: not one extra query bought
+
+
+def test_unknown_session_version_raises_checkpoint_error(dataset):
+    checkpoint = json.dumps({"version": 99})
+    with pytest.raises(CheckpointVersionError, match="version 99"):
+        AuditSession.resume(checkpoint, GroundTruthOracle(dataset))
+    # Still catchable as the historical InvalidParameterError.
+    with pytest.raises(InvalidParameterError):
+        AuditSession.resume(checkpoint, GroundTruthOracle(dataset))
+
+
+def test_session_checkpoint_missing_required_field_names_it(dataset):
+    checkpoint = json.dumps({"version": 2, "seed": None})  # no "engine", ...
+    with pytest.raises(CheckpointVersionError, match="'engine'"):
+        AuditSession.resume(checkpoint, GroundTruthOracle(dataset))
+
+
+def test_malformed_nested_entries_raise_checkpoint_error(dataset):
+    """Entries missing nested fields ('answer', 'labels', spec fields)
+    must also surface as CheckpointVersionError, not bare KeyError."""
+    base = {
+        "version": 2,
+        "seed": None,
+        "rng_state": None,
+        "dataset_size": len(dataset),
+        "engine": None,
+        "pending": [],
+        "set_answers": [],
+        "point_answers": [],
+    }
+    predicate = {"type": "group", "conditions": {"gender": "female"}}
+    missing_answer = dict(base, set_answers=[{"predicate": predicate, "run": [0, 5]}])
+    with pytest.raises(CheckpointVersionError, match="'answer'"):
+        AuditSession.resume(json.dumps(missing_answer), GroundTruthOracle(dataset))
+    missing_labels = dict(base, point_answers=[{"index": 3}])
+    with pytest.raises(CheckpointVersionError, match="'labels'"):
+        AuditSession.resume(json.dumps(missing_labels), GroundTruthOracle(dataset))
+    broken_spec = dict(base, pending=[{"kind": "group", "tau": 5}])
+    with pytest.raises(CheckpointVersionError, match="'predicate'"):
+        AuditSession.resume(json.dumps(broken_spec), GroundTruthOracle(dataset))
+    for broken_rng in ({}, {"bit_generator": "NoSuchGenerator"}):
+        with pytest.raises(CheckpointVersionError, match="rng_state"):
+            AuditSession.resume(
+                json.dumps(dict(base, rng_state=broken_rng)),
+                GroundTruthOracle(dataset),
+            )
+
+
+def test_malformed_set_answer_entry_raises_checkpoint_error():
+    entries = [
+        {
+            "predicate": {"type": "group", "conditions": {"gender": "female"}},
+            "answer": True,
+            # neither "run" nor "indices": an incompatible writer
+        }
+    ]
+    with pytest.raises(CheckpointVersionError, match="neither 'run' endpoints"):
+        set_answers_from_list(entries)
+
+
+# ----------------------------------------------------------------------
+# service checkpoints (DirectoryJobStore files)
+# ----------------------------------------------------------------------
+def make_store_with_checkpoint(tmp_path, dataset):
+    store = DirectoryJobStore(tmp_path / "state")
+    with AuditService(GroundTruthOracle(dataset), job_store=store) as service:
+        service.submit(GroupAuditSpec(predicate=FEMALE, tau=50))
+        service.drain()
+    return store
+
+
+def test_hand_written_v1_answer_log_missing_fields_is_versioned_error(
+    tmp_path, dataset
+):
+    """An answers.json stamped version 1 but written by an older build
+    (missing the fields this reader requires) must not KeyError."""
+    store = DirectoryJobStore(tmp_path / "state")
+    store.save_answers(
+        {
+            "version": 1,
+            "set_answers": [],
+            "point_answers": [],
+            # v1-as-written-by-an-older-build: no engine/max_active_jobs/...
+        }
+    )
+    with pytest.raises(CheckpointVersionError, match="'engine'"):
+        AuditService.resume(store, GroundTruthOracle(dataset))
+
+
+def test_unknown_answer_log_version_raises_checkpoint_error(tmp_path, dataset):
+    store = make_store_with_checkpoint(tmp_path, dataset)
+    answers = store.load_answers()
+    answers["version"] = 3
+    store.save_answers(answers)
+    with pytest.raises(CheckpointVersionError, match="version 3"):
+        AuditService.resume(store, GroundTruthOracle(dataset))
+
+
+def test_job_record_with_unknown_version_raises_checkpoint_error(
+    tmp_path, dataset
+):
+    store = make_store_with_checkpoint(tmp_path, dataset)
+    jobs = store.load_jobs()
+    job_id, record = next(iter(jobs.items()))
+    record["version"] = 99
+    store.save_job(job_id, record)
+    with pytest.raises(CheckpointVersionError, match="job-record version 99"):
+        AuditService.resume(store, GroundTruthOracle(dataset))
+
+
+def test_job_record_missing_field_names_it(tmp_path, dataset):
+    store = make_store_with_checkpoint(tmp_path, dataset)
+    jobs = store.load_jobs()
+    job_id, record = next(iter(jobs.items()))
+    del record["events"]
+    store.save_job(job_id, record)
+    with pytest.raises(CheckpointVersionError, match="'events'"):
+        AuditService.resume(store, GroundTruthOracle(dataset))
+
+
+def test_job_record_without_version_stamp_raises_checkpoint_error(
+    tmp_path, dataset
+):
+    store = make_store_with_checkpoint(tmp_path, dataset)
+    jobs = store.load_jobs()
+    job_id, record = next(iter(jobs.items()))
+    del record["version"]
+    store.save_job(job_id, record)
+    with pytest.raises(CheckpointVersionError, match="version None"):
+        AuditService.resume(store, GroundTruthOracle(dataset))
