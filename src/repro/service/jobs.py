@@ -43,7 +43,8 @@ class JobStatus(str, Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CANCELLED = "cancelled"
-    #: Interrupted by budget exhaustion — resumable from a checkpoint.
+    #: Interrupted by budget exhaustion — resumable from a checkpoint,
+    #: or cancellable like a queued job.
     SUSPENDED = "suspended"
 
     @property
@@ -168,7 +169,10 @@ class JobHandle:
         return self._service.result(self.job_id, drain=drain)
 
     def cancel(self) -> bool:
-        """Withdraw the job; True when it was still cancellable."""
+        """Withdraw the job; True when it was still cancellable.
+
+        Terminal jobs are an idempotent no-op (``False``); unknown ids
+        raise — see :meth:`AuditService.cancel` for the full contract."""
         return self._service.cancel(self.job_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging sugar

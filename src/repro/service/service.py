@@ -430,15 +430,26 @@ class AuditService:
 
     # -- cancellation -----------------------------------------------------
     def cancel(self, job_id: str) -> bool:
-        """Withdraw a queued or running job. Running group audits are
-        retired from the engine (answers already paid for stay cached);
-        a blocking audit mid-execution cannot be interrupted."""
+        """Withdraw a job that has not finished yet.
+
+        The semantics are pinned by ``tests/service/test_service.py``:
+
+        * unknown ids raise :class:`~repro.errors.InvalidParameterError`
+          (they are caller bugs, not races);
+        * terminal jobs — succeeded, failed, or already cancelled — are
+          an idempotent no-op returning ``False``: cancelling something
+          that already finished is a race every distributed caller hits,
+          so it must be safe to lose;
+        * queued, suspended, and running jobs move to ``CANCELLED`` and
+          return ``True``. Running group audits are retired from the
+          engine (answers already paid for stay cached); a blocking
+          audit mid-execution cannot be interrupted (``False``)."""
         job = self._job(job_id)
         if job.status == JobStatus.QUEUED:
             self._queue.remove(job)
         elif job.status == JobStatus.RUNNING and job.flow is not None:
             self.engine.retire(job.flow)
-        else:
+        elif job.status != JobStatus.SUSPENDED:
             return False
         self._set_status(job, JobStatus.CANCELLED)
         self._event(job, "cancelled")

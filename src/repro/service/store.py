@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import secrets
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Any
@@ -123,9 +124,23 @@ class DirectoryJobStore(JobStore):
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
 
     def _write_atomic(self, path: Path, payload: dict[str, Any]) -> None:
-        scratch = path.with_suffix(path.suffix + ".tmp")
-        scratch.write_text(json.dumps(payload))
-        os.replace(scratch, path)
+        # The scratch name must be unique per write: with a shared name,
+        # two processes checkpointing the same directory can rename each
+        # other's scratch out from underneath (FileNotFoundError, or
+        # publishing a peer's snapshot). Pinned by
+        # tests/service/test_store_concurrency.py.
+        scratch = path.with_suffix(
+            path.suffix + f".tmp-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        try:
+            scratch.write_text(json.dumps(payload))
+            os.replace(scratch, path)
+        except BaseException:
+            try:
+                os.unlink(scratch)
+            except FileNotFoundError:
+                pass
+            raise
 
     def save_job(self, job_id: str, record: dict[str, Any]) -> None:
         """Atomically write ``jobs/<job_id>.json``."""

@@ -1,0 +1,69 @@
+"""Network-facing serving surface over the audit service.
+
+The in-process :class:`~repro.service.AuditService` (PR 4) becomes a
+deployable system here: a stdlib-only HTTP/JSON gateway
+(:class:`ServingGateway` / :class:`ServingClient`), a filesystem job
+board (:class:`JobBoard`) any number of processes coordinate through,
+and killable worker processes (:func:`run_worker`,
+:class:`WorkerPool`) that lease jobs, checkpoint every paid round, and
+pick up each other's work after a crash with zero re-asked paid
+queries.
+
+Submits are **idempotent**: the job id is derived from the hash of the
+frozen spec + tenant + seed (:func:`spec_hash`), so duplicate submits —
+concurrent or retried — converge on one job and one bill. Tenants get
+explicit **backpressure**: beyond ``max_queued_per_tenant`` unfinished
+jobs, submits are refused with HTTP 429 and a typed
+:class:`ServerBusyError`.
+
+See ``docs/guide/serving.md`` for the protocol walkthrough and the
+failure/recovery semantics, and ``tests/serving/`` for the
+conformance/chaos suite that pins them.
+"""
+
+from repro.serving.board import (
+    TERMINAL_STATUSES,
+    JobBoard,
+    Lease,
+    LeaseLostError,
+)
+from repro.serving.client import ServingClient
+from repro.serving.config import (
+    ServingConfig,
+    build_oracle,
+    init_serving_root,
+    load_serving_config,
+    register_recipe,
+)
+from repro.serving.pool import WorkerPool
+from repro.serving.protocol import (
+    ServerBusyError,
+    Submission,
+    canonical_json,
+    job_id_for,
+    spec_hash,
+)
+from repro.serving.server import ServingGateway
+from repro.serving.worker import QueryLoggingOracle, run_worker
+
+__all__ = [
+    "JobBoard",
+    "Lease",
+    "LeaseLostError",
+    "QueryLoggingOracle",
+    "ServerBusyError",
+    "ServingClient",
+    "ServingConfig",
+    "ServingGateway",
+    "Submission",
+    "TERMINAL_STATUSES",
+    "WorkerPool",
+    "build_oracle",
+    "canonical_json",
+    "init_serving_root",
+    "job_id_for",
+    "load_serving_config",
+    "register_recipe",
+    "run_worker",
+    "spec_hash",
+]

@@ -1,0 +1,72 @@
+"""Boot a whole deployment: gateway + worker pool over one root.
+
+::
+
+    python -m repro.serving --root /var/run/audits --workers 2 --port 8321
+
+The root must already be initialised (see
+:func:`repro.serving.config.init_serving_root`), or pass ``--demo`` to
+initialise it with the paper's synthetic binary dataset recipe.
+Ctrl-C stops the gateway and terminates the workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.errors import ReproError
+from repro.serving.config import ServingConfig, init_serving_root
+from repro.serving.pool import WorkerPool
+from repro.serving.server import ServingGateway
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.serving``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Serve audit jobs over HTTP with a pool of workers.",
+    )
+    parser.add_argument("--root", required=True, help="serving root directory")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="initialise the root with a synthetic demo recipe if empty",
+    )
+    options = parser.parse_args(argv)
+    if options.demo:
+        init_serving_root(
+            options.root,
+            ServingConfig(
+                recipe={
+                    "kind": "synthetic-binary",
+                    "n": 10_000,
+                    "n_minority": 500,
+                    "dataset_seed": 0,
+                }
+            ),
+        )
+    try:
+        gateway = ServingGateway(options.root, (options.host, options.port))
+    except ReproError as error:
+        print(f"cannot start gateway: {error}")
+        return 1
+    gateway.start()
+    print(f"gateway listening on {gateway.url} (root {options.root})")
+    with WorkerPool(options.root, n_workers=options.workers):
+        print(f"{options.workers} worker(s) running; Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:
+            print("stopping")
+        finally:
+            gateway.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

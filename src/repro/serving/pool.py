@@ -1,0 +1,144 @@
+"""Subprocess worker pool: real OS processes, really killable.
+
+Workers are separate Python processes (``python -m
+repro.serving.worker``) rather than threads or forked children, for two
+reasons: audits scale across cores without the GIL, and the chaos suite
+needs a worker it can SIGKILL dead — no atexit handlers, no cleanup —
+to prove the lease/checkpoint protocol survives it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["WorkerPool"]
+
+
+def _worker_env() -> dict[str, str]:
+    """The child's environment: inherit ours, make sure ``repro`` is
+    importable even when the parent set it up via ``sys.path``."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class WorkerPool:
+    """Manage N worker subprocesses over one serving root.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.serving.config import ServingConfig, init_serving_root
+    >>> root = init_serving_root(tempfile.mkdtemp(), ServingConfig(
+    ...     recipe={"kind": "synthetic-binary", "n": 100,
+    ...             "n_minority": 20, "dataset_seed": 0}))
+    >>> with WorkerPool(root, n_workers=1) as pool:
+    ...     pool.alive_count()
+    1
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        n_workers: int = 2,
+        extra_args: Sequence[str] = (),
+    ) -> None:
+        """Spawn ``n_workers`` subprocesses serving ``root``.
+
+        ``extra_args`` is passed through to every worker CLI (e.g.
+        ``["--max-jobs", "5"]`` or ``["--idle-timeout", "2"]``)."""
+        self.root = Path(root)
+        self.extra_args = list(extra_args)
+        self.workers: list[subprocess.Popen] = []
+        self._next_id = 0
+        for _ in range(n_workers):
+            self.spawn()
+
+    def spawn(self, *cli_args: str) -> subprocess.Popen:
+        """Start one more worker; returns its ``Popen`` handle."""
+        worker_id = f"pool-w{self._next_id}"
+        self._next_id += 1
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serving.worker",
+            "--root",
+            str(self.root),
+            "--worker-id",
+            worker_id,
+            *self.extra_args,
+            *cli_args,
+        ]
+        process = subprocess.Popen(
+            command,
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        self.workers.append(process)
+        return process
+
+    def alive_count(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for process in self.workers if process.poll() is None)
+
+    def kill_one(self) -> subprocess.Popen | None:
+        """SIGKILL the first live worker (chaos testing); returns its
+        handle, or ``None`` when none is alive. SIGKILL cannot be
+        caught: the worker dies mid-instruction, exactly the crash the
+        lease takeover protocol must absorb."""
+        for process in self.workers:
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+                process.wait(timeout=10)
+                return process
+        return None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Wait for every worker to exit on its own (``--max-jobs`` /
+        ``--idle-timeout`` runs); True when all did within ``timeout``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for process in self.workers:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                return False
+        return True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate every live worker (SIGTERM, then SIGKILL)."""
+        for process in self.workers:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + timeout
+        for process in self.workers:
+            try:
+                process.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry; workers are already running."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: stops every worker."""
+        self.stop()

@@ -1,0 +1,249 @@
+"""Wire-level building blocks of the serving surface.
+
+Everything the HTTP front-end and the workers agree on lives here: the
+**canonical JSON** form (sorted keys, no whitespace — byte-identical for
+equal payloads), the **spec hash** that makes submits idempotent, the
+derived **job id**, and validation of the submission payload a client
+POSTs to ``/v1/jobs``.
+
+The idempotency key covers everything that affects a job's *answers*:
+the frozen spec (already losslessly serializable), the tenant it is
+billed to, and the rng seed. Two submissions that agree on those three
+are the same job — the board hands back the same job id and the audit
+runs (and charges the crowd) exactly once. ``priority`` is scheduling
+advice, not identity, so it is deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.audit.specs import AuditSpec, spec_from_dict
+from repro.errors import InvalidParameterError, ReproError
+
+__all__ = [
+    "ServerBusyError",
+    "Submission",
+    "canonical_json",
+    "spec_hash",
+    "job_id_for",
+]
+
+#: Job ids are ``j`` + the first 16 hex digits of the submission hash.
+_JOB_ID_HEX_DIGITS = 16
+
+#: Tenants travel in JSON and in log lines; keep them printable and short.
+_MAX_TENANT_LENGTH = 100
+
+
+class ServerBusyError(ReproError):
+    """The gateway refused a submit with ``429 Too Many Requests``.
+
+    Carries the server's requested back-off so clients can honour the
+    ``Retry-After`` header without parsing it themselves.
+
+    Examples
+    --------
+    >>> error = ServerBusyError("tenant queue full", retry_after=1.5)
+    >>> error.retry_after
+    1.5
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators.
+
+    Equal payloads (up to dict ordering) serialize to byte-identical
+    strings, which is what makes hashing them meaningful.
+
+    Examples
+    --------
+    >>> canonical_json({"b": 1, "a": [1, 2]})
+    '{"a":[1,2],"b":1}'
+    >>> canonical_json({"a": [1, 2], "b": 1})
+    '{"a":[1,2],"b":1}'
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(spec: "AuditSpec | Mapping[str, Any]", *, tenant: str = "default",
+              seed: int | None = None) -> str:
+    """SHA-256 over the canonical submission identity (spec, tenant, seed).
+
+    Accepts a frozen spec or its ``to_dict`` form — both hash the same.
+
+    Examples
+    --------
+    >>> from repro.audit import GroupAuditSpec
+    >>> from repro.data.groups import group
+    >>> spec = GroupAuditSpec(predicate=group(gender="female"), tau=50)
+    >>> a = spec_hash(spec, tenant="team-a")
+    >>> b = spec_hash(spec.to_dict(), tenant="team-a")
+    >>> a == b and len(a) == 64
+    True
+    >>> spec_hash(spec, tenant="team-b") == a       # tenant is identity
+    False
+    """
+    spec_dict = spec if isinstance(spec, Mapping) else spec.to_dict()
+    identity = canonical_json(
+        {"spec": spec_dict, "tenant": tenant, "seed": seed}
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+def job_id_for(digest: str) -> str:
+    """The job id derived from a :func:`spec_hash` digest.
+
+    Examples
+    --------
+    >>> job_id_for("ab" * 32)
+    'jabababababababab'
+    """
+    return "j" + digest[:_JOB_ID_HEX_DIGITS]
+
+
+def _validate_tenant(tenant: Any) -> str:
+    if not isinstance(tenant, str) or not tenant:
+        raise InvalidParameterError(
+            f"tenant must be a non-empty string, got {tenant!r}"
+        )
+    if len(tenant) > _MAX_TENANT_LENGTH:
+        raise InvalidParameterError(
+            f"tenant must be at most {_MAX_TENANT_LENGTH} characters, "
+            f"got {len(tenant)}"
+        )
+    if not tenant.isprintable():
+        raise InvalidParameterError(
+            "tenant must contain printable characters only"
+        )
+    return tenant
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated submit request: the unit the board persists.
+
+    Build it with :meth:`from_payload` (wire dicts) or
+    :meth:`from_spec` (in-process callers); both compute the
+    idempotency hash and job id once, at construction.
+
+    Examples
+    --------
+    >>> from repro.audit import GroupAuditSpec
+    >>> from repro.data.groups import group
+    >>> spec = GroupAuditSpec(predicate=group(gender="female"), tau=50)
+    >>> submission = Submission.from_spec(spec, tenant="fairness")
+    >>> wire = Submission.from_payload({"spec": spec.to_dict(),
+    ...                                 "tenant": "fairness"})
+    >>> submission.job_id == wire.job_id
+    True
+    >>> submission.job_id == Submission.from_spec(spec, tenant="other").job_id
+    False
+    """
+
+    spec_dict: Mapping[str, Any]
+    tenant: str
+    seed: int | None
+    priority: int
+    digest: str
+    job_id: str
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Submission":
+        """Validate a wire payload ``{"spec": ..., "tenant": ...,
+        "seed": ..., "priority": ...}`` into a :class:`Submission`.
+        Raises :class:`~repro.errors.InvalidParameterError` for missing
+        or malformed fields (including unknown spec kinds)."""
+        if not isinstance(payload, Mapping):
+            raise InvalidParameterError(
+                f"submission payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        spec_dict = payload.get("spec")
+        if not isinstance(spec_dict, Mapping):
+            raise InvalidParameterError(
+                "submission payload is missing its 'spec' object"
+            )
+        # Round-trip through the typed spec: rejects unknown kinds and
+        # malformed fields, and normalizes the dict we persist/hash.
+        try:
+            spec = spec_from_dict(spec_dict)
+        except InvalidParameterError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            # The spec codecs expect their own to_dict output; a
+            # hand-written wire spec missing a field must read as a bad
+            # request, not a server error.
+            raise InvalidParameterError(
+                f"malformed spec: {error.__class__.__name__}: {error}"
+            ) from error
+        tenant = _validate_tenant(payload.get("tenant", "default"))
+        seed = payload.get("seed")
+        if seed is not None:
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise InvalidParameterError(
+                    f"seed must be an integer or null, got {seed!r}"
+                )
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise InvalidParameterError(
+                f"priority must be an integer, got {priority!r}"
+            )
+        return cls.from_spec(spec, tenant=tenant, seed=seed, priority=priority)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: AuditSpec,
+        *,
+        tenant: str = "default",
+        seed: int | None = None,
+        priority: int = 0,
+    ) -> "Submission":
+        """Build a submission from a frozen spec (in-process callers)."""
+        _validate_tenant(tenant)
+        spec_dict = spec.to_dict()
+        digest = spec_hash(spec_dict, tenant=tenant, seed=seed)
+        return cls(
+            spec_dict=spec_dict,
+            tenant=tenant,
+            seed=None if seed is None else int(seed),
+            priority=int(priority),
+            digest=digest,
+            job_id=job_id_for(digest),
+        )
+
+    def spec(self) -> AuditSpec:
+        """The typed frozen spec this submission carries."""
+        return spec_from_dict(self.spec_dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON record the board persists as ``submit.json``."""
+        return {
+            "version": 1,
+            "job_id": self.job_id,
+            "spec": dict(self.spec_dict),
+            "tenant": self.tenant,
+            "seed": self.seed,
+            "priority": self.priority,
+            "spec_hash": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "Submission":
+        """Rebuild a submission from its persisted :meth:`to_dict` form."""
+        return cls(
+            spec_dict=record["spec"],
+            tenant=str(record["tenant"]),
+            seed=record["seed"],
+            priority=int(record["priority"]),
+            digest=str(record["spec_hash"]),
+            job_id=str(record["job_id"]),
+        )

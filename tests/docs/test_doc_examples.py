@@ -28,6 +28,7 @@ REQUIRED_DOC_FILES = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/guide/scaling.md",
+    "docs/guide/serving.md",
     "docs/guide/glossary.md",
 )
 

@@ -39,6 +39,13 @@ DOCTESTED_MODULES = (
     "repro.data.dataset",
     "repro.data.membership",
     "repro.data.sharded",
+    "repro.serving.protocol",
+    "repro.serving.config",
+    "repro.serving.board",
+    "repro.serving.worker",
+    "repro.serving.server",
+    "repro.serving.client",
+    "repro.serving.pool",
 )
 
 

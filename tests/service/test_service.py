@@ -173,6 +173,54 @@ class TestCancellation:
             assert not handle.cancel()
             assert handle.status == JobStatus.SUCCEEDED
 
+    def test_cancel_is_idempotent_on_cancelled_jobs(self, dataset):
+        # Double-cancel is the race every distributed caller hits
+        # (client retry + worker marker): second call is a quiet False.
+        with AuditService(GroundTruthOracle(dataset), max_active_jobs=1) as service:
+            service.submit(spec_for("r0"))
+            victim = service.submit(spec_for("r1"))
+            assert victim.cancel()
+            assert not victim.cancel()
+            assert victim.status == JobStatus.CANCELLED
+            service.drain()
+            assert victim.status == JobStatus.CANCELLED
+
+    def test_cancel_failed_job_is_a_no_op(self, dataset):
+        with AuditService(GroundTruthOracle(dataset)) as service:
+            handle = service.submit(
+                # rng spec without a seed fails cleanly at start
+                MultipleAuditSpec(groups=(group(race="r0"),), tau=5)
+            )
+            service.drain()
+            assert handle.status == JobStatus.FAILED
+            assert not handle.cancel()
+            assert handle.status == JobStatus.FAILED
+
+    def test_cancel_unknown_job_raises_typed_error(self, dataset):
+        with AuditService(GroundTruthOracle(dataset)) as service:
+            with pytest.raises(InvalidParameterError):
+                service.cancel("job-99999")
+
+    def test_cancel_suspended_job(self, dataset):
+        # A budget-suspended job is withdrawable like a queued one; its
+        # siblings stay suspended and resumable.
+        service = AuditService(
+            GroundTruthOracle(dataset),
+            max_active_jobs=2,
+            job_store=InMemoryJobStore(),
+            task_budget=15,
+        )
+        with service:
+            first = service.submit(spec_for("r0"))
+            second = service.submit(spec_for("r1"))
+            with pytest.raises(BudgetExceededError):
+                service.drain()
+            assert first.status == JobStatus.SUSPENDED
+            assert first.cancel()
+            assert first.status == JobStatus.CANCELLED
+            assert not first.cancel()
+            assert second.status == JobStatus.SUSPENDED
+
 
 class TestBudgets:
     def test_exhaustion_suspends_every_live_job(self, dataset):

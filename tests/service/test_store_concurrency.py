@@ -1,0 +1,138 @@
+"""Cross-process torn-read regression for DirectoryJobStore.
+
+The serving worker protocol (``repro.serving``) rests on one promise:
+a reader of ``answers.json`` / job records sees some *complete* write —
+never a half-replaced hybrid, never a partially flushed temp file. This
+module races a writer process against a reader process on the same
+directory and fails on the first inconsistent record either observes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.service import DirectoryJobStore
+
+#: Big enough that a non-atomic write would be observable mid-flush.
+_BLOB_WORDS = 4000
+_WRITES = 150
+
+
+def _payload(nonce: int) -> dict:
+    """A self-verifying record: checksum covers every other field."""
+    blob = [nonce] * _BLOB_WORDS
+    body = json.dumps({"nonce": nonce, "blob": blob}, sort_keys=True)
+    return {
+        "nonce": nonce,
+        "blob": blob,
+        "checksum": hashlib.sha256(body.encode()).hexdigest(),
+    }
+
+
+def _verify(record: dict) -> bool:
+    body = json.dumps(
+        {"nonce": record["nonce"], "blob": record["blob"]}, sort_keys=True
+    )
+    return hashlib.sha256(body.encode()).hexdigest() == record["checksum"]
+
+
+def _writer(root: str, done) -> None:
+    store = DirectoryJobStore(root)
+    for nonce in range(_WRITES):
+        store.save_answers(_payload(nonce))
+        store.save_job("job-00000", _payload(nonce))
+    done.set()
+
+
+def _reader(root: str, done, failures) -> None:
+    store = DirectoryJobStore(root)
+    reads = 0
+    while not done.is_set() or reads == 0:
+        answers = store.load_answers()
+        if answers is not None:
+            reads += 1
+            if not _verify(answers):
+                failures.put(f"torn answers read: nonce={answers.get('nonce')}")
+                return
+        jobs = store.load_jobs()
+        record = jobs.get("job-00000")
+        if record is not None and not _verify(record):
+            failures.put(f"torn job read: nonce={record.get('nonce')}")
+            return
+    failures.put(None)  # sentinel: clean exit after >=1 verified read
+
+
+class TestCrossProcessAtomicity:
+    def test_reader_never_observes_a_torn_checkpoint(self, tmp_path):
+        """A second process hammering load() while this-process-spawned
+        writer replaces the record 150 times must only ever see
+        checksum-consistent snapshots."""
+        context = multiprocessing.get_context("spawn")
+        done = context.Event()
+        failures = context.Queue()
+        root = str(tmp_path / "store")
+        DirectoryJobStore(root)  # create the directory up front
+        reader = context.Process(target=_reader, args=(root, done, failures))
+        writer = context.Process(target=_writer, args=(root, done))
+        reader.start()
+        writer.start()
+        writer.join(timeout=120)
+        reader.join(timeout=120)
+        assert writer.exitcode == 0
+        assert reader.exitcode == 0
+        outcome = failures.get(timeout=10)
+        assert outcome is None, outcome
+
+    def test_two_writers_last_complete_record_wins(self, tmp_path):
+        """Two processes writing the same job id concurrently: the
+        surviving record is one of the complete writes, not a blend."""
+        context = multiprocessing.get_context("spawn")
+        root = str(tmp_path / "store")
+        DirectoryJobStore(root)
+        done = context.Event()
+        writers = [
+            context.Process(target=_writer, args=(root, done))
+            for _ in range(2)
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        store = DirectoryJobStore(root)
+        answers = store.load_answers()
+        jobs = store.load_jobs()
+        assert answers is not None and _verify(answers)
+        assert _verify(jobs["job-00000"])
+
+    def test_no_temp_file_debris_after_the_race(self, tmp_path):
+        """The tmp+rename protocol cleans up after itself: once writers
+        finish, only the canonical files remain."""
+        context = multiprocessing.get_context("spawn")
+        root = tmp_path / "store"
+        DirectoryJobStore(root)
+        done = context.Event()
+        writer = context.Process(target=_writer, args=(str(root), done))
+        writer.start()
+        writer.join(timeout=120)
+        assert writer.exitcode == 0
+        leftovers = [name for name in os.listdir(root) if ".tmp" in name]
+        assert leftovers == []
+
+    def test_in_process_interleaved_store_and_load(self, tmp_path):
+        """Same contract single-process: every load between writes is a
+        complete snapshot (fast sanity guard for the atomic writer)."""
+        store = DirectoryJobStore(tmp_path / "solo")
+        for nonce in range(25):
+            store.save_answers(_payload(nonce))
+            loaded = store.load_answers()
+            assert loaded["nonce"] == nonce and _verify(loaded)
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    pytest.main([__file__, "-v"])

@@ -1,0 +1,1 @@
+"""Serving conformance/chaos suite (package so tests share conftest helpers)."""

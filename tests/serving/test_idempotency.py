@@ -1,0 +1,144 @@
+"""Duplicate-submit idempotency: same spec hash → one job, one bill.
+
+The acceptance property: two (or many) concurrent submits of the same
+spec hash from the same tenant return the same job id and charge the
+task budget once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.audit import AuditSession, GroupAuditSpec
+from repro.data.groups import group
+from repro.serving import JobBoard, Submission
+from repro.serving.config import build_oracle
+
+from .conftest import DEFAULT_RECIPE, background_worker, wait_until
+
+
+def spec_for(tau=40):
+    return GroupAuditSpec(predicate=group(gender="female"), tau=tau)
+
+
+def reference_spend(spec, batch_size=32) -> int:
+    """Task spend of one uninterrupted in-process run of ``spec``."""
+    oracle = build_oracle(DEFAULT_RECIPE)
+    with AuditSession(
+        oracle, engine=True, batch_size=batch_size
+    ) as session:
+        report = session.run(spec)
+    return report.tasks.total
+
+
+class TestConcurrentSubmits:
+    def test_many_concurrent_submits_one_job_one_bill(
+        self, serving_root, board, client
+    ):
+        spec = spec_for()
+        barrier = threading.Barrier(8)
+
+        def submit():
+            barrier.wait()
+            return client.submit(spec, tenant="team-a", seed=5)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            records = list(pool.map(lambda _: submit(), range(8)))
+
+        ids = {record["job_id"] for record in records}
+        assert len(ids) == 1, "concurrent duplicates diverged"
+        assert sum(record["created"] for record in records) == 1
+        # Exactly one job directory exists on the board.
+        assert board.job_ids() == [ids.pop()]
+
+    def test_duplicate_submits_charge_the_budget_once(
+        self, serving_root, board, client
+    ):
+        spec = spec_for()
+        job_id = None
+        with background_worker(serving_root):
+            # Keep re-submitting while the job runs: late duplicates of
+            # a running (then finished) job must not restart or re-bill.
+            for _ in range(5):
+                record = client.submit(spec, tenant="team-a", seed=5)
+                job_id = record["job_id"]
+            result = client.result(job_id, timeout=60)
+            for _ in range(3):
+                assert (
+                    client.submit(spec, tenant="team-a", seed=5)["created"]
+                    is False
+                )
+        assert result["tasks_paid"] == reference_spend(spec)
+        # The state record on disk agrees with what the client saw.
+        assert board.read_state(job_id)["tasks_paid"] == result["tasks_paid"]
+
+    def test_submits_racing_the_worker_claim(self, serving_root, client):
+        """Duplicates that land while a worker is already running the
+        job join it rather than forking it."""
+        spec = spec_for(tau=55)
+        first = client.submit(spec, tenant="race", seed=9)
+        with background_worker(serving_root):
+            wait_until(
+                lambda: client.status(first["job_id"])["status"] != "queued",
+                message="job to start",
+            )
+            duplicate = client.submit(spec, tenant="race", seed=9)
+            assert duplicate["job_id"] == first["job_id"]
+            assert duplicate["created"] is False
+            assert duplicate["status"] in ("running", "succeeded")
+            client.result(first["job_id"], timeout=60)
+
+
+class TestBoardLevelIdempotency:
+    def test_board_submit_race_without_http(self, serving_root):
+        """The exclusive-link creation holds under direct board racing
+        from many threads (no gateway serialization in front)."""
+        boards = [JobBoard(serving_root) for _ in range(6)]
+        submission = Submission.from_spec(spec_for(), tenant="raw")
+        barrier = threading.Barrier(6)
+        outcomes = []
+
+        def submit(board):
+            barrier.wait()
+            outcomes.append(board.submit(submission))
+
+        threads = [
+            threading.Thread(target=submit, args=(board,)) for board in boards
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(outcomes) == 6
+        assert len({job_id for job_id, _ in outcomes}) == 1
+        assert sum(created for _, created in outcomes) == 1
+        # The surviving submission record is complete and readable.
+        board = boards[0]
+        recovered = board.read_submission(submission.job_id)
+        assert recovered == submission
+
+    def test_worker_double_scan_runs_the_job_once(self, serving_root, board):
+        """Two workers scanning the same board: the job runs exactly
+        once (one claim wins; the loser moves on)."""
+        submission = Submission.from_spec(spec_for(), tenant="двое")
+        board.submit(submission)
+        with background_worker(serving_root, "w-a"), background_worker(
+            serving_root, "w-b"
+        ):
+            state = wait_until(
+                lambda: (
+                    board.read_state(submission.job_id)
+                    if board.read_state(submission.job_id)["status"]
+                    == "succeeded"
+                    else None
+                ),
+                message="job to finish",
+            )
+        assert state["tasks_paid"] == reference_spend(spec_for())
+        claim_events = [
+            event
+            for event in state["events"]
+            if event["stage"] in ("claimed", "resumed")
+        ]
+        assert len(claim_events) == 1, "job was claimed more than once"

@@ -28,6 +28,7 @@ MODULES = (
     "repro.service",
     "repro.crowd.backends",
     "repro.data.sharded",
+    "repro.serving",
 )
 
 #: Shortest docstring that can plausibly document anything.
