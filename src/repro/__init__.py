@@ -72,7 +72,6 @@ from repro.core import (
     multiple_coverage,
     upper_bound_tasks,
 )
-from repro.engine import AnswerCache, EngineStats, QueryEngine
 from repro.crowd import (
     CrowdBackend,
     CrowdOracle,
@@ -85,14 +84,6 @@ from repro.crowd import (
     Oracle,
     ThreadedBackend,
     make_worker_pool,
-)
-from repro.service import (
-    AuditService,
-    DirectoryJobStore,
-    InMemoryJobStore,
-    JobHandle,
-    JobStatus,
-    JobStore,
 )
 from repro.data import (
     Attribute,
@@ -109,6 +100,7 @@ from repro.data import (
     intersectional_dataset,
     single_attribute_dataset,
 )
+from repro.engine import AnswerCache, EngineStats, QueryEngine
 from repro.errors import (
     BudgetExceededError,
     CheckpointVersionError,
@@ -119,6 +111,14 @@ from repro.errors import (
     UnknownGroupError,
 )
 from repro.patterns import Pattern, PatternGraph, assess_tabular_coverage
+from repro.service import (
+    AuditService,
+    DirectoryJobStore,
+    InMemoryJobStore,
+    JobHandle,
+    JobStatus,
+    JobStore,
+)
 
 __version__ = "1.0.0"
 

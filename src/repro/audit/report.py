@@ -28,7 +28,7 @@ from repro.audit.serialization import (
 from repro.audit.specs import AuditSpec, spec_from_dict
 from repro.core.results import TaskUsage
 from repro.engine.stats import EngineStats
-from repro.errors import InvalidParameterError
+from repro.errors import CheckpointVersionError, InvalidParameterError
 
 __all__ = ["AuditEntry", "AuditReport"]
 
@@ -64,10 +64,15 @@ class AuditEntry:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AuditEntry":
         """Rebuild one entry from its :meth:`to_dict` form."""
-        return cls(
-            spec=spec_from_dict(data["spec"]),
-            result=result_from_dict(data["result"]),
-        )
+        try:
+            return cls(
+                spec=spec_from_dict(data["spec"]),
+                result=result_from_dict(data["result"]),
+            )
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"audit entry payload is missing field {error.args[0]!r}"
+            ) from error
 
 
 @dataclass(frozen=True)
@@ -162,18 +167,26 @@ class AuditReport:
         """Rebuild a report from :meth:`to_dict`; the result compares equal."""
         version = data.get("version")
         if version != _FORMAT_VERSION:
-            raise InvalidParameterError(
+            raise CheckpointVersionError(
                 f"unsupported audit report version {version!r} "
                 f"(this build reads version {_FORMAT_VERSION})"
             )
-        return cls(
-            entries=tuple(AuditEntry.from_dict(entry) for entry in data["entries"]),
-            tasks=task_usage_from_dict(data["tasks"]),
-            engine_stats=engine_stats_from_dict(data["engine_stats"]),
-            wall_clock_seconds=float(data["wall_clock_seconds"]),
-        )
+        try:
+            return cls(
+                entries=tuple(
+                    AuditEntry.from_dict(entry) for entry in data["entries"]
+                ),
+                tasks=task_usage_from_dict(data["tasks"]),
+                engine_stats=engine_stats_from_dict(data["engine_stats"]),
+                wall_clock_seconds=float(data["wall_clock_seconds"]),
+            )
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"audit report payload is missing field {error.args[0]!r}"
+            ) from error
 
     @classmethod
+    # reprolint: disable=RPL005 (pure delegator: from_dict dispatches on the stamp)
     def from_json(cls, payload: str) -> "AuditReport":
-        """Inverse of :meth:`to_json`: an equal-comparing report."""
+        """Inverse of :meth:`to_json`: version-dispatched via :meth:`from_dict`."""
         return cls.from_dict(json.loads(payload))

@@ -176,12 +176,20 @@ def predicate_from_dict(data: Mapping[str, Any]) -> Group | SuperGroup | Negatio
     True
     """
     kind = data.get("type")
-    if kind == "group":
-        return Group(data["conditions"])
-    if kind == "supergroup":
-        return SuperGroup(predicate_from_dict(member) for member in data["members"])
-    if kind == "negation":
-        return Negation(predicate_from_dict(data["inner"]))
+    try:
+        if kind == "group":
+            return Group(data["conditions"])
+        if kind == "supergroup":
+            return SuperGroup(
+                predicate_from_dict(member) for member in data["members"]
+            )
+        if kind == "negation":
+            return Negation(predicate_from_dict(data["inner"]))
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"predicate payload of type {kind!r} is missing field "
+            f"{error.args[0]!r}"
+        ) from error
     raise InvalidParameterError(f"unknown predicate type {kind!r}")
 
 
@@ -215,9 +223,14 @@ def schema_from_dict(data: Mapping[str, Any]) -> Schema:
     >>> schema_from_dict(schema_to_dict(schema)) == schema
     True
     """
-    return Schema(
-        Attribute(entry["name"], entry["values"]) for entry in data["attributes"]
-    )
+    try:
+        return Schema(
+            Attribute(entry["name"], entry["values"]) for entry in data["attributes"]
+        )
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"schema payload is missing field {error.args[0]!r}"
+        ) from error
 
 
 # -- counters -----------------------------------------------------------
@@ -232,11 +245,16 @@ def task_usage_to_dict(usage: TaskUsage) -> dict[str, int]:
 
 
 def task_usage_from_dict(data: Mapping[str, Any]) -> TaskUsage:
-    return TaskUsage(
-        n_set_queries=int(data["n_set_queries"]),
-        n_point_queries=int(data["n_point_queries"]),
-        n_rounds=int(data["n_rounds"]),
-    )
+    try:
+        return TaskUsage(
+            n_set_queries=int(data["n_set_queries"]),
+            n_point_queries=int(data["n_point_queries"]),
+            n_rounds=int(data["n_rounds"]),
+        )
+    except KeyError as error:
+        raise InvalidParameterError(
+            f"task usage payload is missing field {error.args[0]!r}"
+        ) from error
 
 
 def engine_stats_to_dict(stats: EngineStats | None) -> dict[str, int] | None:

@@ -60,6 +60,13 @@ def _view_array(view: tuple[int, ...] | None) -> np.ndarray | None:
     return None if view is None else np.asarray(view, dtype=np.int64)
 
 
+def _missing_field(spec_type: type, error: KeyError) -> InvalidParameterError:
+    """The error-contract translation of a missing payload field."""
+    return InvalidParameterError(
+        f"{spec_type.__name__} payload is missing field {error.args[0]!r}"
+    )
+
+
 @dataclass(frozen=True)
 class GroupAuditSpec:
     """Audit one group with Group-Coverage (Algorithm 1).
@@ -120,12 +127,15 @@ class GroupAuditSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GroupAuditSpec":
         """Rebuild the spec from its :meth:`to_dict` form."""
-        return cls(
-            predicate=predicate_from_dict(data["predicate"]),
-            tau=int(data["tau"]),
-            n=int(data["n"]),
-            view=data["view"],
-        )
+        try:
+            return cls(
+                predicate=predicate_from_dict(data["predicate"]),
+                tau=int(data["tau"]),
+                n=int(data["n"]),
+                view=data["view"],
+            )
+        except KeyError as error:
+            raise _missing_field(cls, error) from error
 
 
 @dataclass(frozen=True)
@@ -169,11 +179,14 @@ class BaseAuditSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BaseAuditSpec":
         """Rebuild the spec from its :meth:`to_dict` form."""
-        return cls(
-            predicate=predicate_from_dict(data["predicate"]),
-            tau=int(data["tau"]),
-            view=data["view"],
-        )
+        try:
+            return cls(
+                predicate=predicate_from_dict(data["predicate"]),
+                tau=int(data["tau"]),
+                view=data["view"],
+            )
+        except KeyError as error:
+            raise _missing_field(cls, error) from error
 
 
 @dataclass(frozen=True)
@@ -231,15 +244,22 @@ class MultipleAuditSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MultipleAuditSpec":
         """Rebuild the spec from its :meth:`to_dict` form."""
-        return cls(
-            groups=(predicate_from_dict(group) for group in data["groups"]),
-            tau=int(data["tau"]),
-            n=int(data["n"]),
-            c=float(data["c"]),
-            multi=bool(data["multi"]),
-            attribute_supergroup_members=bool(data["attribute_supergroup_members"]),
-            view=data["view"],
-        )
+        try:
+            return cls(
+                groups=tuple(
+                    predicate_from_dict(group) for group in data["groups"]
+                ),
+                tau=int(data["tau"]),
+                n=int(data["n"]),
+                c=float(data["c"]),
+                multi=bool(data["multi"]),
+                attribute_supergroup_members=bool(
+                    data["attribute_supergroup_members"]
+                ),
+                view=data["view"],
+            )
+        except KeyError as error:
+            raise _missing_field(cls, error) from error
 
 
 @dataclass(frozen=True)
@@ -294,13 +314,16 @@ class IntersectionalAuditSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "IntersectionalAuditSpec":
         """Rebuild the spec from its :meth:`to_dict` form."""
-        return cls(
-            schema=schema_from_dict(data["schema"]),
-            tau=int(data["tau"]),
-            n=int(data["n"]),
-            c=float(data["c"]),
-            view=data["view"],
-        )
+        try:
+            return cls(
+                schema=schema_from_dict(data["schema"]),
+                tau=int(data["tau"]),
+                n=int(data["n"]),
+                c=float(data["c"]),
+                view=data["view"],
+            )
+        except KeyError as error:
+            raise _missing_field(cls, error) from error
 
 
 @dataclass(frozen=True)
@@ -368,15 +391,18 @@ class ClassifierAuditSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ClassifierAuditSpec":
         """Rebuild the spec from its :meth:`to_dict` form."""
-        return cls(
-            group=predicate_from_dict(data["group"]),
-            tau=int(data["tau"]),
-            predicted_positive=data["predicted_positive"],
-            n=int(data["n"]),
-            sample_fraction=float(data["sample_fraction"]),
-            fp_threshold=float(data["fp_threshold"]),
-            view=data["view"],
-        )
+        try:
+            return cls(
+                group=predicate_from_dict(data["group"]),
+                tau=int(data["tau"]),
+                predicted_positive=data["predicted_positive"],
+                n=int(data["n"]),
+                sample_fraction=float(data["sample_fraction"]),
+                fp_threshold=float(data["fp_threshold"]),
+                view=data["view"],
+            )
+        except KeyError as error:
+            raise _missing_field(cls, error) from error
 
 
 #: Anything :meth:`AuditSession.run` accepts.

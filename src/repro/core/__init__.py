@@ -21,14 +21,14 @@ from repro.core.cost_aware import (
     dollar_cost_upper_bound,
 )
 from repro.core.group_coverage import GroupCoverageStepper, group_coverage
+from repro.core.intersectional_coverage import intersectional_coverage
+from repro.core.multiple_coverage import multiple_coverage
 from repro.core.resolution import (
     AcquisitionPlan,
     acquisition_plan,
     find_members,
     resolve_coverage,
 )
-from repro.core.intersectional_coverage import intersectional_coverage
-from repro.core.multiple_coverage import multiple_coverage
 from repro.core.results import (
     ClassifierCoverageResult,
     GroupCoverageResult,

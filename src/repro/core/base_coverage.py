@@ -13,9 +13,9 @@ from typing import Callable
 
 import numpy as np
 
-from repro.crowd.oracle import Oracle
-from repro.core.views import resolve_view
 from repro.core.results import GroupCoverageResult, LedgerWindow
+from repro.core.views import resolve_view
+from repro.crowd.oracle import Oracle
 from repro.data.groups import GroupPredicate
 from repro.errors import InvalidParameterError
 

@@ -35,9 +35,14 @@ import numpy as np
 
 from repro.core.aggregate import aggregate_groups
 from repro.core.group_coverage import GroupCoverageStepper, execute_group_coverage
-from repro.core.views import resolve_view
-from repro.core.results import GroupCoverageResult, GroupEntry, LedgerWindow, MultipleCoverageReport
+from repro.core.results import (
+    GroupCoverageResult,
+    GroupEntry,
+    LedgerWindow,
+    MultipleCoverageReport,
+)
 from repro.core.sampling import LabeledPool, label_samples
+from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, SuperGroup
 from repro.errors import InvalidParameterError

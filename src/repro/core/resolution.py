@@ -30,9 +30,9 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.views import resolve_view
 from repro.core.results import MultipleCoverageReport, TaskUsage
 from repro.core.tree import PrunableQueue, TreeNode
+from repro.core.views import resolve_view
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, GroupPredicate
 from repro.errors import InvalidParameterError

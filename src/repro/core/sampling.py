@@ -14,14 +14,13 @@ serve two purposes at once:
 from __future__ import annotations
 
 import math
+from typing import Mapping
 
 import numpy as np
 
 from repro.crowd.oracle import Oracle
 from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup
 from repro.errors import InvalidParameterError
-
-from typing import Mapping
 
 __all__ = ["LabeledPool", "label_samples"]
 

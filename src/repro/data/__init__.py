@@ -24,8 +24,8 @@ from repro.data.corpora import (
 )
 from repro.data.dataset import LabeledDataset, predicate_mask
 from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup, group
-from repro.data.membership import GroupMembershipIndex, membership_index_for
 from repro.data.images import ImageRenderer, attach_images
+from repro.data.membership import GroupMembershipIndex, membership_index_for
 from repro.data.schema import Attribute, Schema
 from repro.data.sharded import (
     ShardedDataset,

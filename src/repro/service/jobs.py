@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.errors import InvalidParameterError
+
 if TYPE_CHECKING:
     from repro.audit.report import AuditReport
     from repro.audit.specs import AuditSpec
@@ -94,8 +96,14 @@ class JobEvent:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobEvent":
         """Rebuild an event from its :meth:`to_dict` form."""
+        try:
+            stage = str(data["stage"])
+        except KeyError as error:
+            raise InvalidParameterError(
+                "job event payload is missing field 'stage'"
+            ) from error
         return cls(
-            stage=str(data["stage"]),
+            stage=stage,
             detail=str(data.get("detail", "")),
             tasks=int(data.get("tasks", 0)),
             round=int(data.get("round", 0)),

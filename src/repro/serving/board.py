@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from repro.errors import InvalidParameterError, ReproError
+from repro.errors import CheckpointVersionError, InvalidParameterError, ReproError
 from repro.serving.protocol import Submission
 
 __all__ = ["LeaseLostError", "Lease", "JobBoard", "TERMINAL_STATUSES"]
@@ -203,6 +203,12 @@ class JobBoard:
         :class:`~repro.errors.InvalidParameterError` for unknown ids."""
         state = _read_json(self.job_dir(job_id) / "state.json")
         if state is not None:
+            version = state.get("version")
+            if version != _STATE_VERSION:
+                raise CheckpointVersionError(
+                    f"unsupported job state version {version!r} for job "
+                    f"{job_id!r} (this build reads version {_STATE_VERSION})"
+                )
             return state
         submission = self.read_submission(job_id)
         if submission is None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import secrets
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -192,16 +193,21 @@ class ServingConfig:
                 f"unsupported serving config version {version!r} "
                 f"(this build reads version {_CONFIG_VERSION})"
             )
-        return cls(
-            recipe=data["recipe"],
-            batch_size=int(data["batch_size"]),
-            speculation=data["speculation"],
-            lease_ttl_seconds=float(data["lease_ttl_seconds"]),
-            checkpoint_every=int(data["checkpoint_every"]),
-            max_queued_per_tenant=int(data["max_queued_per_tenant"]),
-            retry_after_seconds=float(data["retry_after_seconds"]),
-            step_delay_seconds=float(data["step_delay_seconds"]),
-        )
+        try:
+            return cls(
+                recipe=data["recipe"],
+                batch_size=int(data["batch_size"]),
+                speculation=data["speculation"],
+                lease_ttl_seconds=float(data["lease_ttl_seconds"]),
+                checkpoint_every=int(data["checkpoint_every"]),
+                max_queued_per_tenant=int(data["max_queued_per_tenant"]),
+                retry_after_seconds=float(data["retry_after_seconds"]),
+                step_delay_seconds=float(data["step_delay_seconds"]),
+            )
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"serving config payload is missing field {error.args[0]!r}"
+            ) from error
 
     def build_oracle(self) -> Oracle:
         """A fresh oracle from this config's recipe (one per job run,
@@ -235,9 +241,17 @@ def init_serving_root(root: str | os.PathLike, config: ServingConfig) -> Path:
                 "different config; refusing to overwrite it"
             )
         return root
-    scratch = config_path.with_suffix(".json.tmp")
-    scratch.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True))
-    os.replace(scratch, config_path)
+    # Unique scratch name: two processes initialising the same root must
+    # not rename each other's half-written config (the PR 6 store race).
+    scratch = config_path.with_suffix(
+        f".json.tmp-{os.getpid()}-{secrets.token_hex(4)}"
+    )
+    try:
+        scratch.write_text(json.dumps(config.to_dict(), indent=2, sort_keys=True))
+        os.replace(scratch, config_path)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
     return root
 
 

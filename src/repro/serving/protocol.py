@@ -22,7 +22,10 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.audit.specs import AuditSpec, spec_from_dict
-from repro.errors import InvalidParameterError, ReproError
+from repro.errors import CheckpointVersionError, InvalidParameterError, ReproError
+
+#: Format of the persisted ``submit.json`` record.
+_SUBMISSION_VERSION = 1
 
 __all__ = [
     "ServerBusyError",
@@ -227,7 +230,7 @@ class Submission:
     def to_dict(self) -> dict[str, Any]:
         """The JSON record the board persists as ``submit.json``."""
         return {
-            "version": 1,
+            "version": _SUBMISSION_VERSION,
             "job_id": self.job_id,
             "spec": dict(self.spec_dict),
             "tenant": self.tenant,
@@ -239,11 +242,22 @@ class Submission:
     @classmethod
     def from_dict(cls, record: Mapping[str, Any]) -> "Submission":
         """Rebuild a submission from its persisted :meth:`to_dict` form."""
-        return cls(
-            spec_dict=record["spec"],
-            tenant=str(record["tenant"]),
-            seed=record["seed"],
-            priority=int(record["priority"]),
-            digest=str(record["spec_hash"]),
-            job_id=str(record["job_id"]),
-        )
+        version = record.get("version")
+        if version != _SUBMISSION_VERSION:
+            raise CheckpointVersionError(
+                f"unsupported submission record version {version!r} "
+                f"(this build reads version {_SUBMISSION_VERSION})"
+            )
+        try:
+            return cls(
+                spec_dict=record["spec"],
+                tenant=str(record["tenant"]),
+                seed=record["seed"],
+                priority=int(record["priority"]),
+                digest=str(record["spec_hash"]),
+                job_id=str(record["job_id"]),
+            )
+        except KeyError as error:
+            raise CheckpointVersionError(
+                f"submission record is missing field {error.args[0]!r}"
+            ) from error

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.bounds import lower_bound_tasks, upper_bound_tasks
+from repro.core.bounds import lower_bound_tasks
 from repro.core.group_coverage import group_coverage
 from repro.crowd.oracle import GroundTruthOracle
 from repro.data.groups import SuperGroup, group

@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 
 from repro.crowd.platform import CrowdPlatform
-from repro.crowd.queries import PointQuery, SetQuery
 from repro.crowd.quality import qc_with_rating
+from repro.crowd.queries import PointQuery, SetQuery
 from repro.crowd.workers import Worker, make_worker_pool
 from repro.data.groups import Negation, group
 from repro.data.synthetic import binary_dataset

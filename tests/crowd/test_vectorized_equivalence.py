@@ -18,7 +18,7 @@ from repro.core.multiple_coverage import multiple_coverage
 from repro.crowd.oracle import FlakyOracle, GroundTruthOracle, Oracle
 from repro.data.groups import Negation, SuperGroup, group
 from repro.data.schema import Schema
-from repro.data.synthetic import binary_dataset, intersectional_dataset
+from repro.data.synthetic import intersectional_dataset
 
 SCHEMA = Schema.from_dict(
     {"gender": ["male", "female"], "race": ["white", "black"]}

@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 
 from repro.data.images import ImageRenderer, attach_images
-from repro.data.synthetic import binary_dataset, intersectional_dataset
 from repro.data.schema import Schema
+from repro.data.synthetic import binary_dataset, intersectional_dataset
 from repro.errors import InvalidParameterError
 
 

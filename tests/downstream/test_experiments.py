@@ -12,8 +12,8 @@ import pytest
 from repro.data.corpora import mrl_eye_pool
 from repro.data.groups import group
 from repro.data.images import attach_images
-from repro.data.synthetic import intersectional_dataset
 from repro.data.schema import Schema
+from repro.data.synthetic import intersectional_dataset
 from repro.downstream.experiments import (
     DisparityCurve,
     DisparityPoint,

@@ -6,9 +6,9 @@ execute, return the right shapes, and uphold their core invariants.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
+from repro.errors import InvalidParameterError
 from repro.experiments.figure7 import run_figure7a, run_figure7c
 from repro.experiments.figure7_intersectional import run_figure7h
 from repro.experiments.figure7_multi import compare_on_setting
@@ -16,7 +16,6 @@ from repro.experiments.harness import average_over_trials, trial_rngs
 from repro.experiments.settings import multi_group_settings
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
-from repro.errors import InvalidParameterError
 
 
 class TestHarness:

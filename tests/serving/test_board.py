@@ -11,7 +11,7 @@ import pytest
 from repro.audit import GroupAuditSpec
 from repro.data.groups import group
 from repro.errors import InvalidParameterError
-from repro.serving import JobBoard, LeaseLostError, Submission
+from repro.serving import LeaseLostError, Submission
 
 
 def submitted_job(board, tau=40, tenant="lease"):

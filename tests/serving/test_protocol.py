@@ -165,13 +165,14 @@ class TestErrorMapping:
 
     def test_hand_written_spec_missing_fields_is_400(self, client):
         """A curl-style spec lacking optional-looking codec fields
-        (``n``, ``view``) must map to a clean 400, not a 500."""
+        (``n``, ``view``) must map to a clean 400, not a 500 — and the
+        error names the first missing field."""
         partial = {
             "kind": "group",
             "tau": 50,
             "predicate": {"type": "group", "conditions": {"gender": "female"}},
         }
-        with pytest.raises(InvalidParameterError, match="malformed spec"):
+        with pytest.raises(InvalidParameterError, match="missing field"):
             client.submit(partial)
 
     def test_bad_tenant_is_400(self, client):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.classifiers import ProfileClassifier
 from repro.core import (
     base_coverage,
     classifier_coverage,
@@ -18,7 +19,6 @@ from repro.core import (
     multiple_coverage,
     upper_bound_tasks,
 )
-from repro.classifiers import ProfileClassifier
 from repro.crowd import (
     CrowdOracle,
     CrowdPlatform,

@@ -19,6 +19,12 @@ catch order-of-magnitude cliffs, not single-digit drift. Keys present
 on only one side are reported and skipped (scenario sets may differ:
 CI re-runs only a smoke slice of a multi-scenario baseline).
 
+Result *lists* (``BENCH_scale.json``/``BENCH_shards.json`` keep one
+entry per audit x size) are flattened too: each dict element is keyed
+by its identity fields (``audit``, ``n_objects``, shard geometry, ...)
+rather than its position, so a smoke slice re-running only ``N=10k``
+lines up with the matching baseline entries and the rest skip.
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -35,6 +41,35 @@ import sys
 
 LOWER_IS_BETTER = re.compile(r"latency|seconds|p50|p99|_time|time_")
 HIGHER_IS_BETTER = re.compile(r"per_sec|per_second|speedup|throughput|jobs_per")
+
+#: Scalar fields that identify a list element across runs (configuration
+#: echoes, never measurements). Order fixes the rendered key.
+IDENTITY_FIELDS = (
+    "benchmark",
+    "audit",
+    "scenario",
+    "name",
+    "n_objects",
+    "tau",
+    "shard_size",
+    "max_resident_shards",
+    "executor_mode",
+    "n_shards",
+)
+
+
+def element_key(element, index: int) -> str:
+    """Stable label for one list element: identity fields, else position."""
+    if isinstance(element, dict):
+        parts = [
+            f"{field}={element[field]}"
+            for field in IDENTITY_FIELDS
+            if isinstance(element.get(field), (str, int))
+            and not isinstance(element.get(field), bool)
+        ]
+        if parts:
+            return "[" + ",".join(parts) + "]"
+    return f"[{index}]"
 
 
 def direction(key: str) -> str | None:
@@ -53,6 +88,12 @@ def numeric_leaves(node, prefix=""):
     if isinstance(node, dict):
         for key, value in node.items():
             leaves.update(numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(node, list):
+        for index, element in enumerate(node):
+            label = element_key(element, index)
+            leaves.update(
+                numeric_leaves(element, f"{prefix.rstrip('.')}{label}.")
+            )
     elif isinstance(node, bool):
         pass
     elif isinstance(node, (int, float)):

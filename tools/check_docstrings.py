@@ -1,26 +1,23 @@
 #!/usr/bin/env python
-"""CI gate for the public docstring contract.
+"""CI gate for the public docstring contract (shim over reprolint RPL006).
 
-Every name exported (via ``__all__``) from the blessed API surface —
-``repro.audit``, ``repro.service``, ``repro.crowd.backends``, and the
-sharded data layer ``repro.data.sharded`` — must carry a docstring that
-includes a runnable example (a ``>>>`` doctest line), and every public
-method those exported classes define must carry a docstring of its own.
+The actual check lives in :mod:`reprolint.checkers.docstrings` — rule
+RPL006 of the repository's invariant linter. This script keeps the
+historical entry point (CI's ``docstring-lint`` job and
+``tests/docs/test_docstrings.py`` invoke it by path) and preserves its
+output contract: exit 0 with a one-line summary when the surface is
+fully documented, otherwise list every violation and exit 1.
 
 Run from the repo root::
 
     PYTHONPATH=src python tools/check_docstrings.py
-
-Exit status 0 when the surface is fully documented; otherwise every
-violation is listed and the status is 1 (this is what CI and
-``tests/docs/test_docstrings.py`` assert on).
 """
 
 from __future__ import annotations
 
 import importlib
-import inspect
 import sys
+from pathlib import Path
 
 #: Modules whose exported names require example-bearing docstrings.
 MODULES = (
@@ -35,66 +32,18 @@ MODULES = (
 MIN_DOC_LENGTH = 20
 
 
-def _unwrap(member):
-    """The underlying function of a method-like class attribute."""
-    if isinstance(member, (classmethod, staticmethod)):
-        return member.__func__
-    if isinstance(member, property):
-        return member.fget
-    return member
-
-
-def check_module(module_name: str) -> list[str]:
-    module = importlib.import_module(module_name)
-    problems: list[str] = []
-    if not (module.__doc__ or "").strip():
-        problems.append(f"{module_name}: module has no docstring")
-    exported = getattr(module, "__all__", None)
-    if exported is None:
-        problems.append(f"{module_name}: module defines no __all__")
-        return problems
-    for name in exported:
-        obj = getattr(module, name, None)
-        if obj is None:
-            problems.append(f"{module_name}.{name}: exported but missing")
-            continue
-        if not (inspect.isclass(obj) or inspect.isroutine(obj)):
-            continue  # re-exported constants document themselves elsewhere
-        doc = inspect.getdoc(obj) or ""
-        if len(doc.strip()) < MIN_DOC_LENGTH:
-            problems.append(f"{module_name}.{name}: missing docstring")
-            continue
-        if ">>>" not in doc:
-            problems.append(
-                f"{module_name}.{name}: docstring has no '>>>' example"
-            )
-        if inspect.isclass(obj):
-            problems.extend(check_methods(module_name, name, obj))
-    return problems
-
-
-def check_methods(module_name: str, class_name: str, cls) -> list[str]:
-    problems: list[str] = []
-    for attr_name, raw in vars(cls).items():
-        if attr_name.startswith("_"):
-            continue
-        member = _unwrap(raw)
-        if not inspect.isroutine(member) and not isinstance(raw, property):
-            continue
-        doc = (getattr(member, "__doc__", None) or "").strip()
-        if len(doc) < MIN_DOC_LENGTH:
-            problems.append(
-                f"{module_name}.{class_name}.{attr_name}: public "
-                f"{'property' if isinstance(raw, property) else 'method'} "
-                "missing docstring"
-            )
-    return problems
-
-
 def main() -> int:
-    problems: list[str] = []
-    for module_name in MODULES:
-        problems.extend(check_module(module_name))
+    """Run RPL006 over :data:`MODULES`; print and return like the old gate."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from reprolint.checkers.base import RepoContext
+    from reprolint.checkers.docstrings import DocstringContractChecker
+
+    ctx = RepoContext(
+        root=Path.cwd(),
+        files=(),
+        options={"modules": MODULES, "min_doc_length": MIN_DOC_LENGTH},
+    )
+    problems = [finding.message for finding in DocstringContractChecker().check_repo(ctx)]
     if problems:
         print(f"{len(problems)} undocumented public name(s):")
         for problem in problems:

@@ -1,0 +1,51 @@
+"""reprolint — AST-based invariant checker for this repository.
+
+The reproduction's coverage verdicts are only trustworthy because replay
+is bit-identical: frozen serializable specs, seeded rng streams threaded
+end-to-end, atomic tmp+rename writes, and checkpoint codecs that never
+re-ask a paid query. Three of the last four PRs shipped bugfixes for
+violations of exactly these invariants. ``reprolint`` encodes them as
+mechanical checks so the next regression is caught in CI, not in review.
+
+Rules (see ``docs/guide/invariants.md`` for the full catalogue):
+
+=======  ==============================================================
+RPL000   reprolint meta: parse errors, malformed/unused suppressions
+RPL001   determinism: no wall clocks or unseeded/global rng in core paths
+RPL002   atomic-write: file writes must use the unique-tmp-then-rename idiom
+RPL003   frozen-spec: payload dataclasses frozen, every field codec-covered
+RPL004   error-contract: decoders must not leak bare ``KeyError``
+RPL005   checkpoint-version: payload writers stamp, readers dispatch
+RPL006   docstring-contract: public surface carries example docstrings
+=======  ==============================================================
+
+Run it from the repo root (``tools`` and ``src`` on ``PYTHONPATH``)::
+
+    PYTHONPATH=src:tools python -m reprolint src tools benchmarks
+
+Findings print as ``file:line: RPL0NN message``. A reviewed violation is
+silenced in place with a reasoned suppression::
+
+    time.time()  # reprolint: disable=RPL001 (heartbeats are wall-clock)
+
+Suppressions without a reason are rejected, and suppressions that no
+longer match any finding are themselves reported (RPL000), so the
+suppression inventory cannot rot.
+"""
+
+from __future__ import annotations
+
+from reprolint.config import Config, RuleScope
+from reprolint.engine import LintResult, run_paths
+from reprolint.findings import Finding
+
+__all__ = [
+    "Config",
+    "Finding",
+    "LintResult",
+    "RuleScope",
+    "run_paths",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m reprolint``."""
+
+from reprolint.cli import main
+
+raise SystemExit(main())

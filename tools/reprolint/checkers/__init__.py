@@ -1,0 +1,34 @@
+"""Checker plugins. Importing this package registers every built-in rule."""
+
+from __future__ import annotations
+
+# Imported for registration side effects — each module registers its rule.
+from reprolint.checkers import (  # noqa: F401  (registration imports)
+    atomic_write,
+    checkpoint_version,
+    determinism,
+    docstrings,
+    error_contract,
+    frozen_spec,
+)
+from reprolint.checkers.base import (
+    Checker,
+    FileChecker,
+    FileContext,
+    RepoChecker,
+    RepoContext,
+    all_checkers,
+    checker_for,
+    register,
+)
+
+__all__ = [
+    "Checker",
+    "FileChecker",
+    "FileContext",
+    "RepoChecker",
+    "RepoContext",
+    "all_checkers",
+    "checker_for",
+    "register",
+]

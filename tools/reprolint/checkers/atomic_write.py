@@ -1,0 +1,131 @@
+"""RPL002 — atomic-write: durable state lands via unique-tmp-then-rename.
+
+The durable-state layers (the job store, the serving board) promise
+readers complete records: every write goes to a scratch file first and
+is published with ``os.replace``/``os.link``. Two things break that
+promise, and both have shipped as real bugs here:
+
+* writing the destination **in place** (``open(path, "w")`` with no
+  rename) — a crash mid-write leaves a torn record;
+* a **shared scratch name** — two processes writing the same directory
+  rename each other's scratch out from underneath (the PR 6
+  ``DirectoryJobStore._write_atomic`` race: ``FileNotFoundError``, or
+  silently publishing a peer's snapshot).
+
+So inside the configured paths, any function that opens a file for
+writing (mode ``"w"``/``"x"`` or ``Path.write_text``) must, in the same
+function, (a) publish via ``os.replace``/``os.rename``/``os.link`` and
+(b) derive the scratch name from a per-write uniqueness source
+(``secrets.token_hex``, ``os.getpid``, ``uuid4``, ``tempfile.mkstemp``,
+...). Append-mode opens are exempt: appends are crash-tolerant by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.checkers.base import FileChecker, FileContext, dotted_name, register
+from reprolint.findings import Finding
+
+CODE = "RPL002"
+
+_PUBLISH_TAILS = {"replace", "rename", "link"}
+_UNIQUE_TAILS = {
+    "token_hex",
+    "token_urlsafe",
+    "getpid",
+    "mkstemp",
+    "mkdtemp",
+    "NamedTemporaryFile",
+    "uuid1",
+    "uuid4",
+}
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call, if determinable."""
+    mode_node: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
+
+
+class _FunctionFacts(ast.NodeVisitor):
+    """Write sites, publish calls, and uniqueness sources of one function."""
+
+    def __init__(self) -> None:
+        self.writes: list[tuple[ast.AST, str]] = []
+        self.publishes = False
+        self.unique = False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = _write_mode(node)
+            if mode is not None and ("w" in mode or "x" in mode):
+                self.writes.append((node, f'open(..., "{mode}")'))
+        elif dotted is not None:
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail == "write_text":
+                self.writes.append((node, f"{dotted}(...)"))
+            elif tail in _PUBLISH_TAILS:
+                self.publishes = True
+            elif tail in _UNIQUE_TAILS:
+                self.unique = True
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are analysed as their own unit
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+@register
+class AtomicWriteChecker(FileChecker):
+    code = CODE
+    name = "atomic-write"
+    description = (
+        "durable-state writes must publish scratch files with a unique "
+        "per-write name via os.replace/os.rename"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        facts = _FunctionFacts()
+        for statement in function.body:
+            facts.visit(statement)
+        for node, label in facts.writes:
+            if not facts.publishes:
+                yield ctx.finding(
+                    node,
+                    CODE,
+                    f"{label} in {function.name}() writes the destination "
+                    "in place: a crash mid-write leaves a torn record; "
+                    "write a scratch file and publish it with os.replace",
+                    self.name,
+                )
+            elif not facts.unique:
+                yield ctx.finding(
+                    node,
+                    CODE,
+                    f"{label} in {function.name}() uses a scratch name "
+                    "with no per-write uniqueness (secrets.token_hex, "
+                    "os.getpid, ...): concurrent writers rename each "
+                    "other's scratch away — the DirectoryJobStore race",
+                    self.name,
+                )

@@ -1,0 +1,109 @@
+"""Checker plugin contract and registry.
+
+Two checker shapes exist:
+
+* :class:`FileChecker` — pure AST analysis, called once per in-scope
+  file with its parsed tree;
+* :class:`RepoChecker` — whole-repo contracts that need to *import* the
+  code under analysis (codec tables, docstring surfaces), called once
+  per run.
+
+Both emit :class:`~reprolint.findings.Finding`s; both are looked up by
+rule code through the registry that :func:`register` populates.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Type
+
+from reprolint.findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a :class:`FileChecker` sees for one file."""
+
+    path: str  # posix, relative to the scan root
+    tree: ast.Module
+    source: str
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, code: str, message: str, checker: str) -> Finding:
+        """A finding anchored at ``node``'s location in this file."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+            checker=checker,
+        )
+
+
+@dataclass
+class RepoContext:
+    """Everything a :class:`RepoChecker` sees for one run."""
+
+    root: Path
+    files: tuple[str, ...]  # every scanned file, posix, root-relative
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+
+class Checker:
+    """Common identity of every rule."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+
+class FileChecker(Checker):
+    """Per-file AST rule."""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class RepoChecker(Checker):
+    """Once-per-run rule (may import the code under analysis)."""
+
+    def check_repo(self, ctx: RepoContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add a checker to the registry, keyed by code."""
+    if not cls.code:
+        raise ValueError(f"checker {cls.__name__} declares no rule code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate checker registration for {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, Type[Checker]]:
+    """The registry, keyed by rule code (sorted for stable listings)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def checker_for(code: str) -> Type[Checker] | None:
+    """The checker class registered for ``code``, if any."""
+    return _REGISTRY.get(code)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,114 @@
+"""RPL005 — checkpoint-version: writers stamp, readers dispatch.
+
+Checkpoint formats drift (PR 3 bumped set-answer entries to version 2;
+PR 5 shipped ``CheckpointVersionError`` because version-1 files crashed
+newer builds with ``KeyError``). The only cheap insurance is mechanical:
+every payload *writer* (``to_dict`` in the configured paths) stamps a
+``"version"`` key into the dict it returns, and every *reader*
+(``from_dict``/``resume``/...) mentions ``"version"`` — i.e. actually
+looks at the stamp before trusting the shape.
+
+Value objects that only ever travel *inside* a versioned envelope
+(``JobEvent`` inside ``_Job`` records, ``AuditEntry`` inside
+``AuditReport``) are listed in the ``nested_payloads`` option; the
+envelope's stamp covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.checkers.base import FileChecker, FileContext, register
+from reprolint.findings import Finding
+
+CODE = "RPL005"
+
+_DEFAULT_WRITERS = ("to_dict",)
+_DEFAULT_READERS = ("from_dict", "from_json")
+
+
+def _mentions_version(function: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Constant) and node.value == "version"
+        for node in ast.walk(function)
+    )
+
+
+def _returned_dicts(function: ast.FunctionDef) -> Iterator[ast.Dict]:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            yield node.value
+
+
+def _dict_has_version_key(dictionary: ast.Dict) -> bool:
+    return any(
+        isinstance(key, ast.Constant) and key.value == "version"
+        for key in dictionary.keys
+    )
+
+
+@register
+class CheckpointVersionChecker(FileChecker):
+    code = CODE
+    name = "checkpoint-version"
+    description = (
+        "payload writers stamp a 'version' key; payload readers "
+        "dispatch on it before trusting the shape"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        writers = tuple(ctx.options.get("writer_names", _DEFAULT_WRITERS))
+        readers = tuple(ctx.options.get("reader_names", _DEFAULT_READERS))
+        nested = set(ctx.options.get("nested_payloads", ()))
+        yield from self._walk(ctx, ctx.tree, None, writers, readers, nested)
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        class_name: str | None,
+        writers: tuple[str, ...],
+        readers: tuple[str, ...],
+        nested: set[str],
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._walk(ctx, child, child.name, writers, readers, nested)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if class_name in nested:
+                    continue
+                yield from self._check_function(ctx, child, class_name, writers, readers)
+                yield from self._walk(ctx, child, class_name, writers, readers, nested)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        function: ast.FunctionDef,
+        class_name: str | None,
+        writers: tuple[str, ...],
+        readers: tuple[str, ...],
+    ) -> Iterator[Finding]:
+        where = f"{class_name}.{function.name}" if class_name else function.name
+        if function.name in writers:
+            dicts = list(_returned_dicts(function))
+            if dicts and not any(_dict_has_version_key(d) for d in dicts):
+                yield ctx.finding(
+                    function,
+                    CODE,
+                    f"{where}() returns a payload dict with no 'version' "
+                    "stamp: the next format change strands every file "
+                    "already on disk; stamp a version now",
+                    self.name,
+                )
+        elif function.name in readers:
+            if not _mentions_version(function):
+                yield ctx.finding(
+                    function,
+                    CODE,
+                    f"{where}() decodes a payload without looking at its "
+                    "'version' stamp: an incompatible file fails as a "
+                    "shape error instead of CheckpointVersionError; "
+                    "dispatch on the version first",
+                    self.name,
+                )

@@ -1,0 +1,145 @@
+"""RPL004 — error-contract: decoders raise InvalidParameterError, not KeyError.
+
+The library's contract (:mod:`repro.errors`) is that deliberate
+failures derive from :class:`ReproError` — a caller feeding a malformed
+wire payload or checkpoint to a public decoder gets
+``InvalidParameterError`` (or its ``CheckpointVersionError`` subclass),
+never a bare ``KeyError``. PRs 5 and 6 both shipped fixes for exactly
+this leak (``AuditSession.resume``, ``AuditService.cancel``,
+``_Job.from_dict``).
+
+The check is deliberately syntactic and conservative: inside public
+functions/methods whose name marks them as decoders (``from_dict``,
+``from_payload``, ``resume``, ... — the ``decoder_names`` option), a
+subscript on a *parameter* (``data["field"]``) must sit inside a
+``try`` whose handler catches ``KeyError`` (or a superclass) and
+re-raises. ``data.get("field")`` and subscripts on locals are never
+flagged; private helpers (leading underscore) are the wrapped caller's
+responsibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable, Iterator
+
+from reprolint.checkers.base import FileChecker, FileContext, register
+from reprolint.findings import Finding
+
+CODE = "RPL004"
+
+_DEFAULT_DECODERS = ("from_dict", "from_json", "from_payload", "resume")
+
+#: Exception names that cover KeyError when caught.
+_KEY_COVERING = {"KeyError", "LookupError", "Exception", "BaseException"}
+
+
+def _handler_covers_key_error(handler: ast.ExceptHandler) -> bool:
+    """Whether this handler catches KeyError and raises something."""
+    caught: list[str] = []
+    node = handler.type
+    if node is None:
+        caught.append("BaseException")  # bare except
+    elif isinstance(node, ast.Tuple):
+        caught.extend(
+            element.id
+            for element in node.elts
+            if isinstance(element, ast.Name)
+        )
+    elif isinstance(node, ast.Name):
+        caught.append(node.id)
+    if not any(name in _KEY_COVERING for name in caught):
+        return False
+    return any(isinstance(child, ast.Raise) for child in ast.walk(handler))
+
+
+class _DecoderVisitor(ast.NodeVisitor):
+    """Find unprotected parameter subscripts inside one decoder."""
+
+    def __init__(self, params: set[str]) -> None:
+        self.params = params
+        self.unprotected: list[ast.Subscript] = []
+        self._protected_depth = 0
+
+    def visit_Try(self, node: ast.Try) -> None:
+        protects = any(
+            _handler_covers_key_error(handler) for handler in node.handlers
+        )
+        if protects:
+            self._protected_depth += 1
+        for statement in node.body + node.orelse:
+            self.visit(statement)
+        if protects:
+            self._protected_depth -= 1
+        for handler in node.handlers:
+            self.visit(handler)
+        for statement in node.finalbody:
+            self.visit(statement)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            self._protected_depth == 0
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.params
+        ):
+            self.unprotected.append(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are their own scope
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+@register
+class ErrorContractChecker(FileChecker):
+    code = CODE
+    name = "error-contract"
+    description = (
+        "public decoders must not let bare KeyError escape — convert "
+        "missing fields to InvalidParameterError subclasses"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        patterns = tuple(ctx.options.get("decoder_names", _DEFAULT_DECODERS))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not any(fnmatch(node.name, pattern) for pattern in patterns):
+                continue
+            yield from self._check_decoder(ctx, node)
+
+    def _check_decoder(
+        self, ctx: FileContext, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        arguments = function.args
+        params = {
+            arg.arg
+            for arg in (
+                arguments.posonlyargs
+                + arguments.args
+                + arguments.kwonlyargs
+                + ([arguments.vararg] if arguments.vararg else [])
+                + ([arguments.kwarg] if arguments.kwarg else [])
+            )
+        } - {"self", "cls"}
+        visitor = _DecoderVisitor(params)
+        for statement in function.body:
+            visitor.visit(statement)
+        for subscript in visitor.unprotected:
+            key = ""
+            if isinstance(subscript.slice, ast.Constant):
+                key = f" {subscript.slice.value!r}"
+            yield ctx.finding(
+                subscript,
+                CODE,
+                f"{function.name}() subscripts its input{key} outside a "
+                "KeyError guard: a malformed payload escapes as bare "
+                "KeyError; wrap in try/except and raise "
+                "InvalidParameterError (or use .get with validation)",
+                self.name,
+            )

@@ -1,0 +1,230 @@
+"""RPL003 — frozen-spec: payload dataclasses frozen, fields codec-covered.
+
+Specs and wire payloads are identity: they get hashed into idempotency
+keys, embedded in checkpoints, and compared for equality across process
+boundaries. That only works if they are immutable (``frozen=True``) and
+if serialization is *total* — every field travels through
+``to_dict``/``from_dict``, because a field the codec forgets is a field
+that silently resets on resume.
+
+Two layers of checking:
+
+* **AST** (per file): every ``@dataclass`` in the configured paths must
+  say ``frozen=True``; for classes defining ``to_dict``/``from_dict``,
+  every non-ClassVar, non-underscore field name must appear as a string
+  key in both (modulo the reviewed ``field_aliases`` renames).
+* **import** (``codec_tables`` option): the module's kind-dispatch
+  table is imported and every ``kind``-tagged payload dataclass must be
+  registered in it — an unregistered spec would serialize fine and then
+  fail to decode.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from dataclasses import is_dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from reprolint.checkers.base import (
+    FileChecker,
+    FileContext,
+    RepoChecker,
+    RepoContext,
+    dotted_name,
+    register,
+)
+from reprolint.findings import Finding
+
+CODE = "RPL003"
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted in ("dataclass", "dataclasses.dataclass"):
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    return any(
+        keyword.arg == "frozen"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in decorator.keywords
+    )
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    dotted = dotted_name(target)
+    return dotted in ("ClassVar", "typing.ClassVar")
+
+
+def _field_names(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    names: list[tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        name = statement.target.id
+        if name.startswith("_") or _is_classvar(statement.annotation):
+            continue
+        names.append((name, statement))
+    return names
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _string_constants(function: ast.FunctionDef) -> set[str]:
+    return {
+        node.value
+        for node in ast.walk(function)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+@register
+class FrozenSpecChecker(FileChecker):
+    code = CODE
+    name = "frozen-spec"
+    description = (
+        "payload dataclasses must be frozen=True with every field "
+        "covered by to_dict/from_dict and registered in the codec table"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases: Mapping[str, Mapping[str, str]] = ctx.options.get("field_aliases", {})
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, aliases.get(node.name, {}))
+
+    def _check_class(
+        self,
+        ctx: FileContext,
+        node: ast.ClassDef,
+        aliases: Mapping[str, str],
+    ) -> Iterator[Finding]:
+        decorator = _dataclass_decorator(node)
+        if decorator is None:
+            return
+        if not _is_frozen(decorator):
+            yield ctx.finding(
+                node,
+                CODE,
+                f"dataclass {node.name} is not frozen=True: payload types "
+                "are hashed and compared for identity; a mutable one "
+                "breaks idempotency keys and checkpoint equality",
+                self.name,
+            )
+        to_dict = _method(node, "to_dict")
+        from_dict = _method(node, "from_dict")
+        if to_dict is None or from_dict is None:
+            yield ctx.finding(
+                node,
+                CODE,
+                f"payload dataclass {node.name} lacks "
+                f"{'to_dict' if to_dict is None else 'from_dict'}(): "
+                "serialized payload types must round-trip losslessly",
+                self.name,
+            )
+            return
+        writer_keys = _string_constants(to_dict)
+        reader_keys = _string_constants(from_dict)
+        for field_name, statement in _field_names(node):
+            key = aliases.get(field_name, field_name)
+            for role, keys in (("to_dict", writer_keys), ("from_dict", reader_keys)):
+                if key not in keys:
+                    yield ctx.finding(
+                        statement,
+                        CODE,
+                        f"field {node.name}.{field_name} is not covered by "
+                        f"{role}() (expected key {key!r}): an uncovered "
+                        "field silently resets on every round-trip",
+                        self.name,
+                    )
+
+
+@register
+class CodecTableChecker(RepoChecker):
+    """The import half of RPL003: the kind-dispatch table is complete."""
+
+    code = "RPL003-table"
+    name = "frozen-spec-table"
+    description = (
+        "every kind-tagged payload dataclass is registered in its "
+        "module's codec dispatch table (checked by importing it)"
+    )
+
+    def check_repo(self, ctx: RepoContext) -> Iterable[Finding]:
+        tables: Mapping[str, tuple[str, str]] = ctx.options.get("codec_tables", {})
+        for path, (module_name, table_name) in sorted(tables.items()):
+            if path not in ctx.files:
+                continue
+            yield from self._check_table(path, module_name, table_name)
+
+    def _check_table(
+        self, path: str, module_name: str, table_name: str
+    ) -> Iterator[Finding]:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as error:  # pragma: no cover - environment issue
+            yield Finding(
+                path=path,
+                line=1,
+                col=0,
+                code=CODE,
+                message=(
+                    f"cannot import {module_name} to verify its codec "
+                    f"table ({error.__class__.__name__}: {error}); run "
+                    "with the package on PYTHONPATH"
+                ),
+                checker=self.name,
+            )
+            return
+        table: Mapping[str, Any] = getattr(module, table_name, None) or {}
+        registered = set(table.values())
+        for name, obj in sorted(vars(module).items()):
+            if not isinstance(obj, type) or not is_dataclass(obj):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue
+            kind = getattr(obj, "kind", None)
+            if not isinstance(kind, str):
+                continue
+            if obj not in registered:
+                yield Finding(
+                    path=path,
+                    line=1,
+                    col=0,
+                    code=CODE,
+                    message=(
+                        f"dataclass {name} (kind={kind!r}) is not "
+                        f"registered in {module_name}.{table_name}: it "
+                        "serializes but can never be decoded back"
+                    ),
+                    checker=self.name,
+                )
+            elif table.get(kind) is not obj:
+                yield Finding(
+                    path=path,
+                    line=1,
+                    col=0,
+                    code=CODE,
+                    message=(
+                        f"{module_name}.{table_name}[{kind!r}] does not "
+                        f"map back to {name}: kind tag and registration "
+                        "disagree"
+                    ),
+                    checker=self.name,
+                )

@@ -1,0 +1,102 @@
+"""``python -m reprolint`` — the command-line front end.
+
+Usage::
+
+    PYTHONPATH=src:tools python -m reprolint src            # text report
+    PYTHONPATH=src:tools python -m reprolint --format json src tools
+    PYTHONPATH=src:tools python -m reprolint --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from reprolint.checkers.base import all_checkers
+from reprolint.config import DEFAULT
+from reprolint.engine import run_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for this repository: determinism, "
+            "atomic writes, frozen codecs, error contracts, checkpoint "
+            "versioning, docstring coverage."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code, checker_cls in all_checkers().items():
+        scoped = DEFAULT.scope(code) or DEFAULT.scope(code.split("-", 1)[0])
+        status = "on" if scoped is not None else "off"
+        lines.append(f"{code:<13} [{status}] {checker_cls.name}: {checker_cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    result = run_paths(args.paths, root=args.root)
+    if args.format == "json":
+        report = json.dumps(result.to_dict(), indent=2)
+    else:
+        report = result.render()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    if result.exit_code and args.output:
+        # keep the failure visible even when the report went to a file
+        print(
+            f"reprolint: {len(result.findings)} findings (report: {args.output})",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

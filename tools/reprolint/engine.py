@@ -1,0 +1,189 @@
+"""The reprolint engine: collect files, dispatch checkers, filter.
+
+One :func:`run_paths` call is one lint run:
+
+1. collect ``.py`` files under the requested paths (skipping
+   ``__pycache__`` and hidden directories), recorded posix-relative to
+   the scan root;
+2. per file — parse suppressions (tokenize) and the AST, then run every
+   registered :class:`~reprolint.checkers.base.FileChecker` whose
+   configured scope covers the file;
+3. once per run — run every registered
+   :class:`~reprolint.checkers.base.RepoChecker` whose rule has at
+   least one in-scope file (a repo checker named ``RPL003-table``
+   borrows the ``RPL003`` scope and options);
+4. filter findings through the reviewed suppressions, then report the
+   suppressions that silenced nothing as RPL000.
+
+The result is a :class:`LintResult`; nothing here prints or exits —
+that is :mod:`reprolint.cli`'s job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from reprolint.checkers.base import (
+    FileChecker,
+    FileContext,
+    RepoChecker,
+    RepoContext,
+    all_checkers,
+)
+from reprolint.config import DEFAULT, Config
+from reprolint.findings import META_CODE, Finding
+from reprolint.suppressions import FileSuppressions, parse as parse_suppressions
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: tuple[Finding, ...]
+    files: tuple[str, ...]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding survived suppression."""
+        return 1 if self.findings else 0
+
+    def render(self) -> str:
+        """The text report: one line per finding plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        if self.findings:
+            noun = "finding" if len(self.findings) == 1 else "findings"
+            lines.append(f"{len(self.findings)} {noun} in {len(self.files)} files")
+        else:
+            lines.append(f"clean: {len(self.files)} files, 0 findings")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for ``--format json``."""
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "files_scanned": len(self.files),
+            "exit_code": self.exit_code,
+        }
+
+
+def _collect(paths: Sequence[Path], root: Path) -> list[str]:
+    """Every ``.py`` file under ``paths``, posix-relative to ``root``."""
+    seen: set[str] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            relative = candidate.resolve().relative_to(root).as_posix()
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in relative.split("/")
+            ):
+                continue
+            seen.add(relative)
+    return sorted(seen)
+
+
+def _file_findings(
+    relative: str, source: str, config: Config
+) -> Iterator[Finding]:
+    """Parse one file and run its in-scope file checkers."""
+    try:
+        tree = ast.parse(source, filename=relative)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", 1) or 1
+        yield Finding(
+            path=relative,
+            line=line,
+            col=0,
+            code=META_CODE,
+            message=f"cannot parse file: {error.msg if hasattr(error, 'msg') else error}",
+            checker="engine",
+        )
+        return
+    registry = all_checkers()
+    for code in sorted(config.codes_for(relative)):
+        checker_cls = registry.get(code)
+        if checker_cls is None or not issubclass(checker_cls, FileChecker):
+            continue
+        rule = config.scope(code)
+        ctx = FileContext(
+            path=relative,
+            tree=tree,
+            source=source,
+            options=rule.options if rule else {},
+        )
+        yield from checker_cls().check(ctx)
+
+
+def _repo_findings(
+    root: Path, files: Sequence[str], config: Config
+) -> Iterator[Finding]:
+    """Run every repo checker that has at least one in-scope file."""
+    for code, checker_cls in all_checkers().items():
+        if not issubclass(checker_cls, RepoChecker):
+            continue
+        # A repo checker that extends a file rule (``RPL003-table``)
+        # borrows the base rule's scope and options.
+        rule = config.scope(code) or config.scope(code.split("-", 1)[0])
+        if rule is None:
+            continue
+        if not any(rule.applies_to(path) for path in files):
+            continue
+        ctx = RepoContext(root=root, files=tuple(files), options=rule.options)
+        yield from checker_cls().check_repo(ctx)
+
+
+def run_paths(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path | None = None,
+    config: Config = DEFAULT,
+) -> LintResult:
+    """Lint ``paths`` under ``root`` (default: cwd) against ``config``."""
+    resolved_root = Path(root) if root is not None else Path.cwd()
+    resolved_root = resolved_root.resolve()
+    targets = [
+        (path if (path := Path(p)).is_absolute() else resolved_root / path)
+        for p in paths
+    ]
+    files = _collect(targets, resolved_root)
+
+    raw: dict[str, list[Finding]] = {path: [] for path in files}
+    suppressions: dict[str, FileSuppressions] = {}
+    for relative in files:
+        try:
+            source = (resolved_root / relative).read_text(encoding="utf-8")
+        except OSError as error:
+            raw[relative].append(
+                Finding(
+                    path=relative,
+                    line=1,
+                    col=0,
+                    code=META_CODE,
+                    message=f"cannot read file: {error}",
+                    checker="engine",
+                )
+            )
+            continue
+        suppressions[relative] = parse_suppressions(source, relative)
+        raw[relative].extend(_file_findings(relative, source, config))
+
+    for finding in _repo_findings(resolved_root, files, config):
+        raw.setdefault(finding.path, []).append(finding)
+
+    final: list[Finding] = []
+    for path, found in raw.items():
+        file_suppressions = suppressions.get(path)
+        if file_suppressions is None:
+            final.extend(found)
+            continue
+        final.extend(file_suppressions.filter(found))
+        final.extend(file_suppressions.malformed)
+        final.extend(file_suppressions.unused())
+
+    return LintResult(findings=tuple(sorted(final)), files=tuple(files))

@@ -1,0 +1,41 @@
+"""Structured findings: what every checker emits and the CLI prints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The meta code used for tool-level diagnostics (parse failures,
+#: malformed suppressions, unused suppressions). Not suppressible.
+META_CODE = "RPL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sorts by ``(path, line, col, code)`` so reports are stable across
+    runs and dict orderings.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    checker: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line form: ``file:line: RPL0NN message``."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for ``--format json`` output."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "checker": self.checker,
+        }

@@ -1,0 +1,179 @@
+"""Reviewed suppressions: ``# reprolint: disable=RPL0NN (reason)``.
+
+A suppression silences named rules on one line (trailing comment, or a
+standalone comment line immediately above the code it covers) or, with
+``disable-file``, on the whole file. The parenthesised reason is
+mandatory — a suppression is a reviewed exception, and the review lives
+in the reason. Suppressions that silence nothing are reported as
+RPL000 findings so the inventory cannot rot.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from reprolint.findings import META_CODE, Finding
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Z0-9, ]+?)\s*"
+    r"(?:\((?P<reason>[^()]*)\))?\s*$"
+)
+_CODE = re.compile(r"^RPL\d{3}$")
+
+
+class Suppression:
+    """One parsed directive plus its usage state."""
+
+    __slots__ = ("path", "line", "codes", "reason", "file_wide", "used")
+
+    def __init__(
+        self,
+        path: str,
+        line: int,
+        codes: frozenset[str],
+        reason: str,
+        *,
+        file_wide: bool,
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.codes = codes
+        self.reason = reason
+        self.file_wide = file_wide
+        self.used = False
+
+    def covers(self, code: str, line: int) -> bool:
+        """Whether this directive silences ``code`` at ``line``."""
+        return code in self.codes and (self.file_wide or line == self.line)
+
+
+class FileSuppressions:
+    """Every directive of one file, plus the malformed ones."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.suppressions: list[Suppression] = []
+        self.malformed: list[Finding] = []
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Drop suppressed findings, marking their directives used."""
+        kept: list[Finding] = []
+        for finding in findings:
+            if finding.code == META_CODE:
+                kept.append(finding)  # meta findings are not suppressible
+                continue
+            hit = False
+            for suppression in self.suppressions:
+                if suppression.covers(finding.code, finding.line):
+                    suppression.used = True
+                    hit = True
+            if not hit:
+                kept.append(finding)
+        return kept
+
+    def unused(self) -> list[Finding]:
+        """RPL000 findings for directives that silenced nothing."""
+        return [
+            Finding(
+                path=self.path,
+                line=suppression.line,
+                col=0,
+                code=META_CODE,
+                message=(
+                    "unused suppression of "
+                    f"{','.join(sorted(suppression.codes))} — nothing on "
+                    "this line violates it; remove the directive"
+                ),
+                checker="suppressions",
+            )
+            for suppression in self.suppressions
+            if not suppression.used
+        ]
+
+
+def parse(source: str, path: str) -> FileSuppressions:
+    """Extract every reprolint directive from ``source``.
+
+    Comment tokens come from :mod:`tokenize`, so directives inside
+    string literals are never mistaken for real suppressions. A
+    standalone directive comment covers the next source line; a trailing
+    one covers its own line.
+    """
+    result = FileSuppressions(path)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result  # the engine reports the parse failure itself
+
+    code_lines = {
+        token.start[0]
+        for token in tokens
+        if token.type
+        not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        )
+    }
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "reprolint:" not in token.string:
+            continue
+        line = token.start[0]
+        match = _DIRECTIVE.match(token.string.strip())
+        if match is None:
+            result.malformed.append(
+                _malformed(path, line, "directive does not parse; expected "
+                           "'# reprolint: disable=RPL0NN (reason)'")
+            )
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        bad = sorted(code for code in codes if not _CODE.match(code))
+        if not codes or bad:
+            result.malformed.append(
+                _malformed(path, line, f"invalid rule code(s) {bad or '(none)'}; "
+                           "codes look like RPL001")
+            )
+            continue
+        if META_CODE in codes:
+            result.malformed.append(
+                _malformed(path, line, f"{META_CODE} findings cannot be suppressed")
+            )
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            result.malformed.append(
+                _malformed(path, line, "suppression carries no reason; write "
+                           "'# reprolint: disable=RPL0NN (why this is safe)'")
+            )
+            continue
+        file_wide = match.group("kind") == "disable-file"
+        if file_wide or line in code_lines:
+            effective = line
+        else:  # standalone comment: covers the next line holding code
+            following = [at for at in code_lines if at > line]
+            effective = min(following) if following else line
+        result.suppressions.append(
+            Suppression(
+                path, effective, codes, reason, file_wide=file_wide
+            )
+        )
+    return result
+
+
+def _malformed(path: str, line: int, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        code=META_CODE,
+        message=f"malformed suppression: {message}",
+        checker="suppressions",
+    )
