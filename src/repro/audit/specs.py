@@ -20,9 +20,10 @@ form would have raised.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, ClassVar, Mapping, Sequence, Union
+from typing import Any, ClassVar, Mapping, Sequence, Union, cast
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.audit.serialization import (
     predicate_from_dict,
@@ -46,7 +47,7 @@ __all__ = [
 
 
 def _as_index_tuple(
-    indices: Sequence[int] | np.ndarray | None,
+    indices: Sequence[int] | npt.NDArray[np.int64] | None,
 ) -> tuple[int, ...] | None:
     """Normalize an index collection to a hashable tuple of python ints."""
     if indices is None:
@@ -56,11 +57,11 @@ def _as_index_tuple(
     )
 
 
-def _view_array(view: tuple[int, ...] | None) -> np.ndarray | None:
+def _view_array(view: tuple[int, ...] | None) -> npt.NDArray[np.int64] | None:
     return None if view is None else np.asarray(view, dtype=np.int64)
 
 
-def _missing_field(spec_type: type, error: KeyError) -> InvalidParameterError:
+def _missing_field(spec_type: type[object], error: KeyError) -> InvalidParameterError:
     """The error-contract translation of a missing payload field."""
     return InvalidParameterError(
         f"{spec_type.__name__} payload is missing field {error.args[0]!r}"
@@ -106,7 +107,7 @@ class GroupAuditSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
-    def view_array(self) -> np.ndarray | None:
+    def view_array(self) -> npt.NDArray[np.int64] | None:
         """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
@@ -159,7 +160,7 @@ class BaseAuditSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
-    def view_array(self) -> np.ndarray | None:
+    def view_array(self) -> npt.NDArray[np.int64] | None:
         """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
@@ -220,7 +221,7 @@ class MultipleAuditSpec:
         object.__setattr__(self, "groups", tuple(self.groups))
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
-    def view_array(self) -> np.ndarray | None:
+    def view_array(self) -> npt.NDArray[np.int64] | None:
         """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
@@ -246,8 +247,11 @@ class MultipleAuditSpec:
         """Rebuild the spec from its :meth:`to_dict` form."""
         try:
             return cls(
+                # The codec guarantees plain groups here (kind tag "group");
+                # the cast records that, it does not re-validate.
                 groups=tuple(
-                    predicate_from_dict(group) for group in data["groups"]
+                    cast(Group, predicate_from_dict(group))
+                    for group in data["groups"]
                 ),
                 tau=int(data["tau"]),
                 n=int(data["n"]),
@@ -289,7 +293,7 @@ class IntersectionalAuditSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
-    def view_array(self) -> np.ndarray | None:
+    def view_array(self) -> npt.NDArray[np.int64] | None:
         """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
@@ -360,11 +364,11 @@ class ClassifierAuditSpec:
         )
         object.__setattr__(self, "view", _as_index_tuple(self.view))
 
-    def view_array(self) -> np.ndarray | None:
+    def view_array(self) -> npt.NDArray[np.int64] | None:
         """The normalized view as an ``int64`` array (``None`` = whole dataset)."""
         return _view_array(self.view)
 
-    def predicted_positive_array(self) -> np.ndarray:
+    def predicted_positive_array(self) -> npt.NDArray[np.int64]:
         """The classifier's predicted-positive set as an ``int64`` array."""
         return np.asarray(self.predicted_positive, dtype=np.int64)
 
@@ -393,7 +397,7 @@ class ClassifierAuditSpec:
         """Rebuild the spec from its :meth:`to_dict` form."""
         try:
             return cls(
-                group=predicate_from_dict(data["group"]),
+                group=cast(Group, predicate_from_dict(data["group"])),
                 tau=int(data["tau"]),
                 predicted_positive=data["predicted_positive"],
                 n=int(data["n"]),
@@ -414,7 +418,7 @@ AuditSpec = Union[
     ClassifierAuditSpec,
 ]
 
-_SPEC_TYPES: dict[str, type] = {
+_SPEC_TYPES: dict[str, type[AuditSpec]] = {
     spec_type.kind: spec_type
     for spec_type in (
         GroupAuditSpec,

@@ -19,6 +19,7 @@ crowd gave first.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.data.groups import GroupPredicate
@@ -40,13 +41,16 @@ class AnswerCache:
     hits / misses:
         Lookup accounting. A hit is a lookup answered from the cache
         (including implied answers); a miss is a lookup that fell through
-        to the oracle.
+        to the oracle. Increments hold ``_stats_lock``: ``count += 1``
+        is a read-modify-write, so two threads sharing a cache through
+        a threaded backend would otherwise lose counts (RPL007).
     """
 
     def __init__(self) -> None:
         self._answers: dict[QueryKey, bool] = {}
         self._implications: dict[GroupPredicate, tuple[GroupPredicate, ...]] = {}
         self._source: object | None = None
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -87,9 +91,11 @@ class AnswerCache:
         """
         answer = self._answers.get(key, _MISS)
         if answer is _MISS:
-            self.misses += 1
+            with self._stats_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._stats_lock:
+            self.hits += 1
         return answer
 
     def store(self, key: QueryKey, answer: bool) -> None:

@@ -150,7 +150,12 @@ class DirectoryJobStore(JobStore):
         """Every ``jobs/*.json`` record, keyed by file stem (= job id)."""
         records: dict[str, dict[str, Any]] = {}
         for path in sorted(self.jobs_dir.glob("*.json")):
-            records[path.stem] = json.loads(path.read_text())
+            try:
+                records[path.stem] = json.loads(path.read_text())
+            except FileNotFoundError:
+                # Unlinked between the directory scan and the read by a
+                # concurrent process; a vanished record is simply absent.
+                continue
         return records
 
     def save_answers(self, payload: dict[str, Any]) -> None:
@@ -159,7 +164,9 @@ class DirectoryJobStore(JobStore):
 
     def load_answers(self) -> dict[str, Any] | None:
         """The persisted answer log, or ``None`` for a fresh directory."""
-        path = self.root / "answers.json"
-        if not path.exists():
+        # try/except instead of an exists() pre-check: the check-then-read
+        # window would race a concurrent process removing the file.
+        try:
+            return json.loads((self.root / "answers.json").read_text())
+        except FileNotFoundError:
             return None
-        return json.loads(path.read_text())

@@ -215,7 +215,7 @@ class ServingConfig:
         return build_oracle(self.recipe)
 
 
-def init_serving_root(root: str | os.PathLike, config: ServingConfig) -> Path:
+def init_serving_root(root: str | os.PathLike[str], config: ServingConfig) -> Path:
     """Create (or validate) a serving root: writes ``serving.json`` and
     the ``jobs/`` directory; idempotent when the existing config matches,
     and refuses to silently re-purpose a root whose config differs.
@@ -233,8 +233,13 @@ def init_serving_root(root: str | os.PathLike, config: ServingConfig) -> Path:
     root.mkdir(parents=True, exist_ok=True)
     (root / "jobs").mkdir(exist_ok=True)
     config_path = root / _CONFIG_NAME
-    if config_path.exists():
+    # try/except instead of exists(): a concurrent initialiser may publish
+    # serving.json between the check and the read.
+    try:
         existing = ServingConfig.from_dict(json.loads(config_path.read_text()))
+    except FileNotFoundError:
+        existing = None
+    if existing is not None:
         if existing != config:
             raise InvalidParameterError(
                 f"serving root {root} is already initialised with a "
@@ -255,7 +260,7 @@ def init_serving_root(root: str | os.PathLike, config: ServingConfig) -> Path:
     return root
 
 
-def load_serving_config(root: str | os.PathLike) -> ServingConfig:
+def load_serving_config(root: str | os.PathLike[str]) -> ServingConfig:
     """Read the root's ``serving.json``.
 
     Examples
@@ -268,9 +273,11 @@ def load_serving_config(root: str | os.PathLike) -> ServingConfig:
     32
     """
     path = Path(root) / _CONFIG_NAME
-    if not path.exists():
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
         raise InvalidParameterError(
             f"{path} does not exist; initialise the root with "
             "init_serving_root first"
-        )
-    return ServingConfig.from_dict(json.loads(path.read_text()))
+        ) from None
+    return ServingConfig.from_dict(payload)

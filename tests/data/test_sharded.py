@@ -10,6 +10,8 @@ on top of the randomized property test.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -350,3 +352,56 @@ def test_invalid_predicate_validated_against_schema(dense):
     index = ShardedMembershipIndex(sharded_over(dense, 100))
     with pytest.raises(Exception):
         index.count(group(nonexistent="value"), np.arange(0, 10))
+
+
+# ----------------------------------------------------------------------
+# stats accounting under the thread pool (RPL007 satellite)
+# ----------------------------------------------------------------------
+def test_shard_stats_exact_under_threaded_totals_build(dense):
+    """``ShardStats`` counters stay exact when chunk loads race on the
+    executor's thread pool: each shard of a totals build is touched by
+    exactly one task, so ``loads`` must equal ``n_shards`` — a single
+    lost ``+= 1`` under contention breaks the equality."""
+    for _ in range(5):  # repeat: a torn increment is probabilistic
+        with ShardExecutor(mode="threads", max_workers=8) as executor:
+            ds = sharded_over(dense, 25, max_resident_shards=3)
+            index = ShardedMembershipIndex(ds, executor=executor)
+            index.shard_totals(FEMALE)
+            stats = ds.stats
+            assert stats.loads == ds.n_shards
+            assert stats.resident_shards == 3
+            assert stats.evictions == stats.loads - stats.resident_shards
+            assert stats.peak_resident_shards <= ds.max_resident_shards
+            assert stats.resident_bytes <= stats.peak_resident_bytes
+
+
+def test_shard_stats_identity_under_contended_same_shard_loads(dense):
+    """Many raw threads hammering ``chunk()`` over a shard set larger
+    than the residency cap: both loaders of a racing pair count (per the
+    chunk() contract), so ``loads`` is not deterministic — but the
+    conservation law ``loads - evictions == resident_shards`` and the
+    byte ledger must hold exactly."""
+    ds = sharded_over(dense, 50, max_resident_shards=4)
+    barrier = threading.Barrier(8)
+
+    def hammer(seed: int) -> None:
+        order = np.random.default_rng(seed).permutation(ds.n_shards)
+        barrier.wait()
+        for _ in range(3):
+            for shard in order:
+                ds.chunk(int(shard))
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats = ds.stats
+    assert stats.loads >= ds.n_shards  # every shard materialized at least once
+    assert stats.resident_shards == 4
+    assert stats.loads - stats.evictions == stats.resident_shards
+    # 1000 rows / shard_size 50 → every shard is full-sized, so the byte
+    # ledger is exactly 4 chunks of (50 × d) int16 codes.
+    chunk_bytes = 50 * ds.schema.n_attributes * np.dtype(np.int16).itemsize
+    assert stats.resident_bytes == 4 * chunk_bytes
+    assert stats.resident_bytes <= stats.peak_resident_bytes

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.data.groups import SuperGroup, group
@@ -95,3 +97,37 @@ class TestImplications:
         cache.register_implication(sg, sg.members)
         cache.store(key([1, 2], sg), False)
         assert cache.lookup(key([1, 2, 3], a)) is None
+
+
+class TestCounterThreadSafety:
+    def test_hit_miss_counters_exact_under_concurrent_lookups(self):
+        """A cache shared through a threaded backend takes lookups from
+        many threads at once; ``hits``/``misses`` are read-modify-write
+        increments, so without ``_stats_lock`` this stress loses counts.
+        Exactness (not just plausibility) is the assertion: every thread
+        performs a known mix of hits and misses."""
+        n_threads, rounds = 8, 200
+        cache = AnswerCache()
+        present = [key([i]) for i in range(50)]
+        absent = [key([i + 10_000]) for i in range(50)]
+        for k in present:
+            cache.store(k, True)
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(rounds):
+                assert cache.lookup(present[int(rng.integers(50))]) is True
+                assert cache.lookup(absent[int(rng.integers(50))]) is None
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.hits == n_threads * rounds
+        assert cache.misses == n_threads * rounds
+        assert cache.hit_rate == 0.5

@@ -1,0 +1,295 @@
+"""Unit tests for the interprocedural analysis core (``reprolint.analysis``).
+
+The three layers get direct coverage here — project model (symbol
+table), approximate call graph (direct / name-match / spawn edges), and
+guarded dataflow — on small in-memory fixtures, independent of any
+rule.  Rule-level behaviour is pinned in ``test_reprolint.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from reprolint.analysis import (  # noqa: E402
+    build_call_graph,
+    build_project,
+    module_name_for,
+    reachable,
+    reached_unguarded,
+)
+
+
+def project_of(**files: str):
+    """Build a :class:`ProjectModel` from ``path -> dedented source``."""
+    return build_project(
+        {path.replace("__", "/"): textwrap.dedent(body) for path, body in files.items()}
+    )
+
+
+def graph_of(**files: str):
+    return build_call_graph(project_of(**files))
+
+
+def edge_set(graph, kind=None):
+    edges = [e for out in graph.edges.values() for e in out]
+    if kind is not None:
+        edges = [e for e in edges if e.kind == kind]
+    return {(e.caller, e.callee) for e in edges}
+
+
+# -- project model ------------------------------------------------------
+
+
+def test_module_name_strips_src_tools_and_init():
+    assert module_name_for("src/repro/engine/cache.py") == "repro.engine.cache"
+    assert module_name_for("tools/reprolint/cli.py") == "reprolint.cli"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+
+
+def test_model_records_classes_methods_and_nested_functions():
+    project = project_of(
+        **{
+            "src__repro__m.py": """\
+            class Base:
+                def shared(self):
+                    pass
+
+            class Child(Base):
+                def work(self):
+                    def inner():
+                        pass
+                    return inner
+
+            def top():
+                pass
+            """
+        }
+    )
+    displays = {fn.display for fn in project.functions.values()}
+    assert displays == {"Base.shared", "Child.work", "Child.work.<locals>.inner", "top"}
+    child = project.resolve_class("Child")[0]
+    # inherited lookup walks the named bases
+    found = project.method_in_hierarchy(child, "shared")
+    assert found is not None and found.display == "Base.shared"
+
+
+def test_match_functions_supports_module_prefix_and_fnmatch():
+    project = project_of(
+        **{
+            "src__repro__a.py": "def run_worker():\n    pass\n",
+            "src__repro__b.py": "def run_worker():\n    pass\n",
+        }
+    )
+    assert len(project.match_functions("run_*")) == 2
+    scoped = project.match_functions("repro.a:run_worker")
+    assert [fn.path for fn in scoped] == ["src/repro/a.py"]
+
+
+# -- call graph: edge kinds --------------------------------------------
+
+
+def test_self_method_call_resolves_direct_through_hierarchy():
+    graph = graph_of(
+        **{
+            "src__repro__m.py": """\
+            class Base:
+                def flush(self):
+                    pass
+
+            class Child(Base):
+                def step(self):
+                    self.flush()
+            """
+        }
+    )
+    assert (
+        "src/repro/m.py::Child.step",
+        "src/repro/m.py::Base.flush",
+    ) in edge_set(graph, kind="direct")
+
+
+def test_attribute_call_falls_back_to_name_match_not_stoplist():
+    graph = graph_of(
+        **{
+            "src__repro__m.py": """\
+            class Store:
+                def publish(self):
+                    pass
+
+            class User:
+                def use(self, store):
+                    store.publish()   # name-match: every project .publish
+                    store.append(1)   # stoplist: builtin container verb
+            """
+        }
+    )
+    matched = edge_set(graph, kind="name-match")
+    assert ("src/repro/m.py::User.use", "src/repro/m.py::Store.publish") in matched
+    assert not any(callee.endswith("append") for _, callee in matched)
+
+
+def test_cross_module_import_call_resolves_direct():
+    graph = graph_of(
+        **{
+            "src__repro__util.py": "def helper():\n    pass\n",
+            "src__repro__m.py": """\
+            from repro.util import helper
+
+            def caller():
+                helper()
+            """,
+        }
+    )
+    assert (
+        "src/repro/m.py::caller",
+        "src/repro/util.py::helper",
+    ) in edge_set(graph, kind="direct")
+
+
+def test_executor_callbacks_become_spawn_edges_not_call_edges():
+    graph = graph_of(
+        **{
+            "src__repro__m.py": """\
+            class Runner:
+                def task(self):
+                    pass
+
+                def run(self, pool):
+                    pool.submit(self.task)
+
+            def piecework(shard):
+                pass
+
+            def scatter(executor):
+                executor.map(piecework, range(4))
+
+            def spin():
+                import threading
+                threading.Thread(target=piecework).start()
+            """
+        }
+    )
+    spawned = {(e.caller, e.callee) for e in graph.spawns}
+    assert ("src/repro/m.py::Runner.run", "src/repro/m.py::Runner.task") in spawned
+    assert ("src/repro/m.py::scatter", "src/repro/m.py::piecework") in spawned
+    assert ("src/repro/m.py::spin", "src/repro/m.py::piecework") in spawned
+    # spawn targets are not synchronous callees
+    assert ("src/repro/m.py::Runner.run", "src/repro/m.py::Runner.task") not in edge_set(
+        graph
+    )
+
+
+def test_nested_callback_handed_to_executor_resolves():
+    graph = graph_of(
+        **{
+            "src__repro__m.py": """\
+            def outer(pool, data):
+                def crunch(i):
+                    return data[i]
+                return pool.map(crunch, range(3))
+            """
+        }
+    )
+    assert [(e.caller, e.callee) for e in graph.spawns] == [
+        ("src/repro/m.py::outer", "src/repro/m.py::outer.<locals>.crunch")
+    ]
+
+
+# -- dataflow: reachability and guard propagation ----------------------
+
+
+_GUARD_FIXTURE = {
+    "src__repro__m.py": """\
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.n = 0
+
+        def entry_locked(self):
+            with self._lock:
+                self._bump()
+
+        def entry_bare(self):
+            self._bump()
+
+        def _bump(self):
+            self.n += 1
+    """
+}
+
+
+def test_lock_guard_at_call_site_protects_the_callee_subtree():
+    graph = graph_of(**_GUARD_FIXTURE)
+    protected = reached_unguarded(
+        graph, ["src/repro/m.py::Box.entry_locked"], guard="lock"
+    )
+    assert "src/repro/m.py::Box._bump" not in protected
+
+
+def test_one_unguarded_path_is_enough_to_reach_unguarded():
+    graph = graph_of(**_GUARD_FIXTURE)
+    hot = reached_unguarded(
+        graph,
+        ["src/repro/m.py::Box.entry_locked", "src/repro/m.py::Box.entry_bare"],
+        guard="lock",
+    )
+    assert "src/repro/m.py::Box._bump" in hot
+
+
+def test_reachable_respects_within_and_spawn_exclusion():
+    graph = graph_of(
+        **{
+            "src__repro__core.py": """\
+            from repro.far import away
+
+            def pump(pool):
+                step()
+                away()
+                pool.submit(task)
+
+            def step():
+                pass
+
+            def task():
+                pass
+            """,
+            "src__repro__far.py": "def away():\n    pass\n",
+        }
+    )
+    closure = reachable(
+        graph, ["src/repro/core.py::pump"], within=("src/repro/core*",)
+    )
+    assert "src/repro/core.py::step" in closure
+    assert "src/repro/far.py::away" not in closure  # pruned by `within`
+    assert "src/repro/core.py::task" not in closure  # spawn edge excluded
+    with_spawns = reachable(
+        graph, ["src/repro/core.py::pump"], include_spawns=True
+    )
+    assert "src/repro/core.py::task" in with_spawns
+
+
+def test_try_fnf_guard_marks_calls_inside_the_try_body():
+    graph = graph_of(
+        **{
+            "src__repro__m.py": """\
+            def load(path):
+                try:
+                    return _read(path)
+                except FileNotFoundError:
+                    return None
+
+            def _read(path):
+                return path.read_text()
+            """
+        }
+    )
+    (edge,) = graph.out_edges("src/repro/m.py::load")
+    assert edge.callee == "src/repro/m.py::_read"
+    assert "fnf" in edge.guards

@@ -620,7 +620,10 @@ def test_cli_json_output_and_exit_code(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert cli_main(["--list-rules"]) == 0
     output = capsys.readouterr().out
-    for rule in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+    for rule in (
+        "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+        "RPL007", "RPL008", "RPL009", "RPL010",
+    ):
         assert rule in output
 
 
@@ -699,3 +702,421 @@ def test_fixed_decoders_raise_library_errors(module):
     }
     with pytest.raises(ReproError):
         targets[module]()
+
+
+# -- RPL007: thread-shared mutation -------------------------------------
+
+
+def test_rpl007_flags_unlocked_mutation_on_spawned_path(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "tally.py": """\
+            import threading
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+
+                def bump_locked(self):
+                    with self._lock:
+                        self.count += 1
+
+                def run(self):
+                    with ThreadPoolExecutor() as pool:
+                        pool.submit(self.bump)
+                        pool.submit(self.bump_locked)
+            """
+        },
+        scoped("RPL007"),
+    )
+    assert codes(result) == ["RPL007"]
+    assert "self.count" in result.findings[0].message
+    assert "Tally.bump" in result.findings[0].message
+
+
+def test_rpl007_lock_held_at_call_site_protects_the_callee(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "tally.py": """\
+            import threading
+
+            class Tally:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def _merge(self):
+                    self.count += 1      # guarded by every caller
+
+                def on_done(self):
+                    with self._lock:
+                        self._merge()
+
+                def run(self):
+                    threading.Thread(target=self.on_done).start()
+            """
+        },
+        scoped("RPL007"),
+    )
+    assert result.findings == ()
+
+
+def test_rpl007_instance_per_thread_class_is_exempt(tmp_path):
+    files = {
+        "handler.py": """\
+        import threading
+
+        class Handler:
+            def handle(self):
+                self.n_requests = 1
+
+            def serve(self):
+                threading.Thread(target=self.handle).start()
+        """
+    }
+    assert codes(lint(tmp_path, dict(files), scoped("RPL007"))) == ["RPL007"]
+    clean = lint(
+        tmp_path, files, scoped("RPL007", instance_per_thread=("Handler",))
+    )
+    assert clean.findings == ()
+
+
+def test_rpl007_thread_roots_seed_reachability_without_a_spawn_site(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "gateway.py": """\
+            class Gateway:
+                def do_GET(self):
+                    self.hits += 1
+            """
+        },
+        scoped("RPL007", thread_roots=("Gateway.do_GET",)),
+    )
+    assert codes(result) == ["RPL007"]
+
+
+# -- RPL008: rng-stream discipline --------------------------------------
+
+
+def test_rpl008_flags_mid_path_mint_and_module_level_generator(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "session.py": """\
+            import numpy as np
+
+            _RNG = np.random.default_rng(0)
+
+            class Session:
+                def run(self, rng):
+                    return fresh() + shared()
+
+            def fresh():
+                return np.random.default_rng(7).random()
+
+            def shared():
+                return _RNG.random()
+            """
+        },
+        scoped("RPL008", entry_points=("Session.run",)),
+    )
+    assert sorted(codes(result)) == ["RPL008", "RPL008"]
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "default_rng" in messages and "_RNG" in messages
+
+
+def test_rpl008_entry_point_factories_and_unreachable_mints_are_clean(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "session.py": """\
+            import numpy as np
+
+            class Session:
+                def resume(self, seed):
+                    rng = np.random.default_rng(seed)   # sanctioned factory
+                    return helper(rng)
+
+            def helper(rng):
+                return rng.random()
+
+            def offline():
+                return np.random.default_rng(3)         # not on an audit path
+            """
+        },
+        scoped(
+            "RPL008",
+            entry_points=("Session.resume",),
+            rng_factories=("Session.resume",),
+        ),
+    )
+    assert result.findings == ()
+
+
+# -- RPL009: serving file protocol --------------------------------------
+
+
+def test_rpl009_flags_raw_write_and_intolerant_read(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "store.py": """\
+            import json
+            import os
+
+            def _write_atomic(path, payload):
+                scratch = path.with_suffix(".tmp")
+                scratch.write_text(json.dumps(payload))
+                os.replace(scratch, path)
+
+            def save(path, payload):
+                path.write_text(json.dumps(payload))   # raw write
+
+            def load(path):
+                return json.loads(path.read_text())    # intolerant read
+            """
+        },
+        scoped("RPL009", atomic_helpers=("_write_atomic",)),
+    )
+    assert sorted(codes(result)) == ["RPL009", "RPL009"]
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "atomic-write helper" in messages
+    assert "FileNotFoundError" in messages
+
+
+def test_rpl009_interprocedural_fnf_guard_covers_the_read_helper(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "store.py": """\
+            import json
+            import os
+
+            def _write_atomic(path, payload):
+                scratch = path.with_suffix(".tmp")
+                scratch.write_text(json.dumps(payload))
+                os.replace(scratch, path)
+
+            def _read(path):
+                return json.loads(path.read_text())
+
+            def load(path):
+                try:
+                    return _read(path)
+                except FileNotFoundError:
+                    return None
+            """
+        },
+        scoped("RPL009", atomic_helpers=("_write_atomic",)),
+    )
+    assert result.findings == ()
+
+
+def test_rpl009_claim_must_use_link_or_rename(tmp_path):
+    files = {
+        "board.py": """\
+        import json
+        import os
+
+        def _write_atomic(path, payload):
+            scratch = path.with_suffix(".tmp")
+            scratch.write_text(json.dumps(payload))
+            os.replace(scratch, path)
+
+        def try_claim(path, worker):
+            _write_atomic(path, {"owner": worker})   # clobbering
+        """
+    }
+    result = lint(
+        tmp_path, dict(files), scoped("RPL009", atomic_helpers=("_write_atomic",))
+    )
+    assert codes(result) == ["RPL009"]
+    assert "link-or-rename" in result.findings[0].message
+
+    good = {
+        "board.py": """\
+        import os
+
+        def try_claim(path, worker):
+            os.link(path, path.with_suffix(f".{worker}"))
+        """
+    }
+    assert lint(tmp_path, good, scoped("RPL009")).findings == ()
+
+
+# -- RPL010: nonblocking engine core ------------------------------------
+
+
+def test_rpl010_flags_sleep_and_bare_join_in_the_pump_closure(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "engine.py": """\
+            import time
+
+            class Engine:
+                def pump(self):
+                    self._step()
+
+                def _step(self):
+                    time.sleep(0.01)
+                    self.worker.join()
+
+                def drain(self):
+                    time.sleep(1.0)    # fine: not reachable from pump
+            """
+        },
+        scoped("RPL010", entry_points=("Engine.pump",)),
+    )
+    assert sorted(codes(result)) == ["RPL010", "RPL010"]
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "time.sleep" in messages and "join" in messages
+
+
+def test_rpl010_spawn_edges_and_path_joins_do_not_count(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "engine.py": """\
+            import os
+            import time
+
+            class Engine:
+                def pump(self, pool):
+                    pool.submit(self._background)   # handing off is the point
+                    return os.path.join("a", "b")   # not a thread join
+
+                def _background(self):
+                    time.sleep(0.5)                 # runs on the pool thread
+            """
+        },
+        scoped("RPL010", entry_points=("Engine.pump",)),
+    )
+    assert result.findings == ()
+
+
+# -- suppression attachment: spans --------------------------------------
+
+
+def test_suppression_on_decorator_line_covers_the_decorated_def(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "spec.py": """\
+            from dataclasses import dataclass
+
+            @dataclass  # reprolint: disable=RPL003 (fixture: mutability is the point)
+            class Spec:
+                tau: int
+
+                def to_dict(self):
+                    return {"tau": self.tau}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(tau=data.get("tau"))
+            """
+        },
+        scoped("RPL003"),
+    )
+    assert result.findings == ()
+
+
+def test_suppression_on_any_line_of_a_multiline_statement_covers_it(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "core.py": """\
+            import numpy as np
+
+            rng = np.random.default_rng(
+            )  # reprolint: disable=RPL001 (fixture: entropy wanted here)
+            """
+        },
+        scoped("RPL001"),
+    )
+    assert result.findings == ()
+
+
+def test_suppression_on_def_line_does_not_silence_the_body(tmp_path):
+    result = lint(
+        tmp_path,
+        {
+            "core.py": """\
+            import time
+
+            def stamp():  # reprolint: disable=RPL001 (should not reach the body)
+                return time.time()
+            """
+        },
+        scoped("RPL001"),
+    )
+    assert "RPL001" in codes(result)  # the body finding survives
+    assert META_CODE in codes(result)  # and the directive reports unused
+
+
+# -- CLI: baseline mode -------------------------------------------------
+
+
+def test_cli_baseline_records_then_suppresses_with_line_drift(tmp_path, capsys):
+    # Plant the file under src/repro/ so the DEFAULT RPL001 scope applies.
+    target = tmp_path / "src" / "repro" / "planted.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import random\n")
+    baseline = tmp_path / "baseline.json"
+    config_args = ["--root", str(tmp_path), str(target)]
+
+    assert cli_main(config_args) == 1  # live finding without a baseline
+    capsys.readouterr()
+    assert cli_main(["--baseline", str(baseline), "--update-baseline", *config_args]) == 0
+    recorded = json.loads(baseline.read_text())
+    assert [entry["code"] for entry in recorded["findings"]] == ["RPL001"]
+    capsys.readouterr()
+
+    # Re-running against the recorded baseline is clean.
+    assert cli_main(["--baseline", str(baseline), *config_args]) == 0
+    captured = capsys.readouterr()
+    assert "stale" not in captured.err
+
+    # Line drift: shift the finding down two lines; the baseline
+    # (path + code + message, no line) still matches.
+    target.write_text("# moved\n# down\nimport random\n")
+    assert cli_main(["--baseline", str(baseline), *config_args]) == 0
+    capsys.readouterr()
+
+
+def test_cli_baseline_reports_stale_entries(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "findings": [
+                    {
+                        "path": "gone.py",
+                        "code": "RPL001",
+                        "message": "this finding no longer exists",
+                    }
+                ]
+            }
+        )
+    )
+    target = tmp_path / "core.py"
+    target.write_text("x = 1\n")
+    code = cli_main(["--root", str(tmp_path), "--baseline", str(baseline), str(target)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "stale baseline entry" in captured.err
+    assert "gone.py" in captured.err
+
+
+def test_cli_update_baseline_requires_baseline_path(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["--update-baseline", str(tmp_path)])

@@ -1,0 +1,102 @@
+"""Repo-scale static analysis: model, facts, call graph, dataflow.
+
+Layered bottom-up:
+
+* :mod:`reprolint.analysis.model` — module graph + symbol table;
+* :mod:`reprolint.analysis.facts` — per-function calls/mutations with
+  the guard context (``with <lock>``, ``try``/``FileNotFoundError``)
+  each site sits under;
+* :mod:`reprolint.analysis.callgraph` — approximate resolution into
+  call and spawn edges;
+* :mod:`reprolint.analysis.dataflow` — reachability queries with guard
+  propagation along edges.
+
+:func:`get_call_graph` is the entry point repo checkers use: it builds
+the model + graph once per (file set, lock patterns) and caches it in
+the run-shared ``RepoContext.shared`` dict, so the four interprocedural
+rules pay for one construction between them.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Sequence
+
+from reprolint.analysis.callgraph import CallEdge, CallGraph, build_call_graph
+from reprolint.analysis.dataflow import reachable, reached_unguarded
+from reprolint.analysis.facts import (
+    DEFAULT_LOCK_NAMES,
+    CallFact,
+    FunctionFacts,
+    MutationFact,
+    collect_facts,
+)
+from reprolint.analysis.model import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    build_project,
+    module_name_for,
+)
+
+__all__ = [
+    "CallEdge",
+    "CallFact",
+    "CallGraph",
+    "ClassInfo",
+    "DEFAULT_LOCK_NAMES",
+    "FunctionFacts",
+    "FunctionInfo",
+    "ModuleInfo",
+    "MutationFact",
+    "ProjectModel",
+    "build_call_graph",
+    "build_project",
+    "collect_facts",
+    "get_call_graph",
+    "module_name_for",
+    "reachable",
+    "reached_unguarded",
+]
+
+
+def get_call_graph(
+    ctx: "object",
+    *,
+    include: Sequence[str],
+    exclude: Sequence[str] = (),
+    lock_names: Sequence[str] = DEFAULT_LOCK_NAMES,
+) -> CallGraph:
+    """The call graph over the context's files matching ``include``.
+
+    ``ctx`` is a :class:`~reprolint.checkers.base.RepoContext`; the
+    graph is memoised in ``ctx.shared`` keyed by the resolved file set
+    and lock patterns, so checkers sharing a scope share one build.
+    """
+    files = [
+        path
+        for path in ctx.files  # type: ignore[attr-defined]
+        if any(fnmatch(path, pattern) for pattern in include)
+        and not any(fnmatch(path, pattern) for pattern in exclude)
+    ]
+    key = ("call_graph", tuple(files), tuple(lock_names))
+    shared = getattr(ctx, "shared", None)
+    if shared is not None and key in shared:
+        cached: CallGraph = shared[key]
+        return cached
+    sources = {}
+    ctx_sources = getattr(ctx, "sources", {}) or {}
+    root = getattr(ctx, "root", None)
+    for path in files:
+        if path in ctx_sources:
+            sources[path] = ctx_sources[path]
+        elif root is not None:
+            try:
+                sources[path] = (root / path).read_text(encoding="utf-8")
+            except OSError:
+                continue
+    graph = build_call_graph(build_project(sources), lock_names)
+    if shared is not None:
+        shared[key] = graph
+    return graph

@@ -1,0 +1,257 @@
+"""Approximate call graph over the project model.
+
+Resolution is deliberately an over-approximation of runtime dispatch
+(documented in ``docs/guide/invariants.md``):
+
+* ``name(...)`` — nested function, then module function, then an
+  imported project symbol, then a class in scope (edge to ``__init__``);
+* ``self.method(...)`` — resolved through the enclosing class and its
+  named bases; if the hierarchy does not define it, *every* project
+  method of that name is a candidate;
+* ``obj.method(...)`` — every project method of that name, unless the
+  name is in the builtin-container stoplist (``append``/``get``/…);
+* ``ClassName(...)`` — edge to ``ClassName.__init__``;
+* executor dispatch — ``pool.submit(fn, …)``, ``executor.map(fn, …)``
+  and ``threading.Thread(target=fn)`` produce a **spawn** edge to
+  ``fn``: the callback runs on another thread, so spawn edges seed
+  thread-reachability (RPL007) but are *not* synchronous-call edges
+  (RPL010 ignores them).
+
+Every edge carries the guard context of its call site, so dataflow can
+propagate "called under a held lock" / "called under try-FNF" along the
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from reprolint.analysis.facts import (
+    DEFAULT_LOCK_NAMES,
+    CallFact,
+    FunctionFacts,
+    collect_facts,
+    dotted,
+)
+from reprolint.analysis.model import FunctionInfo, ProjectModel
+
+#: Attribute calls with these names never resolve to project methods —
+#: they are overwhelmingly builtin container/str/path operations.
+NAME_MATCH_STOPLIST = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "add", "discard", "update", "setdefault", "get", "keys", "values",
+        "items", "copy", "sort", "reverse", "count", "index",
+        "join", "split", "strip", "lstrip", "rstrip", "startswith",
+        "endswith", "lower", "upper", "replace", "format", "encode",
+        "decode", "read", "write", "close", "flush", "seek",
+        "read_text", "write_text", "read_bytes", "write_bytes", "open",
+        "exists", "unlink", "mkdir", "rename", "glob", "rglob",
+        "acquire", "release", "notify", "notify_all",
+        "submit", "map", "shutdown", "result", "done", "cancel",
+        "get_nowait", "put_nowait", "task_done",
+    }
+)
+
+#: Receiver-name patterns treated as executor/thread dispatchers.
+_EXECUTOR_TAILS = ("submit", "map")
+_THREAD_CLASSES = ("Thread", "Timer")
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved edge in the graph."""
+
+    caller: str  # qualname
+    callee: str  # qualname
+    kind: str  # "direct" | "name-match" | "spawn"
+    guards: frozenset[str]
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """Edges plus the per-function facts they were resolved from."""
+
+    project: ProjectModel
+    facts: dict[str, FunctionFacts] = field(default_factory=dict)
+    edges: dict[str, list[CallEdge]] = field(default_factory=dict)
+    spawns: list[CallEdge] = field(default_factory=list)
+
+    def out_edges(self, qualname: str) -> list[CallEdge]:
+        """Synchronous call edges leaving ``qualname``."""
+        return self.edges.get(qualname, [])
+
+    def in_edges(self, qualname: str) -> list[CallEdge]:
+        """Synchronous call edges arriving at ``qualname``."""
+        return [
+            edge
+            for edges in self.edges.values()
+            for edge in edges
+            if edge.callee == qualname
+        ]
+
+
+class _Resolver:
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+
+    def resolve(
+        self, fn: FunctionInfo, call: CallFact
+    ) -> list[tuple[FunctionInfo, str]]:
+        """Candidate targets for one call, with the edge kind."""
+        name = call.name
+        if name.startswith("?."):
+            return self._by_method_name(name[2:], kind="name-match")
+        parts = name.split(".")
+        if len(parts) == 1:
+            return self._plain_name(fn, parts[0])
+        if parts[0] == "self" and fn.cls is not None:
+            return self._self_call(fn, parts)
+        if parts[0] == "cls" and fn.cls is not None:
+            return self._self_call(fn, parts)
+        # Module-qualified project call: ``module_alias.func(...)``.
+        mod = self.project.modules.get(fn.path)
+        if mod is not None and parts[0] in mod.imports:
+            resolved = self._imported(mod.imports[parts[0]] + "." + ".".join(parts[1:]))
+            if resolved:
+                return resolved
+            # Known import that did not resolve into the project:
+            # external call, never a name-match candidate.
+            if len(parts) == 2:
+                return []
+        return self._by_method_name(parts[-1], kind="name-match")
+
+    def _plain_name(self, fn: FunctionInfo, name: str) -> list[tuple[FunctionInfo, str]]:
+        if name in fn.locals_map:
+            target = self.project.functions.get(fn.locals_map[name])
+            return [(target, "direct")] if target else []
+        # A sibling nested function (both defined in the same parent).
+        if "." in fn.display:
+            parent_display = fn.display.rsplit(".<locals>.", 1)[0]
+            parent = self.project.functions.get(f"{fn.path}::{parent_display}")
+            if parent and name in parent.locals_map:
+                target = self.project.functions.get(parent.locals_map[name])
+                if target:
+                    return [(target, "direct")]
+        mod = self.project.modules.get(fn.path)
+        if mod is None:
+            return []
+        if name in mod.functions:
+            return [(mod.functions[name], "direct")]
+        if name in mod.classes:
+            init = mod.classes[name].methods.get("__init__")
+            return [(init, "direct")] if init else []
+        if name in mod.imports:
+            return self._imported(mod.imports[name])
+        # Same-class method referenced bare inside a method body
+        # (rare; comprehension helpers) — not resolved.
+        return []
+
+    def _self_call(
+        self, fn: FunctionInfo, parts: list[str]
+    ) -> list[tuple[FunctionInfo, str]]:
+        method = parts[-1]
+        if len(parts) == 2:
+            for cls in self.project.resolve_class(fn.cls or ""):
+                if cls.path != fn.path:
+                    continue
+                found = self.project.method_in_hierarchy(cls, method)
+                if found is not None:
+                    return [(found, "direct")]
+            return self._by_method_name(method, kind="name-match")
+        # ``self._attr.method(...)`` — attribute object dispatch.
+        return self._by_method_name(method, kind="name-match")
+
+    def _imported(self, dotted: str) -> list[tuple[FunctionInfo, str]]:
+        """Resolve a fully-dotted imported symbol into the project."""
+        module_dotted, _, symbol = dotted.rpartition(".")
+        mod = self.project.module_by_dotted(module_dotted)
+        if mod is None:
+            # ``from package import module`` style: the symbol itself
+            # may be a module path, or a re-export we cannot see.
+            return []
+        if symbol in mod.functions:
+            return [(mod.functions[symbol], "direct")]
+        if symbol in mod.classes:
+            init = mod.classes[symbol].methods.get("__init__")
+            return [(init, "direct")] if init else []
+        return []
+
+    def _by_method_name(
+        self, method: str, *, kind: str
+    ) -> list[tuple[FunctionInfo, str]]:
+        if method in NAME_MATCH_STOPLIST:
+            return []
+        return [(fn, kind) for fn in self.project.methods_by_name.get(method, [])]
+
+    def resolve_callback(
+        self, fn: FunctionInfo, call: CallFact
+    ) -> FunctionInfo | None:
+        """The project function a spawn site hands to another thread."""
+        node = call.node
+        target_expr = None
+        if call.name.split(".")[-1] in _EXECUTOR_TAILS and node.args:
+            target_expr = node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                target_expr = keyword.value
+        if target_expr is None:
+            return None
+        name = dotted(target_expr)
+        if name is None:
+            return None
+        fact = CallFact(node=node, name=name, n_args=0, guards=call.guards)
+        for target, _kind in self.resolve(fn, fact):
+            return target
+        return None
+
+
+def _is_spawn(call: CallFact) -> bool:
+    tail = call.name.split(".")[-1]
+    if tail in _EXECUTOR_TAILS and len(call.name.split(".")) > 1:
+        receiver = call.name.rsplit(".", 1)[0].lower()
+        return any(
+            hint in receiver for hint in ("pool", "executor", "?")
+        )
+    return tail in _THREAD_CLASSES
+
+
+def build_call_graph(
+    project: ProjectModel,
+    lock_names: Sequence[str] = DEFAULT_LOCK_NAMES,
+) -> CallGraph:
+    """Collect facts for every function and resolve the edges."""
+    graph = CallGraph(project=project)
+    resolver = _Resolver(project)
+    for qualname, fn in project.functions.items():
+        facts = collect_facts(fn, lock_names)
+        graph.facts[qualname] = facts
+        out: list[CallEdge] = []
+        for call in facts.calls:
+            if _is_spawn(call):
+                callback = resolver.resolve_callback(fn, call)
+                if callback is not None:
+                    graph.spawns.append(
+                        CallEdge(
+                            caller=qualname,
+                            callee=callback.qualname,
+                            kind="spawn",
+                            guards=call.guards,
+                            line=call.node.lineno,
+                        )
+                    )
+                continue
+            for target, kind in resolver.resolve(fn, call):
+                out.append(
+                    CallEdge(
+                        caller=qualname,
+                        callee=target.qualname,
+                        kind=kind,
+                        guards=call.guards,
+                        line=call.node.lineno,
+                    )
+                )
+        graph.edges[qualname] = out
+    return graph

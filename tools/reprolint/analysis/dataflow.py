@@ -1,0 +1,107 @@
+"""Forward dataflow over the call graph: reachability with guard state.
+
+The core query every interprocedural rule needs is "which functions are
+reachable from these entry points, and did any path arrive *without* a
+given guard held?".  States are ``(function, guarded)`` pairs; calling
+through a guarded site (``with self._lock: self._flush()``) protects
+the whole callee subtree along that path, while a second, unguarded
+path to the same function still reaches it unguarded — exactly the
+interleaving a data race needs.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Callable, Iterable, Sequence
+
+from reprolint.analysis.callgraph import CallEdge, CallGraph
+
+
+def _follow(
+    edge: CallEdge,
+    *,
+    kinds: Sequence[str],
+    within: Sequence[str] | None,
+    graph: CallGraph,
+) -> bool:
+    if edge.kind not in kinds:
+        return False
+    if within is None:
+        return True
+    target = graph.project.functions.get(edge.callee)
+    if target is None:
+        return False
+    return any(fnmatch(target.path, pattern) for pattern in within)
+
+
+def reachable(
+    graph: CallGraph,
+    entries: Iterable[str],
+    *,
+    kinds: Sequence[str] = ("direct", "name-match"),
+    include_spawns: bool = False,
+    within: Sequence[str] | None = None,
+) -> set[str]:
+    """Qualnames reachable from ``entries`` along the selected edges."""
+    seen: set[str] = set()
+    stack = [entry for entry in entries if entry in graph.project.functions]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        out: list[CallEdge] = list(graph.out_edges(current))
+        if include_spawns:
+            out += [edge for edge in graph.spawns if edge.caller == current]
+        for edge in out:
+            if edge.kind == "spawn" and not include_spawns:
+                continue
+            if edge.kind != "spawn" and not _follow(
+                edge, kinds=kinds, within=within, graph=graph
+            ):
+                continue
+            if edge.callee not in seen:
+                stack.append(edge.callee)
+    return seen
+
+
+def reached_unguarded(
+    graph: CallGraph,
+    entries: Iterable[str],
+    *,
+    guard: str,
+    kinds: Sequence[str] = ("direct", "name-match"),
+    within: Sequence[str] | None = None,
+    stop: Callable[[str], bool] | None = None,
+) -> set[str]:
+    """Functions some path reaches without ``guard`` ever being held.
+
+    Entries start unguarded.  Traversing an edge whose call site holds
+    the guard protects the callee subtree along that path; a function
+    is in the result iff at least one path arrives with the guard not
+    held.  ``stop`` prunes traversal *through* a function (its own body
+    is still reported if reached unguarded).
+    """
+    unguarded: set[str] = set()
+    visited: set[tuple[str, bool]] = set()
+    stack: list[tuple[str, bool]] = [
+        (entry, False)
+        for entry in entries
+        if entry in graph.project.functions
+    ]
+    while stack:
+        current, protected = stack.pop()
+        if (current, protected) in visited:
+            continue
+        visited.add((current, protected))
+        if not protected:
+            unguarded.add(current)
+        if stop is not None and stop(current):
+            continue
+        for edge in graph.out_edges(current):
+            if not _follow(edge, kinds=kinds, within=within, graph=graph):
+                continue
+            next_protected = protected or guard in edge.guards
+            if (edge.callee, next_protected) not in visited:
+                stack.append((edge.callee, next_protected))
+    return unguarded

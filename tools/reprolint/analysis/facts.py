@@ -1,0 +1,322 @@
+"""Per-function facts: calls, mutations, and the guards around them.
+
+One pass over each function body records everything the interprocedural
+rules need, with a *guard context* attached to every record:
+
+* ``"lock"`` — the site is lexically inside ``with <lock-like>:``
+  (the context expression's dotted name matches one of the configured
+  lock patterns, ``self._lock``/``hold_slots``/…);
+* ``"fnf"`` — the site is inside a ``try`` whose handlers catch
+  ``FileNotFoundError`` (or a superclass).
+
+Nested ``def``s are *not* descended into — they are separate functions
+with their own facts — but ``lambda`` bodies are, because a lambda has
+no identity of its own in the model.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Iterable, Sequence
+
+from reprolint.analysis.model import FunctionInfo, FunctionNode
+
+#: ``with`` context expressions whose dotted name matches any of these
+#: (case-insensitive) count as lock acquisition.  Semaphores are
+#: deliberately absent: a ``BoundedSemaphore(n > 1)`` bounds residency
+#: without granting exclusion, so counting it would mask real races.
+DEFAULT_LOCK_NAMES = ("*lock*", "*mutex*", "*condition*")
+
+#: Method names whose call mutates the receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "__setitem__",
+    }
+)
+
+_FNF_NAMES = frozenset({"FileNotFoundError", "OSError", "IOError", "Exception"})
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site: what it looks like, not yet what it resolves to."""
+
+    node: ast.Call
+    name: str  # dotted ("time.sleep", "self._pump") or "?.tail"
+    n_args: int  # positional argument count
+    guards: frozenset[str]
+
+
+@dataclass(frozen=True)
+class MutationFact:
+    """One attribute mutation on a potentially shared object."""
+
+    node: ast.AST
+    target: str  # dotted receiver ("self._stats.loads")
+    guards: frozenset[str]
+
+
+@dataclass
+class FunctionFacts:
+    """Everything recorded for one function body."""
+
+    calls: list[CallFact] = field(default_factory=list)
+    mutations: list[MutationFact] = field(default_factory=list)
+    loaded_names: set[str] = field(default_factory=set)
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_lock_expr(expr: ast.expr, lock_names: Sequence[str]) -> bool:
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted(expr)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(fnmatch(lowered, pattern) for pattern in lock_names)
+
+
+def _catches_fnf(handlers: Iterable[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for entry in types:
+            name = dotted(entry)
+            if name and name.split(".")[-1] in _FNF_NAMES:
+                return True
+    return False
+
+
+class _FactsWalker:
+    """Recursive statement walker that threads the guard context."""
+
+    def __init__(self, fn: FunctionInfo, lock_names: Sequence[str]) -> None:
+        self.fn = fn
+        self.lock_names = tuple(pattern.lower() for pattern in lock_names)
+        self.facts = FunctionFacts()
+        self.assigned: set[str] = set()
+        self.aliases: dict[str, str] = {}  # local name -> "self.attr" chain
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        self._prescan(self.fn.node)
+        for stmt in self.fn.node.body:
+            self._stmt(stmt, frozenset())
+        return self.facts
+
+    def _prescan(self, node: FunctionNode) -> None:
+        """Collect locally-assigned names (locals are never shared state)."""
+        for child in ast.walk(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child is not node:
+                    self.assigned.add(child.name)
+                continue
+            targets: list[ast.expr] = []
+            if isinstance(child, ast.Assign):
+                targets = list(child.targets)
+                if (
+                    len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)
+                ):
+                    source = dotted(child.value)
+                    if source and source.split(".")[0] == "self":
+                        self.aliases[child.targets[0].id] = source
+            elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+                targets = [child.target]
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                targets = [child.target]
+            elif isinstance(child, ast.withitem) and child.optional_vars:
+                targets = [child.optional_vars]
+            elif isinstance(child, ast.comprehension):
+                targets = [child.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        self.assigned.add(leaf.id)
+
+    # -- statements ------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, guards: frozenset[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # separate function; facts collected on its own info
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = guards
+            for item in stmt.items:
+                self._expr(item.context_expr, guards)
+                if _is_lock_expr(item.context_expr, self.lock_names):
+                    inner = inner | {"lock"}
+            for child in stmt.body:
+                self._stmt(child, inner)
+            return
+        if isinstance(stmt, ast.Try):
+            inner = guards
+            if _catches_fnf(stmt.handlers):
+                inner = inner | {"fnf"}
+            for child in stmt.body:
+                self._stmt(child, inner)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    self._stmt(child, guards)
+            for child in stmt.orelse:
+                self._stmt(child, inner)
+            for child in stmt.finalbody:
+                self._stmt(child, guards)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                list(stmt.targets)
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                self._mutation_target(target, stmt, guards)
+            if stmt.value is not None:
+                self._expr(stmt.value, guards)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._mutation_target(target, stmt, guards)
+            return
+        # Compound statements: visit headers, then bodies with the same
+        # guards (an `if` does not change the guard context).
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.stmt):
+                self._stmt(value, guards)
+            elif isinstance(value, ast.ExceptHandler):
+                for child in value.body:
+                    self._stmt(child, guards)
+            elif isinstance(value, ast.expr):
+                self._expr(value, guards)
+
+    # -- expressions -----------------------------------------------------
+
+    def _expr(self, expr: ast.expr, guards: frozenset[str]) -> None:
+        for node in self._walk_expr(expr):
+            if isinstance(node, ast.Call):
+                self._record_call(node, guards)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self.facts.loaded_names.add(node.id)
+
+    def _walk_expr(self, expr: ast.expr) -> Iterable[ast.AST]:
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _record_call(self, call: ast.Call, guards: frozenset[str]) -> None:
+        name = dotted(call.func)
+        if name is None and isinstance(call.func, ast.Attribute):
+            name = f"?.{call.func.attr}"
+        if name is None:
+            return
+        self.facts.calls.append(
+            CallFact(
+                node=call,
+                name=name,
+                n_args=len(call.args),
+                guards=guards,
+            )
+        )
+        # A mutating method call on a shared attribute chain is a
+        # mutation in its own right (self._seen.pop(...), …).
+        if isinstance(call.func, ast.Attribute) and call.func.attr in MUTATING_METHODS:
+            receiver = dotted(call.func.value)
+            if receiver is not None and self._is_shared(receiver):
+                self.facts.mutations.append(
+                    MutationFact(node=call, target=name, guards=guards)
+                )
+
+    def _mutation_target(
+        self, target: ast.expr, stmt: ast.stmt, guards: frozenset[str]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutation_target(element, stmt, guards)
+            return
+        if isinstance(target, ast.Starred):
+            self._mutation_target(target.value, stmt, guards)
+            return
+        if isinstance(target, ast.Subscript):
+            receiver = dotted(target.value)
+            self._expr(target.slice, guards)
+            if receiver is not None and self._is_shared(receiver):
+                self.facts.mutations.append(
+                    MutationFact(
+                        node=stmt, target=f"{receiver}[...]", guards=guards
+                    )
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            receiver = dotted(target)
+            if receiver is not None and self._is_shared(receiver):
+                self.facts.mutations.append(
+                    MutationFact(node=stmt, target=receiver, guards=guards)
+                )
+            return
+        # Plain Name targets are locals — never shared state.
+
+    def _is_shared(self, receiver: str) -> bool:
+        """Whether a dotted receiver chain names non-local state.
+
+        ``self.x`` is shared; a name assigned in this function from a
+        non-``self`` expression is local; a local alias of ``self.x``
+        (``stats = self._stats``) is shared through the alias.
+        """
+        base = receiver.split(".")[0]
+        if base == "self":
+            return True
+        if base == "cls":
+            return True
+        if base in self.aliases:
+            return True
+        if base in self.assigned:
+            return False
+        # Attribute chains on parameters/captured objects are potentially
+        # shared; bare local-looking names are not (index-disjoint writes
+        # into a caller-provided buffer are a sanctioned pattern).
+        return "." in receiver
+
+
+def collect_facts(
+    fn: FunctionInfo, lock_names: Sequence[str] = DEFAULT_LOCK_NAMES
+) -> FunctionFacts:
+    """The facts for one function body (calls, mutations, guards)."""
+    return _FactsWalker(fn, lock_names).run()

@@ -1,0 +1,228 @@
+"""Project model: modules, classes, functions, and a symbol table.
+
+The model is the first of the three analysis layers (model → facts →
+call graph).  It parses every in-scope source once and records, per
+module: the import map (local alias → dotted target), top-level
+functions, classes with their methods and base-class names, and
+module-level assignments.  Nested functions are modelled as their own
+:class:`FunctionInfo` (qualified ``outer.<locals>.inner``) so callbacks
+handed to executors resolve like any other callable.
+
+Everything is name-based and approximate by design: the resolver in
+:mod:`reprolint.analysis.callgraph` over-approximates dispatch, which
+is the right default for the safety rules built on top (a missed edge
+hides a bug; a spurious edge at worst asks for a reviewed allowlist
+entry).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Iterator, Mapping
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class FunctionInfo:
+    """One function, method, or nested function in the project."""
+
+    qualname: str  # "<path>::<display>" — globally unique
+    path: str  # posix, root-relative
+    module: str  # dotted module name ("repro.engine.cache")
+    display: str  # "Class.method", "func", or "outer.<locals>.inner"
+    name: str  # the bare name ("method")
+    cls: str | None  # simple name of the enclosing class, if a method
+    node: FunctionNode
+    locals_map: dict[str, str] = field(default_factory=dict)  # nested defs
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its method table."""
+
+    name: str
+    path: str
+    module: str
+    bases: tuple[str, ...]  # simple names of base classes
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    node: ast.ClassDef | None = None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: imports, symbols, module-level assignments."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)  # alias -> dotted
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass
+class ProjectModel:
+    """The whole-project symbol table the call graph resolves against."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, list[ClassInfo]] = field(default_factory=dict)
+    methods_by_name: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+
+    def module_by_dotted(self, dotted: str) -> ModuleInfo | None:
+        """The module whose dotted name is ``dotted``, if scanned."""
+        for info in self.modules.values():
+            if info.module == dotted:
+                return info
+        return None
+
+    def resolve_class(self, name: str) -> list[ClassInfo]:
+        """Every scanned class with simple name ``name``."""
+        return self.classes.get(name, [])
+
+    def method_in_hierarchy(
+        self, cls: ClassInfo, method: str, _seen: frozenset[str] = frozenset()
+    ) -> FunctionInfo | None:
+        """``method`` on ``cls`` or (breadth-first) its named bases."""
+        if method in cls.methods:
+            return cls.methods[method]
+        seen = _seen | {cls.name}
+        for base in cls.bases:
+            if base in seen:
+                continue
+            for candidate in self.resolve_class(base):
+                found = self.method_in_hierarchy(candidate, method, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def match_functions(self, spec: str) -> list[FunctionInfo]:
+        """Functions matching an entry spec.
+
+        Specs are fnmatch patterns over the display name
+        (``QueryEngine.pump``, ``run_*``), optionally prefixed with a
+        dotted module filter: ``repro.serving.worker:run_worker``.
+        """
+        module_filter = None
+        if ":" in spec:
+            module_filter, spec = spec.split(":", 1)
+        return [
+            fn
+            for fn in self.functions.values()
+            if fnmatch(fn.display, spec)
+            and (module_filter is None or fnmatch(fn.module, module_filter))
+        ]
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a root-relative posix path."""
+    parts = path[:-3].split("/") if path.endswith(".py") else path.split("/")
+    if parts and parts[0] in ("src", "tools"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _record_imports(tree: ast.Module, imports: dict[str, str]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+
+def _iter_nested(node: FunctionNode) -> Iterator[FunctionNode]:
+    """Immediate nested defs of ``node`` (not recursing into them)."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+        elif not isinstance(child, ast.ClassDef):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _add_function(
+    project: ProjectModel,
+    mod: ModuleInfo,
+    node: FunctionNode,
+    display: str,
+    cls: str | None,
+) -> FunctionInfo:
+    info = FunctionInfo(
+        qualname=f"{mod.path}::{display}",
+        path=mod.path,
+        module=mod.module,
+        display=display,
+        name=node.name,
+        cls=cls,
+        node=node,
+    )
+    project.functions[info.qualname] = info
+    for nested in _iter_nested(node):
+        child = _add_function(
+            project, mod, nested, f"{display}.<locals>.{nested.name}", cls
+        )
+        info.locals_map[nested.name] = child.qualname
+    return info
+
+
+def build_project(sources: Mapping[str, str]) -> ProjectModel:
+    """Parse ``sources`` (path → text) into a :class:`ProjectModel`.
+
+    Files that fail to parse are skipped — the lint engine reports the
+    parse failure separately as an RPL000 finding.
+    """
+    project = ProjectModel()
+    for path in sorted(sources):
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except (SyntaxError, ValueError):
+            continue
+        mod = ModuleInfo(path=path, module=module_name_for(path), tree=tree)
+        _record_imports(tree, mod.imports)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                mod.functions[node.name] = _add_function(
+                    project, mod, node, node.name, None
+                )
+            elif isinstance(node, ast.ClassDef):
+                bases = []
+                for base in node.bases:
+                    text = base.attr if isinstance(base, ast.Attribute) else None
+                    if isinstance(base, ast.Name):
+                        text = base.id
+                    if text:
+                        bases.append(text)
+                cls = ClassInfo(
+                    name=node.name,
+                    path=path,
+                    module=mod.module,
+                    bases=tuple(bases),
+                    node=node,
+                )
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method = _add_function(
+                            project, mod, item, f"{node.name}.{item.name}", node.name
+                        )
+                        cls.methods[item.name] = method
+                        project.methods_by_name.setdefault(item.name, []).append(method)
+                mod.classes[node.name] = cls
+                project.classes.setdefault(node.name, []).append(cls)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        mod.assigns[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    mod.assigns[node.target.id] = node.value
+        project.modules[path] = mod
+    return project

@@ -10,6 +10,10 @@ from reprolint.checkers import (  # noqa: F401  (registration imports)
     docstrings,
     error_contract,
     frozen_spec,
+    fs_protocol,
+    nonblocking_core,
+    rng_discipline,
+    thread_shared,
 )
 from reprolint.checkers.base import (
     Checker,

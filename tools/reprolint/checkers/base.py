@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Type
 
@@ -45,11 +46,44 @@ class FileContext:
 
 @dataclass
 class RepoContext:
-    """Everything a :class:`RepoChecker` sees for one run."""
+    """Everything a :class:`RepoChecker` sees for one run.
+
+    ``sources`` holds the already-read text of every scanned file so
+    repo checkers never re-read the tree; ``shared`` is one dict per
+    lint run, the memoisation home for expensive artifacts (the
+    interprocedural call graph) that several checkers share.
+    """
 
     root: Path
     files: tuple[str, ...]  # every scanned file, posix, root-relative
     options: Mapping[str, Any] = field(default_factory=dict)
+    sources: Mapping[str, str] = field(default_factory=dict)
+    shared: dict[Any, Any] = field(default_factory=dict)
+    include: tuple[str, ...] = ("*",)  # the rule's reporting scope
+    exclude: tuple[str, ...] = ()
+
+    def finding(self, path: str, node: ast.AST, code: str, message: str,
+                checker: str) -> Finding:
+        """A finding anchored at ``node``'s location in ``path``."""
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+            checker=checker,
+        )
+
+    def in_report_scope(self, path: str) -> bool:
+        """Whether findings in ``path`` belong to this rule's scope.
+
+        Interprocedural rules build their model over a wider file set
+        (``model_include``) than they report on; this is the reporting
+        filter.
+        """
+        if not any(fnmatch(path, pattern) for pattern in self.include):
+            return False
+        return not any(fnmatch(path, pattern) for pattern in self.exclude)
 
 
 class Checker:

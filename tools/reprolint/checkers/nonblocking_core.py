@@ -1,0 +1,115 @@
+"""RPL010 — nonblocking engine core.
+
+``QueryEngine.pump``/``absorb`` are the non-blocking half of the
+engine's contract: callers overlap many audits by pumping each engine
+in turn, so *any* wait on this path — ``time.sleep``, a futures
+``wait``/blocking ``result``, a zero-argument ``.join()``, socket
+accept/recv, or the backend's own blocking rendezvous
+(``next_done``/``gather``) — stalls every overlapped audit at once.
+The rule walks the synchronous call closure of the configured entry
+points (spawn edges are excluded: handing work to an executor is
+exactly what the non-blocking path is *supposed* to do) and flags call
+sites matching the blocking patterns.
+
+``str.join``/``os.path.join`` always take a positional argument, so
+only zero-positional-arg ``.join()`` calls count as thread joins.
+
+Options
+-------
+``entry_points``
+    Specs of the non-blocking entry points.
+``blocking``
+    fnmatch patterns over dotted call names treated as blocking.
+``follow``
+    Path globs the closure is allowed to grow into (keeps the
+    name-match over-approximation from dragging the HTTP client's
+    socket calls into the engine's closure).
+``model_include``
+    File set the call graph is built over.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Iterable
+
+from reprolint.analysis import get_call_graph, reachable
+from reprolint.checkers.base import RepoChecker, RepoContext, register
+from reprolint.findings import Finding
+
+DEFAULT_BLOCKING = (
+    "time.sleep",
+    "*.sleep",
+    "sleep",
+    "concurrent.futures.wait",
+    "futures.wait",
+    "wait",
+    "select.select",
+    "*.recv",
+    "*.accept",
+    "*.connect",
+    "*.next_done",
+    "next_done",
+    "*.gather",
+)
+
+
+@register
+class NonblockingCoreChecker(RepoChecker):
+    """Flag blocking waits reachable from the engine's pump/absorb."""
+
+    code = "RPL010"
+    name = "nonblocking-core"
+    description = (
+        "no sleep/join/blocking waits reachable from the engine's "
+        "non-blocking entry points"
+    )
+
+    def check_repo(self, ctx: RepoContext) -> Iterable[Finding]:
+        graph = get_call_graph(
+            ctx,
+            include=tuple(ctx.options.get("model_include", ctx.include)),
+            exclude=ctx.exclude,
+        )
+        blocking = tuple(ctx.options.get("blocking", DEFAULT_BLOCKING))
+        follow = ctx.options.get("follow")
+        entries: set[str] = set()
+        for spec in ctx.options.get("entry_points", ()):
+            entries.update(
+                fn.qualname for fn in graph.project.match_functions(spec)
+            )
+
+        hot = reachable(
+            graph,
+            sorted(entries),
+            within=tuple(follow) if follow is not None else None,
+        )
+        for qualname in sorted(hot):
+            fn = graph.project.functions[qualname]
+            if not ctx.in_report_scope(fn.path):
+                continue
+            facts = graph.facts.get(qualname)
+            if facts is None:
+                continue
+            for call in facts.calls:
+                is_join = (
+                    call.name.split(".")[-1] == "join"
+                    and "." in call.name
+                    and call.n_args == 0
+                    and not call.name.startswith(("os.path", "posixpath"))
+                )
+                if not is_join and not any(
+                    fnmatch(call.name, pattern) for pattern in blocking
+                ):
+                    continue
+                yield ctx.finding(
+                    fn.path,
+                    call.node,
+                    self.code,
+                    (
+                        f"blocking call `{call.name}` in `{fn.display}`, "
+                        "which is reachable from a non-blocking engine "
+                        "entry point — move the wait to the drain loop"
+                    ),
+                    self.name,
+                )

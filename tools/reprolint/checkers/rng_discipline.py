@@ -1,0 +1,133 @@
+"""RPL008 — rng-stream discipline.
+
+The replay guarantees (resume re-asks zero queries, engine mode is
+bit-identical to sequential mode) require every random draw on an audit
+path to come from the *one* generator minted at the entry point and
+threaded through call signatures.  A function reachable from the
+configured entry points that mints its own generator mid-path —
+``np.random.default_rng(...)``, seeded or not, or a ``Generator(...)``
+construction — silently forks the stream: replays that take a
+different route to the same function draw different numbers.
+
+RPL001 already bans *unseeded* generators everywhere; this rule is the
+interprocedural complement that also bans *seeded* mid-path minting.
+
+Options
+-------
+``entry_points``
+    Specs (``Class.method`` / ``module:function`` fnmatch patterns) of
+    the stepper/session/service entry points whose reachable closure is
+    checked.
+``rng_factories``
+    Display-name patterns allowed to mint (the entry points themselves
+    and reviewed content-derived mints, e.g. seeding from a submission
+    digest).  Constructors are always allowed: minting at construction
+    time is the sanctioned way a session acquires its stream.
+``model_include``
+    File set the call graph is built over (default: the rule's
+    include).
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable
+
+from reprolint.analysis import get_call_graph, reachable
+from reprolint.checkers.base import RepoChecker, RepoContext, register
+from reprolint.findings import Finding
+
+_MINT_TAILS = ("default_rng", "RandomState", "Generator", "PCG64", "Philox")
+_ALWAYS_ALLOWED = ("*__init__", "*__post_init__")
+
+
+@register
+class RngDisciplineChecker(RepoChecker):
+    """Flag mid-path generator minting on replay-critical paths."""
+
+    code = "RPL008"
+    name = "rng-discipline"
+    description = (
+        "functions reachable from audit entry points must receive their "
+        "rng, not mint one"
+    )
+
+    def check_repo(self, ctx: RepoContext) -> Iterable[Finding]:
+        graph = get_call_graph(
+            ctx,
+            include=tuple(ctx.options.get("model_include", ctx.include)),
+            exclude=ctx.exclude,
+        )
+        factories = (
+            tuple(ctx.options.get("rng_factories", ())) + _ALWAYS_ALLOWED
+        )
+        entries: set[str] = set()
+        for spec in ctx.options.get("entry_points", ()):
+            entries.update(
+                fn.qualname for fn in graph.project.match_functions(spec)
+            )
+
+        # Module-level names bound to a generator (``_RNG = default_rng(7)``)
+        # are a shared stream any caller can advance — loading one
+        # mid-path is the same discipline violation as minting.
+        module_rngs: dict[str, set[str]] = {}
+        for mod in graph.project.modules.values():
+            names = {
+                name
+                for name, value in mod.assigns.items()
+                if _dump_tail(value) in _MINT_TAILS
+            }
+            if names:
+                module_rngs[mod.path] = names
+
+        hot = reachable(graph, sorted(entries), include_spawns=True)
+        for qualname in sorted(hot):
+            fn = graph.project.functions[qualname]
+            if any(fnmatch(fn.display, pattern) for pattern in factories):
+                continue
+            if not ctx.in_report_scope(fn.path):
+                continue
+            facts = graph.facts.get(qualname)
+            if facts is None:
+                continue
+            for call in facts.calls:
+                tail = call.name.split(".")[-1]
+                if tail not in _MINT_TAILS:
+                    continue
+                yield ctx.finding(
+                    fn.path,
+                    call.node,
+                    self.code,
+                    (
+                        f"`{fn.display}` mints a generator via "
+                        f"`{call.name}` but is reachable from an audit "
+                        "entry point — thread the rng through the call "
+                        "signature instead"
+                    ),
+                    self.name,
+                )
+            shared_rngs = module_rngs.get(fn.path, set())
+            for name in sorted(shared_rngs & facts.loaded_names):
+                yield ctx.finding(
+                    fn.path,
+                    fn.node,
+                    self.code,
+                    (
+                        f"`{fn.display}` reads the module-level generator "
+                        f"`{name}` on an audit path — pass the rng as a "
+                        "parameter instead"
+                    ),
+                    self.name,
+                )
+
+
+def _dump_tail(value: object) -> str:
+    """The call-name tail of a module-level assignment's value expr."""
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+    return ""

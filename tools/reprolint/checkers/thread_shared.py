@@ -1,0 +1,117 @@
+"""RPL007 — thread-shared-mutation.
+
+Attribute state mutated on a code path that runs on a worker thread
+(anything handed to a ``ThreadPoolExecutor``/``threading.Thread``, plus
+the configured thread roots such as gateway request handlers) must be
+mutated under a held lock.  The dataflow starts at every spawn-edge
+target, walks the approximate call graph, and propagates "a lock is
+held" along call edges: ``with self._lock: self._flush()`` protects the
+whole ``_flush`` subtree on that path.  A function reached by *any*
+unguarded path is checked; its lock-free ``self.*``/shared-attribute
+mutations are findings.
+
+Options
+-------
+``thread_roots``
+    Extra entry specs (``Class.method`` fnmatch patterns, optionally
+    ``module:`` prefixed) that run on their own thread without a
+    visible spawn site (per-connection HTTP handlers).
+``instance_per_thread``
+    Class names whose instances are created per thread — their
+    ``self.*`` mutations are thread-local by construction.
+``exempt_functions``
+    Display-name patterns never checked (constructors by default: the
+    object is not shared while it is being built).
+``lock_names`` / ``model_include``
+    Lock-recognition patterns and the file set the call graph is built
+    over (defaults: the analysis defaults / the rule's include).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Iterable
+
+from reprolint.analysis import (
+    DEFAULT_LOCK_NAMES,
+    get_call_graph,
+    reached_unguarded,
+)
+from reprolint.checkers.base import RepoChecker, RepoContext, register
+from reprolint.findings import Finding
+
+_DEFAULT_EXEMPT = ("*__init__", "*__post_init__", "*__enter__", "*__exit__")
+
+
+@register
+class ThreadSharedMutationChecker(RepoChecker):
+    """Flag lock-free attribute mutations on thread-reachable paths."""
+
+    code = "RPL007"
+    name = "thread-shared-mutation"
+    description = (
+        "attribute mutations reachable from executor/thread targets "
+        "must hold a lock"
+    )
+
+    def check_repo(self, ctx: RepoContext) -> Iterable[Finding]:
+        lock_names = tuple(ctx.options.get("lock_names", DEFAULT_LOCK_NAMES))
+        graph = get_call_graph(
+            ctx,
+            include=tuple(ctx.options.get("model_include", ctx.include)),
+            exclude=ctx.exclude,
+            lock_names=lock_names,
+        )
+        per_thread = set(ctx.options.get("instance_per_thread", ()))
+        exempt = tuple(ctx.options.get("exempt_functions", ())) + _DEFAULT_EXEMPT
+
+        # Every spawn target is an unguarded root — even when the spawn
+        # site sits inside a lock, the submitting thread releases that
+        # lock before the task actually runs on the pool thread.
+        roots: set[str] = set()
+        for edge in graph.spawns:
+            caller = graph.project.functions.get(edge.caller)
+            if caller is not None and caller.cls in per_thread:
+                continue
+            roots.add(edge.callee)
+        for spec in ctx.options.get("thread_roots", ()):
+            for fn in graph.project.match_functions(spec):
+                roots.add(fn.qualname)
+
+        follow = ctx.options.get("follow")
+        hot = reached_unguarded(
+            graph,
+            sorted(roots),
+            guard="lock",
+            within=tuple(follow) if follow is not None else None,
+        )
+
+        for qualname in sorted(hot):
+            fn = graph.project.functions[qualname]
+            if any(fnmatch(fn.display, pattern) for pattern in exempt):
+                continue
+            if not ctx.in_report_scope(fn.path):
+                continue
+            facts = graph.facts.get(qualname)
+            if facts is None:
+                continue
+            self_is_private = fn.cls in per_thread
+            for mutation in facts.mutations:
+                if "lock" in mutation.guards:
+                    continue
+                if self_is_private and mutation.target.split(".")[0] in (
+                    "self",
+                    "cls",
+                ):
+                    continue
+                yield ctx.finding(
+                    fn.path,
+                    mutation.node,
+                    self.code,
+                    (
+                        f"`{mutation.target}` is mutated without a lock in "
+                        f"`{fn.display}`, which is reachable from a thread "
+                        "target — guard the mutation or merge thread-locally"
+                    ),
+                    self.name,
+                )

@@ -14,11 +14,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
 from typing import Sequence
 
 from reprolint.checkers.base import all_checkers
 from reprolint.config import DEFAULT
-from reprolint.engine import run_paths
+from reprolint.engine import LintResult, run_paths
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,6 +58,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every registered rule and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "suppress findings recorded in this JSON baseline (path + code "
+            "+ message, line-drift tolerant) so a new rule can land "
+            "gradually; entries that no longer match anything are reported"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
     return parser
 
 
@@ -69,6 +85,42 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _baseline_key(finding_dict: dict) -> tuple:
+    """Identity of one finding for baseline matching.
+
+    Lines are deliberately excluded: a baseline must survive unrelated
+    edits shifting code up or down.
+    """
+    return (
+        finding_dict.get("path"),
+        finding_dict.get("code"),
+        finding_dict.get("message"),
+    )
+
+
+def _apply_baseline(result, baseline_path: str):
+    """Filter baselined findings out of ``result``; stale entries surface.
+
+    Returns ``(filtered_result, stale_keys)``. Matching is per-key with
+    multiplicity: two identical findings and one baseline entry keep one
+    finding live.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        recorded = json.load(handle)
+    budget = Counter(
+        _baseline_key(entry) for entry in recorded.get("findings", [])
+    )
+    kept = []
+    for finding in result.findings:
+        key = _baseline_key(finding.to_dict())
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        kept.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return LintResult(findings=tuple(kept), files=result.files), stale
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the linter; returns the process exit code."""
     parser = _build_parser()
@@ -77,8 +129,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
 
     result = run_paths(args.paths, root=args.root)
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(
+            f"baseline: recorded {len(result.findings)} findings in "
+            f"{args.baseline}"
+        )
+        return 0
+
+    stale: list = []
+    if args.baseline:
+        try:
+            result, stale = _apply_baseline(result, args.baseline)
+        except FileNotFoundError:
+            parser.error(f"baseline file {args.baseline} does not exist")
+
     if args.format == "json":
         report = json.dumps(result.to_dict(), indent=2)
     else:
@@ -89,6 +161,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             handle.write(report + "\n")
     else:
         print(report)
+    for path, code, message in stale:
+        print(
+            f"reprolint: stale baseline entry {path}: {code} {message!r} — "
+            "the finding is gone; refresh with --update-baseline",
+            file=sys.stderr,
+        )
     if result.exit_code and args.output:
         # keep the failure visible even when the report went to a file
         print(

@@ -135,6 +135,117 @@ DEFAULT = Config(
                 "nested_payloads": ("AuditEntry", "JobEvent", "Lease"),
             },
         ),
+        # Interprocedural rules (RPL007-010) report on the runtime
+        # package; their call graph is built over all of src/repro so
+        # cross-module edges (worker -> board, index -> dataset) exist
+        # even when the reporting scope is narrower.
+        #
+        # Thread-shared mutation: anything reachable from an executor
+        # submit / Thread target mutates attributes only under a lock.
+        RuleScope(
+            code="RPL007",
+            include=("src/repro/*",),
+            exclude=("src/repro/experiments/*",),
+            options={
+                "model_include": ("src/repro/*",),
+                # Per-connection HTTP handlers run on their own thread
+                # without a visible spawn site in the project.
+                "thread_roots": (
+                    "_GatewayHandler.do_GET",
+                    "_GatewayHandler.do_POST",
+                ),
+                # One handler instance per connection thread: its own
+                # attributes are thread-local by construction.
+                "instance_per_thread": ("_GatewayHandler",),
+                # QueryEngine is single-threaded by contract (workers
+                # own one engine per process; RPL010 enforces its
+                # non-blocking half) — the thread cone stops at the
+                # layers that actually share state across threads.
+                "follow": (
+                    "src/repro/crowd/*",
+                    "src/repro/data/*",
+                    "src/repro/serving/*",
+                    "src/repro/service/*",
+                    "src/repro/audit/*",
+                ),
+            },
+        ),
+        # Rng-stream discipline: the audit paths must thread the one
+        # entry-point generator; no mid-path minting, seeded or not.
+        RuleScope(
+            code="RPL008",
+            include=("src/repro/*",),
+            exclude=("src/repro/experiments/*",),
+            options={
+                "model_include": ("src/repro/*",),
+                "entry_points": (
+                    "AuditSession.run",
+                    "AuditSession.resume",
+                    "AuditService.step",
+                    "AuditService.drain",
+                    "QueryEngine.pump",
+                    "QueryEngine.absorb",
+                    "QueryEngine.run",
+                    "repro.serving.worker:run_worker",
+                ),
+                # Reviewed mints: entry points derive the stream from an
+                # explicit seed (session/service activation, the
+                # worker's submission-digest seed, content-digest image
+                # synthesis). Constructors are always allowed.
+                "rng_factories": (
+                    "AuditSession.resume",
+                    "AuditService.resume",
+                    # The per-job execution boundary: the stream is
+                    # re-minted from the job's durable seed, so a
+                    # re-leased or resumed job replays identically.
+                    "AuditService._run_blocking",
+                    "_run_leased_job",
+                    "synthesize_image",
+                    "image_for_row",
+                ),
+            },
+        ),
+        # Serving/job-store file protocol: atomic publication, tolerant
+        # reads, link-or-rename claims.
+        RuleScope(
+            code="RPL009",
+            include=(
+                "src/repro/serving/board.py",
+                "src/repro/serving/config.py",
+                "src/repro/service/store.py",
+            ),
+            options={
+                "model_include": ("src/repro/*",),
+                "atomic_helpers": (
+                    "_write_atomic",
+                    "*._write_atomic",
+                    "_link_exclusive",
+                    "init_serving_root",
+                ),
+                "tolerant_readers": ("_read_json",),
+            },
+        ),
+        # Non-blocking engine core: pump/absorb never wait.
+        RuleScope(
+            code="RPL010",
+            include=("src/repro/*",),
+            exclude=("src/repro/experiments/*",),
+            options={
+                "model_include": ("src/repro/*",),
+                "entry_points": ("QueryEngine.pump", "QueryEngine.absorb"),
+                # Keep the name-match over-approximation inside the
+                # engine's actual dependency cone; the serving client's
+                # sockets are not on this path.
+                "follow": (
+                    "src/repro/engine/*",
+                    "src/repro/crowd/*",
+                    "src/repro/data/*",
+                    "src/repro/audit/*",
+                    "src/repro/core/*",
+                    "src/repro/patterns/*",
+                ),
+            },
+        ),
         # The docstring contract (the former tools/check_docstrings.py).
         RuleScope(
             code="RPL006",

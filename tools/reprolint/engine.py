@@ -121,9 +121,13 @@ def _file_findings(
 
 
 def _repo_findings(
-    root: Path, files: Sequence[str], config: Config
+    root: Path,
+    files: Sequence[str],
+    sources: dict[str, str],
+    config: Config,
 ) -> Iterator[Finding]:
     """Run every repo checker that has at least one in-scope file."""
+    shared: dict[Any, Any] = {}  # one per run: checkers share builds
     for code, checker_cls in all_checkers().items():
         if not issubclass(checker_cls, RepoChecker):
             continue
@@ -134,7 +138,15 @@ def _repo_findings(
             continue
         if not any(rule.applies_to(path) for path in files):
             continue
-        ctx = RepoContext(root=root, files=tuple(files), options=rule.options)
+        ctx = RepoContext(
+            root=root,
+            files=tuple(files),
+            options=rule.options,
+            sources=sources,
+            shared=shared,
+            include=rule.include,
+            exclude=rule.exclude,
+        )
         yield from checker_cls().check_repo(ctx)
 
 
@@ -155,6 +167,7 @@ def run_paths(
 
     raw: dict[str, list[Finding]] = {path: [] for path in files}
     suppressions: dict[str, FileSuppressions] = {}
+    sources: dict[str, str] = {}
     for relative in files:
         try:
             source = (resolved_root / relative).read_text(encoding="utf-8")
@@ -170,10 +183,11 @@ def run_paths(
                 )
             )
             continue
+        sources[relative] = source
         suppressions[relative] = parse_suppressions(source, relative)
         raw[relative].extend(_file_findings(relative, source, config))
 
-    for finding in _repo_findings(resolved_root, files, config):
+    for finding in _repo_findings(resolved_root, files, sources, config):
         raw.setdefault(finding.path, []).append(finding)
 
     final: list[Finding] = []

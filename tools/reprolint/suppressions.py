@@ -1,15 +1,24 @@
 """Reviewed suppressions: ``# reprolint: disable=RPL0NN (reason)``.
 
-A suppression silences named rules on one line (trailing comment, or a
-standalone comment line immediately above the code it covers) or, with
-``disable-file``, on the whole file. The parenthesised reason is
-mandatory — a suppression is a reviewed exception, and the review lives
-in the reason. Suppressions that silence nothing are reported as
-RPL000 findings so the inventory cannot rot.
+A suppression silences named rules on the *statement* it is attached to
+(trailing comment on any line of the statement, or a standalone comment
+line immediately above it) or, with ``disable-file``, on the whole
+file. Attachment is span-based: a directive trailing line 3 of a
+four-line call covers a finding reported at line 1, and a directive on
+a decorator line covers the ``def`` it decorates — the two cases a
+naive line-equality rule gets wrong. For compound statements the span
+is the *header* only (decorators through the signature), so a
+directive on a ``def`` line never silences findings inside the body.
+
+The parenthesised reason is mandatory — a suppression is a reviewed
+exception, and the review lives in the reason. Suppressions that
+silence nothing are reported as RPL000 findings so the inventory cannot
+rot.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -25,9 +34,13 @@ _CODE = re.compile(r"^RPL\d{3}$")
 
 
 class Suppression:
-    """One parsed directive plus its usage state."""
+    """One parsed directive plus its usage state.
 
-    __slots__ = ("path", "line", "codes", "reason", "file_wide", "used")
+    ``line`` is where the directive itself sits (used for reporting);
+    ``lines`` is the span of the statement it attaches to.
+    """
+
+    __slots__ = ("path", "line", "lines", "codes", "reason", "file_wide", "used")
 
     def __init__(
         self,
@@ -37,9 +50,11 @@ class Suppression:
         reason: str,
         *,
         file_wide: bool,
+        lines: frozenset[int] | None = None,
     ) -> None:
         self.path = path
         self.line = line
+        self.lines = lines if lines is not None else frozenset({line})
         self.codes = codes
         self.reason = reason
         self.file_wide = file_wide
@@ -47,7 +62,7 @@ class Suppression:
 
     def covers(self, code: str, line: int) -> bool:
         """Whether this directive silences ``code`` at ``line``."""
-        return code in self.codes and (self.file_wide or line == self.line)
+        return code in self.codes and (self.file_wide or line in self.lines)
 
 
 class FileSuppressions:
@@ -94,19 +109,60 @@ class FileSuppressions:
         ]
 
 
+def _statement_spans(source: str) -> list[tuple[int, int]]:
+    """Line spans directives can attach to, innermost-resolvable.
+
+    Simple statements span their full extent (a directive on any line
+    of a multi-line call covers the whole call). Compound statements —
+    crucially decorated ``def``/``class`` — contribute their *header*
+    span only: first decorator line through the end of the signature,
+    never the body.
+    """
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return []
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            spans.append((start, max(node.lineno, body[0].lineno - 1)))
+        else:
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _span_for(line: int, spans: list[tuple[int, int]]) -> tuple[int, int] | None:
+    """The smallest statement span containing ``line``, if any."""
+    best: tuple[int, int] | None = None
+    for start, end in spans:
+        if not (start <= line <= end):
+            continue
+        if best is None or (end - start) < (best[1] - best[0]):
+            best = (start, end)
+    return best
+
+
 def parse(source: str, path: str) -> FileSuppressions:
     """Extract every reprolint directive from ``source``.
 
     Comment tokens come from :mod:`tokenize`, so directives inside
     string literals are never mistaken for real suppressions. A
-    standalone directive comment covers the next source line; a trailing
-    one covers its own line.
+    standalone directive comment covers the next statement; a trailing
+    one covers the statement it sits on.
     """
     result = FileSuppressions(path)
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
         return result  # the engine reports the parse failure itself
+    spans = _statement_spans(source)
 
     code_lines = {
         token.start[0]
@@ -156,13 +212,19 @@ def parse(source: str, path: str) -> FileSuppressions:
             continue
         file_wide = match.group("kind") == "disable-file"
         if file_wide or line in code_lines:
-            effective = line
-        else:  # standalone comment: covers the next line holding code
+            anchor = line
+        else:  # standalone comment: attaches to the next statement
             following = [at for at in code_lines if at > line]
-            effective = min(following) if following else line
+            anchor = min(following) if following else line
+        span = _span_for(anchor, spans)
+        covered = (
+            frozenset(range(span[0], span[1] + 1))
+            if span is not None
+            else frozenset({anchor})
+        )
         result.suppressions.append(
             Suppression(
-                path, effective, codes, reason, file_wide=file_wide
+                path, line, codes, reason, file_wide=file_wide, lines=covered
             )
         )
     return result
