@@ -1,0 +1,288 @@
+"""Reliability benchmark: adaptive assignment routing vs fixed fan-out.
+
+The paper's crowd model publishes every set HIT to a *fixed* number of
+workers (``assignments_per_hit``, default 3) and majority-votes the
+answers. This harness measures what the online worker-reliability
+subsystem (:mod:`repro.crowd.reliability`) buys on the *spend* axis: it
+runs the same group audits over the same spammy worker pool
+
+* **fixed** — classic fan-out: every HIT costs exactly
+  ``assignments_per_hit`` paid assignments, majority vote decides, and
+* **adaptive** — :class:`~repro.crowd.reliability.AdaptiveAssignmentPolicy`:
+  votes stream in one at a time from reliability-ranked workers and stop
+  as soon as the streaming Dawid–Skene posterior clears a calibrated
+  log-odds threshold; quarantined workers are excluded and probed.
+
+Both arms run behind a :class:`~repro.crowd.backends.LatencyModelBackend`
+(simulated per-worker latency on a virtual clock) with a pool containing
+at least 20% uniform spammers. The harness asserts that every audit
+verdict matches the ground-truth reference in both arms and that the
+adaptive arm cuts paid assignments and worker payments by at least 25%.
+It also re-checks kill/resume conformance: a reliability-enabled service
+job abandoned mid-run and revived from its job store must reproduce the
+uninterrupted verdicts and task counts without re-asking a single paid
+query.
+
+Results land in ``BENCH_reliability.json``; CI runs this script on every
+push. Full run::
+
+    PYTHONPATH=src python benchmarks/bench_reliability.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+
+import numpy as np
+
+from repro.audit import GroupAuditSpec
+from repro.crowd.backends import LatencyModelBackend
+from repro.crowd.oracle import CrowdOracle, GroundTruthOracle
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.reliability import AdaptiveAssignmentPolicy
+from repro.crowd.workers import make_worker_pool
+from repro.data.groups import group
+from repro.data.synthetic import binary_dataset
+from repro.errors import BudgetExceededError
+from repro.service import AuditService, DirectoryJobStore
+
+DEFAULT_TAU = 60
+DEFAULT_WORKERS = 20
+DEFAULT_SPAMMER_FRACTION = 0.25
+LOG_ODDS_THRESHOLD = 3.5
+SAVING_TARGET = 0.25
+
+SPECS = (
+    GroupAuditSpec(predicate=group(gender="female"), tau=DEFAULT_TAU),
+    GroupAuditSpec(predicate=group(gender="male"), tau=DEFAULT_TAU),
+)
+
+
+def build_pool(n_workers: int, spammer_fraction: float):
+    return make_worker_pool(
+        n_workers,
+        np.random.default_rng(3),
+        error_rate=0.03,
+        spammer_fraction=spammer_fraction,
+        spammer_error_rate=0.45,
+    )
+
+
+def build_oracle(dataset, n_workers: int, spammer_fraction: float, adaptive: bool):
+    reliability = (
+        AdaptiveAssignmentPolicy(log_odds_threshold=LOG_ODDS_THRESHOLD)
+        if adaptive
+        else None
+    )
+    platform = CrowdPlatform(
+        dataset,
+        build_pool(n_workers, spammer_fraction),
+        np.random.default_rng(11),
+        reliability=reliability,
+    )
+    return CrowdOracle(platform)
+
+
+def run_arm(dataset, specs, *, n_workers: int, spammer_fraction: float,
+            adaptive: bool) -> dict:
+    """One benchmark arm: all audits over a latency-model crowd."""
+    oracle = build_oracle(dataset, n_workers, spammer_fraction, adaptive)
+    service = AuditService(
+        oracle,
+        backend=lambda proxy: LatencyModelBackend(
+            proxy, rng=np.random.default_rng(1234)
+        ),
+        max_active_jobs=len(specs),
+    )
+    started = time.perf_counter()
+    with service:
+        handles = [service.submit(spec) for spec in specs]
+        service.drain()
+        reports = [handle.result() for handle in handles]
+        makespan = service.backend.clock.now()
+        reliability_report = service.reliability_report()
+    real_seconds = time.perf_counter() - started
+    row = {
+        "arm": "adaptive" if adaptive else "fixed",
+        "tasks": oracle.ledger.total,
+        "hits": oracle.platform.ledger.n_hits,
+        "assignments": oracle.platform.ledger.n_assignments,
+        "worker_payments": oracle.platform.ledger.worker_payments,
+        "total_cost": oracle.platform.ledger.total_cost,
+        "virtual_makespan_seconds": makespan,
+        "real_seconds": real_seconds,
+        "verdicts": [
+            {"covered": report.result.covered, "count": report.result.count}
+            for report in reports
+        ],
+    }
+    if reliability_report is not None:
+        row["reliability"] = {
+            "n_workers": reliability_report.n_workers,
+            "n_quarantined": reliability_report.n_quarantined,
+            "n_probes": reliability_report.n_probes,
+            "mean_votes_per_hit": reliability_report.mean_votes_per_hit,
+        }
+    return row
+
+
+def reference_verdicts(dataset, specs) -> list[dict]:
+    """Ground-truth verdicts the crowd arms must reproduce."""
+    oracle = GroundTruthOracle(dataset)
+    with AuditService(oracle, max_active_jobs=len(specs)) as service:
+        handles = [service.submit(spec) for spec in specs]
+        service.drain()
+        return [
+            {
+                "covered": handle.result().result.covered,
+                "count": handle.result().result.count,
+            }
+            for handle in handles
+        ]
+
+
+def check_kill_resume(dataset, specs, *, n_workers: int,
+                      spammer_fraction: float) -> dict:
+    """Abandon a reliability-enabled service mid-run, revive it from the
+    store onto a fresh platform, and demand bit-identical results."""
+    reference_oracle = build_oracle(dataset, n_workers, spammer_fraction, True)
+    with AuditService(reference_oracle, seed=9) as service:
+        handles = [service.submit(spec) for spec in specs]
+        service.drain()
+        reference = [handle.result() for handle in handles]
+    reference_state = reference_oracle.platform.reliability.state_dict()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = DirectoryJobStore(scratch)
+        killed_oracle = build_oracle(dataset, n_workers, spammer_fraction, True)
+        budget = max(1, reference_oracle.ledger.total // 2)
+        service = AuditService(
+            killed_oracle, job_store=store, task_budget=budget, seed=9
+        )
+        with service:
+            for spec in specs:
+                service.submit(spec)
+            try:
+                service.drain()
+            except BudgetExceededError:
+                pass
+        fresh_oracle = build_oracle(dataset, n_workers, spammer_fraction, True)
+        revived = AuditService.resume(store, fresh_oracle, task_budget=None)
+        with revived:
+            revived.drain()
+            resumed = [handle.result() for handle in revived.jobs()]
+
+    for ours, theirs in zip(resumed, reference):
+        assert ours.result.covered == theirs.result.covered, "verdict drift"
+        assert ours.result.count == theirs.result.count, "count drift"
+    assert (
+        fresh_oracle.platform.reliability.state_dict() == reference_state
+    ), "estimator state drift after resume"
+    reasked = (
+        killed_oracle.ledger.total
+        + fresh_oracle.ledger.total
+        - reference_oracle.ledger.total
+    )
+    assert reasked == 0, f"{reasked} paid queries re-asked after resume"
+    return {
+        "tasks": reference_oracle.ledger.total,
+        "tasks_before_kill": killed_oracle.ledger.total,
+        "reasked_paid_queries": reasked,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument(
+        "--spammer-fraction", type=float, default=DEFAULT_SPAMMER_FRACTION
+    )
+    parser.add_argument("--out", default="BENCH_reliability.json")
+    args = parser.parse_args()
+    if args.spammer_fraction < 0.2:
+        parser.error("--spammer-fraction must be >= 0.2 (the acceptance bar)")
+
+    dataset = binary_dataset(2_000, 25, rng=np.random.default_rng(7))
+    print(
+        f"reliability benchmark: {len(SPECS)} group audits, tau={DEFAULT_TAU}, "
+        f"{args.workers} workers, {args.spammer_fraction:.0%} spammers"
+    )
+
+    reference = reference_verdicts(dataset, SPECS)
+    arms = {}
+    for adaptive in (False, True):
+        row = run_arm(
+            dataset, SPECS, n_workers=args.workers,
+            spammer_fraction=args.spammer_fraction, adaptive=adaptive,
+        )
+        ours = [verdict["covered"] for verdict in row["verdicts"]]
+        truth = [verdict["covered"] for verdict in reference]
+        assert ours == truth, (
+            f"{row['arm']} arm diverged from ground-truth coverage verdicts: "
+            f"{ours} vs {truth}"
+        )
+        arms[row["arm"]] = row
+        extra = ""
+        if "reliability" in row:
+            r = row["reliability"]
+            extra = (
+                f", {r['n_quarantined']}/{r['n_workers']} quarantined, "
+                f"{r['mean_votes_per_hit']:.2f} votes/HIT"
+            )
+        print(
+            f"  {row['arm']:>8}: {row['assignments']:>6} assignments, "
+            f"${row['total_cost']:.2f}, {row['tasks']} tasks{extra}"
+        )
+
+    fixed, adaptive = arms["fixed"], arms["adaptive"]
+    assignment_saving = 1 - adaptive["assignments"] / fixed["assignments"]
+    payment_saving = 1 - adaptive["worker_payments"] / fixed["worker_payments"]
+    print(
+        f"  spend reduction: {assignment_saving:.1%} assignments, "
+        f"{payment_saving:.1%} payments (target >= {SAVING_TARGET:.0%}) "
+        f"at identical verdicts"
+    )
+    assert assignment_saving >= SAVING_TARGET, (
+        f"assignment saving {assignment_saving:.1%} below the "
+        f"{SAVING_TARGET:.0%} target"
+    )
+    assert payment_saving >= SAVING_TARGET, (
+        f"payment saving {payment_saving:.1%} below the "
+        f"{SAVING_TARGET:.0%} target"
+    )
+
+    conformance = check_kill_resume(
+        dataset, SPECS, n_workers=args.workers,
+        spammer_fraction=args.spammer_fraction,
+    )
+    print(
+        f"  kill/resume ok: {conformance['tasks_before_kill']}/"
+        f"{conformance['tasks']} tasks before the kill, "
+        f"{conformance['reasked_paid_queries']} re-asked after resume"
+    )
+
+    payload = {
+        "benchmark": "reliability-adaptive assignment routing",
+        "n_audits": len(SPECS),
+        "tau": DEFAULT_TAU,
+        "dataset_size": len(dataset),
+        "n_workers": args.workers,
+        "spammer_fraction": args.spammer_fraction,
+        "log_odds_threshold": LOG_ODDS_THRESHOLD,
+        "fixed": fixed,
+        "adaptive": adaptive,
+        "assignment_saving": assignment_saving,
+        "payment_saving": payment_saving,
+        "saving_target": SAVING_TARGET,
+        "kill_resume": conformance,
+    }
+    with open(args.out, "w") as sink:
+        json.dump(payload, sink, indent=2)
+    print(f"  wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,7 @@ from repro.audit.serialization import (
 from repro.audit.specs import AuditSpec, GroupAuditSpec, spec_from_dict
 from repro.core.results import LedgerWindow, TaskUsage
 from repro.crowd.oracle import Oracle
+from repro.crowd.reliability.serialization import ReliabilitySnapshot
 from repro.engine.requests import QueryKey
 from repro.engine.scheduler import QueryEngine
 from repro.errors import (
@@ -82,8 +83,12 @@ __all__ = [
 #: Version 2 serializes contiguous-run index keys as compact
 #: ``{"run": [start, stop]}`` endpoints instead of exhaustive index
 #: lists; version-1 checkpoints (always exhaustive lists) remain readable.
-_CHECKPOINT_VERSION = 2
-_READABLE_CHECKPOINT_VERSIONS = frozenset({1, 2})
+#: Version 3 adds the ``reliability`` section (its own versioned
+#: :class:`~repro.crowd.reliability.ReliabilitySnapshot` payload, or
+#: ``None`` for sessions without a reliability-enabled platform);
+#: version-1/2 checkpoints remain readable.
+_CHECKPOINT_VERSION = 3
+_READABLE_CHECKPOINT_VERSIONS = frozenset({1, 2, 3})
 
 #: Sessions currently inside their ``with`` block, for the legacy-path
 #: DeprecationWarning. Module-level and identity-based; sessions
@@ -165,6 +170,15 @@ def _infer_dataset_size(oracle: Oracle) -> int | None:
     if dataset is None:
         dataset = getattr(getattr(oracle, "platform", None), "dataset", None)
     return len(dataset) if dataset is not None else None
+
+
+def _reliability_platform(oracle: Oracle):
+    """The reliability-enabled :class:`~repro.crowd.platform.CrowdPlatform`
+    behind an oracle (or oracle proxy), when there is one, else ``None``."""
+    platform = getattr(oracle, "platform", None)
+    if platform is not None and getattr(platform, "reliability", None) is not None:
+        return platform
+    return None
 
 
 class AuditSession:
@@ -561,8 +575,27 @@ class AuditSession:
                     for (predicate, index_key), answer in set_answers.items()
                 ],
                 "point_answers": point_answers_to_list(self._proxy._point_seen),
+                "reliability": self._reliability_section(),
             }
         )
+
+    def _reliability_section(self) -> dict | None:
+        """The versioned reliability payload for :meth:`checkpoint`, or
+        ``None`` when the oracle has no reliability-enabled platform."""
+        platform = _reliability_platform(self.oracle)
+        if platform is None:
+            return None
+        return ReliabilitySnapshot.capture(platform).to_dict()
+
+    def reliability_report(self):
+        """The reliability policy's current
+        :class:`~repro.crowd.reliability.ReliabilityReport` (quarantine
+        roster, spend counters), or ``None`` when the session's oracle
+        has no reliability-enabled platform behind it."""
+        platform = _reliability_platform(self.oracle)
+        if platform is None:
+            return None
+        return platform.reliability.report()
 
     @classmethod
     def resume(
@@ -607,6 +640,7 @@ class AuditSession:
             raw_set_answers = data["set_answers"]
             raw_point_answers = data["point_answers"]
             raw_pending = data["pending"]
+            raw_reliability = data["reliability"] if version >= 3 else None
         except KeyError as error:
             raise CheckpointVersionError(
                 f"checkpoint declares version {version} but is missing the "
@@ -658,6 +692,16 @@ class AuditSession:
                 f"checkpointed pending spec is not readable by this build "
                 f"({error}) — written by an incompatible checkpoint version?"
             ) from error
+        if raw_reliability is not None:
+            platform = _reliability_platform(oracle)
+            if platform is None:
+                raise CheckpointVersionError(
+                    "checkpoint carries a reliability section but the "
+                    "resuming oracle has no reliability-enabled platform — "
+                    "resume with the same CrowdPlatform(reliability=...) "
+                    "configuration the checkpoint was written under"
+                )
+            ReliabilitySnapshot.from_dict(raw_reliability).restore(platform)
         return session
 
     def run_pending(self) -> AuditReport:

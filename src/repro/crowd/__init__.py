@@ -1,6 +1,11 @@
 """Crowdsourcing simulator: queries, workers, QC, pricing, platform, oracles."""
 
-from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
+from repro.crowd.aggregation import (
+    DawidSkene,
+    majority_point,
+    majority_vote,
+    tied_winners,
+)
 from repro.crowd.backends import (
     CrowdBackend,
     InlineBackend,
@@ -34,12 +39,25 @@ from repro.crowd.quality import (
     screen_workers,
 )
 from repro.crowd.queries import HitRecord, PointQuery, SetQuery
+from repro.crowd.reliability import (
+    AdaptiveAssignmentPolicy,
+    OnlineDawidSkene,
+    ReliabilityReport,
+    ReliabilitySnapshot,
+    ReliabilityTracker,
+)
 from repro.crowd.workers import Worker, make_worker_pool
 
 __all__ = [
     "majority_vote",
     "majority_point",
+    "tied_winners",
     "DawidSkene",
+    "OnlineDawidSkene",
+    "ReliabilityTracker",
+    "AdaptiveAssignmentPolicy",
+    "ReliabilityReport",
+    "ReliabilitySnapshot",
     "CrowdBackend",
     "Ticket",
     "InlineBackend",

@@ -8,40 +8,56 @@ estimator [15], worker profiling [59, 60]). We implement both:
 * :class:`DawidSkene` — the classic EM estimator of worker confusion
   matrices and task truths, usable as a drop-in aggregator for experiments
   with heterogeneous (spammy) pools. Used by the A2 ablation bench.
+
+The *online* streaming variant (incremental EM, damped partial steps,
+vote-by-vote posteriors) lives in :mod:`repro.crowd.reliability`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Mapping, Sequence, TypeVar
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["majority_vote", "majority_point", "DawidSkene"]
+__all__ = ["majority_vote", "majority_point", "tied_winners", "DawidSkene"]
+
+AnswerT = TypeVar("AnswerT", bound=Hashable)
 
 
 def majority_vote(
-    answers: Sequence[Hashable], *, rng: np.random.Generator | None = None
-) -> Hashable:
+    answers: Sequence[AnswerT], *, rng: np.random.Generator | None = None
+) -> AnswerT:
     """The most frequent answer; ties broken uniformly at random (or by
     first occurrence when no RNG is supplied).
 
+    Tied winners are ordered by *first occurrence in the answer
+    sequence* — explicitly, and identically on both paths: the
+    deterministic path returns the first winner of that ordering, the
+    rng path draws an index into the same ordering. ``[A, B, B, A]``
+    therefore resolves deterministically to ``A`` and samples uniformly
+    over ``(A, B)`` with an rng.
+
     >>> majority_vote([True, True, False])
     True
+    >>> majority_vote(["b", "a", "a", "b"])   # tie -> first occurrence
+    'b'
     """
     if not answers:
         raise InvalidParameterError("majority_vote needs at least one answer")
     counts = Counter(answers)
     top_count = max(counts.values())
-    winners = [answer for answer, count in counts.items() if count == top_count]
-    if len(winners) == 1 or rng is None:
-        # Deterministic: first answer among the tied ones, in answer order.
-        for answer in answers:
-            if answer in winners:
-                return answer
-    return winners[rng.integers(len(winners))]
+    # The explicit tie order both paths share: first occurrence in
+    # `answers`, not the count-map's internal ordering.
+    winners = [
+        answer for answer in dict.fromkeys(answers) if counts[answer] == top_count
+    ]
+    if rng is None or len(winners) == 1:
+        return winners[0]
+    return winners[int(rng.integers(len(winners)))]
 
 
 def majority_point(
@@ -52,6 +68,9 @@ def majority_point(
     Each worker supplies a full ``{attribute: value}`` labeling; the
     aggregate takes the majority independently per attribute, which is how
     multi-attribute labeling HITs are resolved in practice.
+
+    >>> majority_point([{"gender": "f"}, {"gender": "f"}, {"gender": "m"}])
+    {'gender': 'f'}
     """
     if not answers:
         raise InvalidParameterError("majority_point needs at least one answer")
@@ -70,6 +89,10 @@ class DawidSkene:
 
     * E-step: task posteriors from current class priors and confusions,
     * M-step: class priors and worker confusions from current posteriors.
+
+    >>> ds = DawidSkene(n_classes=2)
+    >>> ds.fit_predict({0: {"w1": 1, "w2": 1, "w3": 0}})
+    {0: 1}
 
     Parameters
     ----------
@@ -98,9 +121,9 @@ class DawidSkene:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.smoothing = smoothing
-        self.class_priors_: np.ndarray | None = None
-        self.worker_confusions_: dict[Hashable, np.ndarray] | None = None
-        self.posteriors_: np.ndarray | None = None
+        self.class_priors_: npt.NDArray[np.float64] | None = None
+        self.worker_confusions_: dict[Hashable, npt.NDArray[np.float64]] | None = None
+        self.posteriors_: npt.NDArray[np.float64] | None = None
         self.n_iterations_: int = 0
 
     def fit_predict(
@@ -141,7 +164,7 @@ class DawidSkene:
                 answers[task_pos[task], worker_pos[worker]] = label
 
         # Initialize posteriors from per-task vote shares.
-        posteriors = np.zeros((n_tasks, k), dtype=np.float64)
+        posteriors: npt.NDArray[np.float64] = np.zeros((n_tasks, k), dtype=np.float64)
         for i in range(n_tasks):
             answered = answers[i][answers[i] >= 0]
             for label in answered:
@@ -150,7 +173,10 @@ class DawidSkene:
         posteriors /= posteriors.sum(axis=1, keepdims=True)
 
         previous_likelihood = -np.inf
-        confusions = np.zeros((n_workers, k, k), dtype=np.float64)
+        priors: npt.NDArray[np.float64] = np.full(k, 1.0 / k, dtype=np.float64)
+        confusions: npt.NDArray[np.float64] = np.zeros(
+            (n_workers, k, k), dtype=np.float64
+        )
         for iteration in range(1, self.max_iterations + 1):
             # M-step: class priors and worker confusion matrices.
             priors = posteriors.mean(axis=0)
@@ -192,3 +218,22 @@ class DawidSkene:
             raise InvalidParameterError("call fit_predict before worker_accuracy")
         confusion = self.worker_confusions_[worker_id]
         return float(np.mean(np.diag(confusion)))
+
+
+# Re-exported for callers that want the "first-occurrence" tie order
+# without re-deriving it: the explicit winner list majority_vote uses.
+def tied_winners(answers: Sequence[AnswerT]) -> list[AnswerT]:
+    """Top-count answers in first-occurrence order — the tie order
+    :func:`majority_vote` resolves over, exposed for tests and callers
+    that need the full tied set.
+
+    >>> tied_winners(["b", "a", "a", "b"])
+    ['b', 'a']
+    """
+    if not answers:
+        raise InvalidParameterError("tied_winners needs at least one answer")
+    counts = Counter(answers)
+    top_count = max(counts.values())
+    return [
+        answer for answer in dict.fromkeys(answers) if counts[answer] == top_count
+    ]

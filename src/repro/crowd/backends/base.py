@@ -127,6 +127,8 @@ class CrowdBackend(ABC):
         self._next_ticket_id = 0
         #: submitted, not yet gathered — insertion (= submission) ordered.
         self._open: dict[int, Ticket] = {}
+        #: per-ticket worker-vote attributions captured at dispatch.
+        self._votes: dict[int, list[tuple[tuple[int, bool], ...]]] = {}
 
     # -- public lifecycle -------------------------------------------------
     def submit(self, requests: "Sequence[SetRequest]") -> Ticket:
@@ -219,11 +221,34 @@ class CrowdBackend(ABC):
             f"({type(self).__name__} has no clock to advance)"
         )
 
+    def take_votes(self, ticket: Ticket) -> "list[tuple[tuple[int, bool], ...]]":
+        """Per-query worker-vote attributions for a dispatched ticket:
+        one ``((worker_id, answer), ...)`` tuple per query, in submission
+        order — the raw material an online reliability estimator
+        (:mod:`repro.crowd.reliability`) consumes. Empty when the
+        oracle does not expose worker identities (e.g. ground truth) and
+        the backend does not synthesize them. May be called once per
+        ticket, any time after submission; consuming is idempotent-safe
+        (a second call returns an empty list)."""
+        return self._votes.pop(ticket.ticket_id, [])
+
     # -- shared helper ----------------------------------------------------
-    def _dispatch(self, requests: "Sequence[SetRequest]") -> list[bool]:
+    def _dispatch(
+        self, requests: "Sequence[SetRequest]", *, ticket: "Ticket | None" = None
+    ) -> list[bool]:
         """Route one batch through the oracle's blocking batch API —
-        the charging path every simulated backend shares."""
-        return self.oracle.ask_set_batch(
+        the charging path every simulated backend shares. When a ticket
+        is given and the oracle buffers per-HIT worker votes
+        (``drain_set_votes``), the attributions are captured for
+        :meth:`take_votes`."""
+        answers = self.oracle.ask_set_batch(
             [(request.indices, request.predicate) for request in requests],
             keys=[request.key for request in requests],
         )
+        if ticket is not None:
+            drain = getattr(self.oracle, "drain_set_votes", None)
+            if callable(drain):
+                votes = drain()
+                if votes:
+                    self._votes[ticket.ticket_id] = list(votes)
+        return answers

@@ -52,7 +52,7 @@ class InlineBackend(CrowdBackend):
         self._answers: dict[int, list[bool]] = {}
 
     def _submit(self, ticket: Ticket, requests: "Sequence[SetRequest]") -> None:
-        self._answers[ticket.ticket_id] = self._dispatch(requests)
+        self._answers[ticket.ticket_id] = self._dispatch(requests, ticket=ticket)
 
     def _ready(self, ticket: Ticket) -> bool:
         return True

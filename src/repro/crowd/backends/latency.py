@@ -152,6 +152,13 @@ class LatencyModelBackend(CrowdBackend):
     clock:
         A :class:`SimulatedClock`; a fresh one when omitted. Pass a
         shared clock to let several backends tell one story of time.
+    attribute_workers:
+        When ``True`` and the oracle itself exposes no worker votes,
+        synthesize per-query attributions from the latency model's
+        round-robin deal (query ``i`` answered by simulated worker
+        ``i % n_workers``), so reliability estimators can run over
+        oracles without a platform identity (e.g. ground truth or flaky
+        oracles). Real platform votes, when available, always win.
 
     Examples
     --------
@@ -178,8 +185,10 @@ class LatencyModelBackend(CrowdBackend):
         model: LatencyModel | None = None,
         rng: np.random.Generator | None = None,
         clock: SimulatedClock | None = None,
+        attribute_workers: bool = False,
     ) -> None:
         super().__init__(oracle)
+        self.attribute_workers = attribute_workers
         self.model = model if model is not None else LatencyModel()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.clock = clock if clock is not None else SimulatedClock()
@@ -193,7 +202,15 @@ class LatencyModelBackend(CrowdBackend):
     def _submit(self, ticket: Ticket, requests: "Sequence[SetRequest]") -> None:
         # Dollars at submission (the HITs are published and will be
         # worked whatever happens next); availability later.
-        self._answers[ticket.ticket_id] = self._dispatch(requests)
+        answers = self._dispatch(requests, ticket=ticket)
+        self._answers[ticket.ticket_id] = answers
+        if self.attribute_workers and ticket.ticket_id not in self._votes:
+            # No platform identity behind the oracle: attribute each
+            # query to the simulated worker the round-robin deal gave it.
+            self._votes[ticket.ticket_id] = [
+                ((int(i % self.model.n_workers), bool(answer)),)
+                for i, answer in enumerate(answers)
+            ]
         self._ready_at[ticket.ticket_id] = self.clock.now() + self.model.batch_seconds(
             len(requests), self._speed_factors, self.rng
         )

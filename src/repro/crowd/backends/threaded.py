@@ -87,16 +87,23 @@ class ThreadedBackend(CrowdBackend):
         self._futures: dict[int, Future] = {}
         self._closed = False
 
-    def _call(self, requests: "Sequence[SetRequest]") -> Sequence[bool]:
+    def _call(self, ticket: Ticket, requests: "Sequence[SetRequest]") -> Sequence[bool]:
         if self._adapter is not None:
+            # External adapters do their own dispatch; worker identities
+            # (if any) are theirs to surface — no votes are captured.
             return self._adapter(requests)
         with self._oracle_lock:
-            return self._dispatch(requests)
+            # Vote capture happens inside the oracle lock: the drain is
+            # atomic with the dispatch, so concurrent batches cannot
+            # interleave their attributions.
+            return self._dispatch(requests, ticket=ticket)
 
     def _submit(self, ticket: Ticket, requests: "Sequence[SetRequest]") -> None:
         if self._closed:
             raise InvalidParameterError("backend is closed")
-        self._futures[ticket.ticket_id] = self._pool.submit(self._call, requests)
+        self._futures[ticket.ticket_id] = self._pool.submit(
+            self._call, ticket, requests
+        )
 
     def _ready(self, ticket: Ticket) -> bool:
         return self._futures[ticket.ticket_id].done()

@@ -352,6 +352,12 @@ class CrowdOracle(Oracle):
     def _answer_point(self, index: int) -> dict[str, str]:
         return self.platform.publish_point_query(PointQuery(index))
 
+    def drain_set_votes(self) -> list[tuple[tuple[int, bool], ...]]:
+        """Return-and-clear the platform's buffered per-HIT
+        ``(worker_id, answer)`` set votes — how backends surface worker
+        identities alongside answers (``record_votes=True``)."""
+        return self.platform.drain_set_votes()
+
 
 class FlakyOracle(Oracle):
     """Ground truth with i.i.d. answer flips — a cheap noise model.

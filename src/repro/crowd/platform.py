@@ -22,6 +22,7 @@ from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
 from repro.crowd.pricing import CostLedger, FixedPricing, PricingModel
 from repro.crowd.quality import QC_MAJORITY_ONLY, ScreeningPolicy, screen_workers
 from repro.crowd.queries import HitRecord, PointQuery, SetQuery
+from repro.crowd.reliability.policy import AdaptiveAssignmentPolicy
 from repro.crowd.workers import Worker
 from repro.data.dataset import LabeledDataset
 from repro.data.membership import membership_index_for
@@ -56,6 +57,20 @@ class CrowdPlatform:
     record_hits:
         Keep per-HIT audit records. Disable for very large simulations to
         save memory; statistics counters stay accurate either way.
+    reliability:
+        Optional :class:`~repro.crowd.reliability.AdaptiveAssignmentPolicy`.
+        When set, HITs are routed adaptively — trusted workers first,
+        quarantined workers excluded, vote collection stopped once the
+        posterior log-odds clears the policy's threshold — instead of the
+        fixed ``assignments_per_hit`` fan-out. The charging path is
+        unchanged (every collected vote is billed through the pricing
+        model); with ``reliability=None`` the platform's rng stream and
+        behavior are bit-identical to previous releases.
+    record_votes:
+        Buffer per-HIT ``(worker_id, answer)`` set votes for
+        :meth:`drain_set_votes` (how backends surface vote attributions
+        to an external estimator). Defaults to ``True`` iff
+        ``reliability`` is set.
     """
 
     def __init__(
@@ -68,6 +83,8 @@ class CrowdPlatform:
         screening: Sequence[ScreeningPolicy] = QC_MAJORITY_ONLY,
         pricing: PricingModel | None = None,
         record_hits: bool = True,
+        reliability: AdaptiveAssignmentPolicy | None = None,
+        record_votes: bool | None = None,
     ) -> None:
         if assignments_per_hit <= 0:
             raise InvalidParameterError("assignments_per_hit must be positive")
@@ -83,6 +100,11 @@ class CrowdPlatform:
             )
         self.ledger = CostLedger(pricing=pricing or FixedPricing())
         self.record_hits = record_hits
+        self.reliability = reliability
+        self.record_votes = (
+            reliability is not None if record_votes is None else record_votes
+        )
+        self._pending_set_votes: list[tuple[tuple[int, bool], ...]] = []
         self.hit_records: list[HitRecord] = []
         self.n_raw_answers = 0
         self.n_raw_incorrect = 0
@@ -98,25 +120,79 @@ class CrowdPlatform:
         return [self.eligible_workers[int(i)] for i in chosen]
 
     def publish_set_query(self, query: SetQuery) -> bool:
-        """Publish a set query; returns the majority-vote answer.
+        """Publish a set query; returns the aggregated answer.
 
         The HIT shows ``len(query.indices)`` images, which is what a
-        size-dependent pricing model bills for.
+        size-dependent pricing model bills for. With ``reliability=None``
+        (the default) this is the paper's fixed-redundancy majority vote;
+        with a policy attached, routing and stopping are adaptive.
         """
         index_array = np.asarray(query.indices, dtype=np.int64)
         truth = self.membership_index.any_match(query.predicate, index_array)
+        if self.reliability is not None:
+            return self._publish_set_adaptive(query, index_array, truth)
         assigned = self._assign_workers()
         answers = tuple(worker.answer_set(truth, self.rng) for worker in assigned)
         aggregated = bool(majority_vote(answers, rng=self.rng))
+        if self.record_votes:
+            self._pending_set_votes.append(
+                tuple(
+                    (worker.worker_id, bool(answer))
+                    for worker, answer in zip(assigned, answers)
+                )
+            )
         self._account(
             query, assigned, answers, aggregated, truth,
             n_images=max(len(index_array), 1),
         )
         return aggregated
 
+    def _publish_set_adaptive(
+        self, query: SetQuery, index_array: np.ndarray, truth: bool
+    ) -> bool:
+        """Adaptive set-query path: sequential votes from trusted workers,
+        stopped on posterior log-odds; every vote is billed as usual."""
+        policy = self.reliability
+        assert policy is not None
+        order, probe = policy.plan(self.eligible_workers, self.rng)
+        assigned: list[Worker] = []
+        answers: list[bool] = []
+        log_odds = policy.prior_log_odds()
+        for pos in order:
+            worker = self.eligible_workers[pos]
+            answer = bool(worker.answer_set(truth, self.rng))
+            assigned.append(worker)
+            answers.append(answer)
+            log_odds += policy.vote_log_odds(worker.worker_id, answer)
+            if policy.should_stop(log_odds, len(answers)):
+                break
+        aggregated = policy.decide(log_odds)
+        n_probes = 0
+        if probe is not None:
+            # Paid probation probe: feeds the estimator, never the verdict.
+            probe_worker = self.eligible_workers[probe]
+            assigned.append(probe_worker)
+            answers.append(bool(probe_worker.answer_set(truth, self.rng)))
+            n_probes = 1
+        votes = tuple(
+            (worker.worker_id, answer)
+            for worker, answer in zip(assigned, answers)
+        )
+        policy.observe_set(votes, n_probes=n_probes)
+        if self.record_votes:
+            self._pending_set_votes.append(votes)
+        self._account(
+            query, assigned, tuple(answers), aggregated, truth,
+            n_images=max(len(index_array), 1),
+        )
+        return aggregated
+
     def publish_point_query(self, query: PointQuery) -> dict[str, str]:
-        """Publish a point query; returns the attribute-wise majority labels."""
+        """Publish a point query; returns the attribute-wise aggregated
+        labels (majority vote, or the reliability policy's MAP)."""
         truth = self.dataset.value_row(query.index)
+        if self.reliability is not None:
+            return self._publish_point_adaptive(query, truth)
         assigned = self._assign_workers()
         answers = tuple(
             worker.answer_point(truth, self.dataset.schema, self.rng)
@@ -125,6 +201,58 @@ class CrowdPlatform:
         aggregated = majority_point(answers, rng=self.rng)
         self._account(query, assigned, answers, aggregated, truth, n_images=1)
         return aggregated
+
+    def _publish_point_adaptive(
+        self, query: PointQuery, truth: dict[str, str]
+    ) -> dict[str, str]:
+        """Adaptive point-query path: sequential labelings from trusted
+        workers, stopped once every attribute's posterior margin clears
+        the policy threshold."""
+        policy = self.reliability
+        assert policy is not None
+        order, probe = policy.plan(self.eligible_workers, self.rng)
+        assigned: list[Worker] = []
+        answers: list[dict[str, str]] = []
+        votes: list[tuple[int, dict[str, str]]] = []
+        for pos in order:
+            worker = self.eligible_workers[pos]
+            answer = worker.answer_point(truth, self.dataset.schema, self.rng)
+            assigned.append(worker)
+            answers.append(answer)
+            votes.append((worker.worker_id, answer))
+            posteriors = policy.estimator.point_posteriors(votes)
+            if policy.should_stop_point(posteriors, len(answers)):
+                break
+        # The verdict uses only verdict-bearing votes, decided before the
+        # estimator absorbs them (mirrors the set-query path).
+        posteriors = policy.estimator.point_posteriors(votes)
+        aggregated = {
+            attribute: max(values, key=values.__getitem__)
+            for attribute, values in posteriors.items()
+        }
+        n_probes = 0
+        if probe is not None:
+            probe_worker = self.eligible_workers[probe]
+            probe_answer = probe_worker.answer_point(
+                truth, self.dataset.schema, self.rng
+            )
+            assigned.append(probe_worker)
+            answers.append(probe_answer)
+            votes.append((probe_worker.worker_id, probe_answer))
+            n_probes = 1
+        policy.observe_point(votes, n_probes=n_probes)
+        self._account(
+            query, assigned, tuple(answers), aggregated, truth, n_images=1
+        )
+        return aggregated
+
+    def drain_set_votes(self) -> list[tuple[tuple[int, bool], ...]]:
+        """Return-and-clear the buffered per-HIT set-vote attributions
+        (``record_votes=True``); backends call this right after a
+        dispatch to ship worker identities along with answers."""
+        votes = self._pending_set_votes
+        self._pending_set_votes = []
+        return votes
 
     def _account(
         self,

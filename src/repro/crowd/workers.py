@@ -113,6 +113,8 @@ def make_worker_pool(
     error_rate_spread: float = 0.0,
     spammer_fraction: float = 0.0,
     spammer_error_rate: float = 0.45,
+    adversary_fraction: float = 0.0,
+    adversary_error_rate: float = 0.9,
 ) -> list[Worker]:
     """Generate a heterogeneous worker pool.
 
@@ -127,6 +129,13 @@ def make_worker_pool(
         Fraction of low-quality workers ("spammers") with
         ``spammer_error_rate`` and poor reputation attributes — these are
         the workers the Rating and Qualification screens exist to remove.
+    adversary_fraction:
+        Fraction of polarity-flipped workers whose error rate *exceeds*
+        one half (default 0.9): they answer against the truth more often
+        than with it — the signature
+        :class:`~repro.crowd.reliability.ReliabilityTracker` flags as
+        ``adversary``. Reputation attributes are drawn like a spammer's
+        (adversaries mimic low-effort accounts, not trusted ones).
 
     Returns
     -------
@@ -137,11 +146,28 @@ def make_worker_pool(
         raise InvalidParameterError("n_workers must be positive")
     if not 0.0 <= spammer_fraction <= 1.0:
         raise InvalidParameterError("spammer_fraction must be in [0,1]")
+    if not 0.0 <= adversary_fraction <= 1.0:
+        raise InvalidParameterError("adversary_fraction must be in [0,1]")
+    if spammer_fraction + adversary_fraction > 1.0:
+        raise InvalidParameterError(
+            "spammer_fraction + adversary_fraction must not exceed 1"
+        )
 
-    n_spammers = int(round(n_workers * spammer_fraction))
+    n_adversaries = int(round(n_workers * adversary_fraction))
+    n_spammers = n_adversaries + int(round(n_workers * spammer_fraction))
     workers: list[Worker] = []
     for worker_id in range(n_workers):
-        if worker_id < n_spammers:
+        if worker_id < n_adversaries:
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    set_error_rate=adversary_error_rate,
+                    point_error_rate=adversary_error_rate,
+                    percent_assignments_approved=float(rng.uniform(40.0, 94.0)),
+                    number_hits_approved=int(rng.integers(0, 99)),
+                )
+            )
+        elif worker_id < n_spammers:
             workers.append(
                 Worker(
                     worker_id=worker_id,

@@ -55,11 +55,12 @@ from repro.audit.serialization import (
     set_answer_to_dict,
     set_answers_from_list,
 )
-from repro.audit.session import _infer_dataset_size
+from repro.audit.session import _infer_dataset_size, _reliability_platform
 from repro.audit.specs import AuditSpec, GroupAuditSpec, spec_from_dict
 from repro.core.results import LedgerWindow, TaskUsage
 from repro.crowd.backends.base import CrowdBackend
 from repro.crowd.oracle import Oracle
+from repro.crowd.reliability.serialization import ReliabilitySnapshot
 from repro.engine.scheduler import Flow, QueryEngine
 from repro.errors import (
     BudgetExceededError,
@@ -72,8 +73,12 @@ from repro.service.store import JobStore
 
 __all__ = ["AuditService"]
 
-_CHECKPOINT_VERSION = 1
-_READABLE_CHECKPOINT_VERSIONS = frozenset({1})
+#: Version 2 adds the ``reliability`` section to the answer log (a
+#: versioned ReliabilitySnapshot payload, or ``None`` for services
+#: without a reliability-enabled platform); version-1 checkpoints
+#: remain readable.
+_CHECKPOINT_VERSION = 2
+_READABLE_CHECKPOINT_VERSIONS = frozenset({1, 2})
 
 
 class _Job:
@@ -418,15 +423,24 @@ class AuditService:
         return bool(self._queue) or self.engine.has_work
 
     def describe(self) -> str:
-        """One-line service summary: job tally, bill, engine counters."""
+        """One-line service summary: job tally, bill, engine counters,
+        and — when a reliability policy is attached — the worker pool's
+        quarantine tally."""
         tally = ", ".join(
             f"{status}={count}" for status, count in sorted(self.counts.items())
         )
-        return (
+        summary = (
             f"audit service: {len(self._jobs)} jobs ({tally or 'none'}), "
             f"{self.oracle.ledger.total} tasks, "
             f"round {self._rounds}, {self.engine.stats.describe()}"
         )
+        report = self.reliability_report()
+        if report is not None:
+            summary += (
+                f", reliability: {report.n_quarantined}/{report.n_workers} "
+                f"quarantined, {report.n_probes} probes"
+            )
+        return summary
 
     # -- cancellation -----------------------------------------------------
     def cancel(self, job_id: str) -> bool:
@@ -641,10 +655,29 @@ class AuditService:
                     for (predicate, index_key), answer in set_answers.items()
                 ],
                 "point_answers": point_answers_to_list(self._proxy._point_seen),
+                "reliability": self._reliability_section(),
             }
         )
         for job in self._jobs.values():
             self._persist(job)
+
+    def _reliability_section(self) -> dict[str, Any] | None:
+        """The versioned reliability payload for :meth:`checkpoint`, or
+        ``None`` when the oracle has no reliability-enabled platform."""
+        platform = _reliability_platform(self.oracle)
+        if platform is None:
+            return None
+        return ReliabilitySnapshot.capture(platform).to_dict()
+
+    def reliability_report(self):
+        """The reliability policy's current
+        :class:`~repro.crowd.reliability.ReliabilityReport` (quarantine
+        roster, spend counters), or ``None`` when the service's oracle
+        has no reliability-enabled platform behind it."""
+        platform = _reliability_platform(self.oracle)
+        if platform is None:
+            return None
+        return platform.reliability.report()
 
     @classmethod
     def resume(
@@ -690,6 +723,7 @@ class AuditService:
             raw_set_answers = answers["set_answers"]
             raw_point_answers = answers["point_answers"]
             next_seq = int(answers["next_seq"])
+            raw_reliability = answers["reliability"] if version >= 2 else None
         except KeyError as error:
             raise CheckpointVersionError(
                 f"service checkpoint declares version {version} but is missing "
@@ -718,6 +752,16 @@ class AuditService:
         service._proxy.load_point_answers(
             point_answers_from_list(raw_point_answers)
         )
+        if raw_reliability is not None:
+            platform = _reliability_platform(oracle)
+            if platform is None:
+                raise CheckpointVersionError(
+                    "service checkpoint carries a reliability section but "
+                    "the resuming oracle has no reliability-enabled platform "
+                    "— resume with the same CrowdPlatform(reliability=...) "
+                    "configuration the checkpoint was written under"
+                )
+            ReliabilitySnapshot.from_dict(raw_reliability).restore(platform)
         max_seq = -1
         for record in sorted(
             job_store.load_jobs().values(),

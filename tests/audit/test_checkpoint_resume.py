@@ -204,7 +204,7 @@ def test_checkpoint_survives_json_and_rejects_unknown_version(dataset):
         with session:
             session.run(GroupAuditSpec(predicate=FEMALE, tau=50))
     payload = json.loads(session.checkpoint())
-    assert payload["version"] == 2
+    assert payload["version"] == 3
     assert payload["pending"]
     assert payload["set_answers"]
     # Contiguous-run answers serialize as compact endpoints, not

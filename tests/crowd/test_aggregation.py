@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.crowd.aggregation import DawidSkene, majority_point, majority_vote
+from repro.crowd.aggregation import (
+    DawidSkene,
+    majority_point,
+    majority_vote,
+    tied_winners,
+)
 from repro.errors import InvalidParameterError
 
 
@@ -109,3 +114,104 @@ class TestDawidSkene:
     def test_worker_accuracy_before_fit_rejected(self):
         with pytest.raises(InvalidParameterError):
             DawidSkene(n_classes=2).worker_accuracy(0)
+
+
+class TestTieOrdering:
+    """Regression tests for the tie-breaking asymmetry fix: both the
+    deterministic and the rng paths must resolve over the *same* explicit
+    winner ordering — first occurrence in the answer sequence."""
+
+    class _IndexRng:
+        """Stub generator whose ``integers(n)`` returns a fixed index —
+        pins exactly which tied winner the rng path picks."""
+
+        def __init__(self, value):
+            self.value = value
+
+        def integers(self, n):
+            assert self.value < n
+            return self.value
+
+    def test_tied_winners_is_first_occurrence_order(self):
+        assert tied_winners(["b", "a", "a", "b"]) == ["b", "a"]
+        assert tied_winners([False, True]) == [False, True]
+        assert tied_winners(["only"]) == ["only"]
+        assert tied_winners(["x", "y", "y"]) == ["y"]
+
+    def test_deterministic_path_returns_first_seen_winner(self):
+        assert majority_vote(["b", "a", "a", "b"]) == "b"
+        assert majority_vote(["a", "b", "b", "a"]) == "a"
+
+    def test_rng_path_indexes_the_same_ordering(self):
+        answers = ["b", "a", "a", "b"]
+        assert majority_vote(answers, rng=self._IndexRng(0)) == "b"
+        assert majority_vote(answers, rng=self._IndexRng(1)) == "a"
+        # Three-way tie: index order == first-occurrence order.
+        three = ["c", "a", "b"]
+        for index, expected in enumerate(["c", "a", "b"]):
+            assert majority_vote(three, rng=self._IndexRng(index)) == expected
+
+    def test_rng_not_consulted_without_a_tie(self):
+        class ExplodingRng:
+            def integers(self, n):  # pragma: no cover - must not run
+                raise AssertionError("rng consulted for a clear majority")
+
+        assert majority_vote(["a", "a", "b"], rng=ExplodingRng()) == "a"
+
+    def test_rng_tie_break_is_uniform_over_winners(self, rng):
+        draws = {majority_vote(["b", "a", "a", "b"], rng=rng) for _ in range(200)}
+        assert draws == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tied_winners([])
+
+
+class TestDawidSkeneDegenerateCases:
+    """Convergence and degenerate-pool behavior of the batch estimator."""
+
+    def test_single_worker_follows_their_labels(self):
+        responses = {t: {0: t % 2} for t in range(20)}
+        inferred = DawidSkene(n_classes=2).fit_predict(responses)
+        assert inferred == {t: t % 2 for t in range(20)}
+
+    def test_unanimous_answers_empty_class_prior_is_finite(self):
+        # Every worker labels every task 1: class 0 is never observed, so
+        # its prior empties out — estimates must stay finite, not NaN.
+        responses = {t: {w: 1 for w in range(3)} for t in range(15)}
+        model = DawidSkene(n_classes=2)
+        inferred = model.fit_predict(responses)
+        assert all(label == 1 for label in inferred.values())
+        assert np.all(np.isfinite(model.class_priors_))
+        assert model.class_priors_[1] > 0.99
+        assert np.isclose(model.class_priors_.sum(), 1.0)
+        assert np.all(np.isfinite(model.posteriors_))
+
+    def test_all_spammer_pool_stays_well_defined(self, rng):
+        # Five coin-flip workers: nothing to learn, but the estimator
+        # must converge to finite, normalized estimates.
+        responses = {
+            t: {w: int(rng.integers(2)) for w in range(5)} for t in range(60)
+        }
+        model = DawidSkene(n_classes=2)
+        inferred = model.fit_predict(responses)
+        assert set(inferred.values()) <= {0, 1}
+        assert np.all(np.isfinite(model.posteriors_))
+        rows = model.posteriors_.sum(axis=1)
+        assert np.allclose(rows, 1.0)
+        for worker in range(5):
+            assert 0.0 <= model.worker_accuracy(worker) <= 1.0
+
+    def test_converges_before_iteration_cap_on_clean_data(self):
+        responses = {t: {w: t % 2 for w in range(4)} for t in range(30)}
+        model = DawidSkene(n_classes=2, max_iterations=100)
+        model.fit_predict(responses)
+        assert 1 <= model.n_iterations_ < 100
+
+    def test_iteration_cap_is_respected(self, rng):
+        responses = {
+            t: {w: int(rng.integers(2)) for w in range(3)} for t in range(40)
+        }
+        model = DawidSkene(n_classes=2, max_iterations=2, tolerance=0.0)
+        model.fit_predict(responses)
+        assert model.n_iterations_ == 2

@@ -145,3 +145,61 @@ class TestDawidSkeneReaggregation:
     def test_no_records_returns_zeros(self, dataset, rng):
         platform = CrowdPlatform(dataset, perfect_pool(), rng)
         assert platform.reaggregate_set_hits_with_dawid_skene() == (0, 0)
+
+
+class TestReaggregationAccountingInvariance:
+    """``reaggregate_set_hits_with_dawid_skene`` is a *read-only* analysis
+    over recorded HITs: it must never change task accounting — neither
+    the oracle's TaskLedger (tasks/rounds/budget) nor the platform's
+    CostLedger (HITs/assignments/dollars)."""
+
+    def _run_queries(self, platform, dataset, n=40, seed=5):
+        from repro.crowd.oracle import CrowdOracle
+
+        oracle = CrowdOracle(platform)
+        query_rng = np.random.default_rng(seed)
+        for _ in range(n):
+            size = int(query_rng.integers(1, 10))
+            indices = query_rng.choice(len(dataset), size=size, replace=False)
+            oracle.ask_set(np.asarray(indices, dtype=np.int64), FEMALE)
+        return oracle
+
+    def _ledger_snapshot(self, oracle, platform):
+        task = oracle.ledger
+        cost = platform.ledger
+        return (
+            task.n_set_queries, task.n_point_queries, task.n_rounds, task.budget,
+            cost.n_hits, cost.n_assignments, cost.total_cost,
+            platform.n_raw_answers, platform.n_raw_incorrect,
+            platform.n_aggregated_incorrect, len(platform.hit_records),
+        )
+
+    @pytest.mark.parametrize("spammer_fraction", [0.0, 0.4])
+    def test_totals_identical_before_and_after(self, dataset, spammer_fraction):
+        pool = make_worker_pool(
+            12,
+            np.random.default_rng(2),
+            error_rate=0.02,
+            spammer_fraction=spammer_fraction,
+            spammer_error_rate=0.45,
+        )
+        platform = CrowdPlatform(dataset, pool, np.random.default_rng(9))
+        oracle = self._run_queries(platform, dataset)
+        before = self._ledger_snapshot(oracle, platform)
+        majority_errors, ds_errors = (
+            platform.reaggregate_set_hits_with_dawid_skene()
+        )
+        assert majority_errors >= 0 and ds_errors >= 0
+        assert self._ledger_snapshot(oracle, platform) == before
+        # Idempotent: a second pass reads the same records, changes nothing.
+        assert platform.reaggregate_set_hits_with_dawid_skene() == (
+            majority_errors,
+            ds_errors,
+        )
+        assert self._ledger_snapshot(oracle, platform) == before
+
+    def test_no_records_no_accounting_change(self, dataset, rng):
+        platform = CrowdPlatform(dataset, perfect_pool(), rng)
+        assert platform.reaggregate_set_hits_with_dawid_skene() == (0, 0)
+        assert platform.ledger.n_hits == 0
+        assert platform.ledger.n_assignments == 0

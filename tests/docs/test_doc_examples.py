@@ -29,6 +29,7 @@ REQUIRED_DOC_FILES = (
     "docs/architecture.md",
     "docs/guide/scaling.md",
     "docs/guide/serving.md",
+    "docs/guide/reliability.md",
     "docs/guide/glossary.md",
 )
 

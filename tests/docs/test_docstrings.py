@@ -36,6 +36,10 @@ DOCTESTED_MODULES = (
     "repro.crowd.backends.latency",
     "repro.crowd.backends.threaded",
     "repro.crowd.oracle",
+    "repro.crowd.reliability.online",
+    "repro.crowd.reliability.tracker",
+    "repro.crowd.reliability.policy",
+    "repro.crowd.reliability.serialization",
     "repro.data.dataset",
     "repro.data.membership",
     "repro.data.sharded",

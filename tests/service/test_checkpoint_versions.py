@@ -46,7 +46,7 @@ def test_hand_written_v1_session_checkpoint_resumes_and_replays(dataset):
         with interrupted:
             interrupted.run(spec)
     v2 = json.loads(interrupted.checkpoint())
-    assert v2["version"] == 2 and any("run" in e for e in v2["set_answers"])
+    assert v2["version"] == 3 and any("run" in e for e in v2["set_answers"])
     # Down-convert to the version-1 shape an older build wrote: every
     # entry spells its indices out, nothing uses compact run endpoints.
     v1 = dict(v2, version=1)

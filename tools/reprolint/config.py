@@ -83,6 +83,7 @@ DEFAULT = Config(
                 "src/repro/serving/protocol.py",
                 "src/repro/serving/config.py",
                 "src/repro/service/jobs.py",
+                "src/repro/crowd/reliability/serialization.py",
             ),
             options={
                 # to_dict key differs from the field name: reviewed
@@ -105,6 +106,7 @@ DEFAULT = Config(
                 "src/repro/audit/*",
                 "src/repro/service/*",
                 "src/repro/serving/*",
+                "src/repro/crowd/reliability/*",
             ),
             options={
                 "decoder_names": (
@@ -128,6 +130,7 @@ DEFAULT = Config(
                 "src/repro/serving/*",
                 "src/repro/audit/session.py",
                 "src/repro/audit/report.py",
+                "src/repro/crowd/reliability/serialization.py",
             ),
             options={
                 "reader_names": ("from_dict", "from_json", "resume", "read_state"),
@@ -195,6 +198,11 @@ DEFAULT = Config(
                 "rng_factories": (
                     "AuditSession.resume",
                     "AuditService.resume",
+                    # Checkpoint restore rebuilds the crowd platform's
+                    # stream from the durable bit-generator state the
+                    # snapshot carries, so resumed runs replay the
+                    # worker-answer sequence bit-identically.
+                    "ReliabilitySnapshot.restore",
                     # The per-job execution boundary: the stream is
                     # re-minted from the job's durable seed, so a
                     # re-leased or resumed job replays identically.
@@ -255,6 +263,7 @@ DEFAULT = Config(
                     "repro.audit",
                     "repro.service",
                     "repro.crowd.backends",
+                    "repro.crowd.reliability",
                     "repro.data.sharded",
                     "repro.serving",
                 ),
