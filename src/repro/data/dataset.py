@@ -23,57 +23,12 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.data.groups import Group, GroupPredicate, Negation, SuperGroup
+from repro.data.groups import GroupPredicate
+from repro.data.kernels import predicate_mask
 from repro.data.schema import Schema
 from repro.errors import InvalidParameterError, OracleError
 
 __all__ = ["LabeledDataset", "predicate_mask"]
-
-
-def predicate_mask(
-    schema: Schema,
-    codes: np.ndarray,
-    predicate: GroupPredicate,
-    *,
-    resolve=None,
-) -> np.ndarray:
-    """Boolean membership mask of ``predicate`` over a code matrix.
-
-    The one predicate evaluator every membership substrate shares:
-    :class:`LabeledDataset` routes its memoized :meth:`LabeledDataset.mask`
-    through it, and the sharded out-of-core index
-    (:mod:`repro.data.sharded`) evaluates it per shard chunk. ``resolve``
-    optionally maps a *sub*-predicate to an existing mask (the dense
-    dataset passes its memo cache); by default sub-predicates recurse
-    through this function.
-
-    Examples
-    --------
-    >>> import numpy as np
-    >>> from repro.data.schema import Schema
-    >>> from repro.data.groups import group
-    >>> schema = Schema.from_dict({"gender": ["male", "female"]})
-    >>> predicate_mask(schema, np.array([[0], [1], [1]]), group(gender="female"))
-    array([False,  True,  True])
-    """
-    if isinstance(predicate, Group):
-        result = np.ones(len(codes), dtype=bool)
-        for attr_name, value in predicate.conditions:
-            attribute = schema.attribute(attr_name)
-            j = schema.index_of(attr_name)
-            result &= codes[:, j] == attribute.code_of(value)
-        return result
-    if resolve is None:
-        def resolve(sub: GroupPredicate) -> np.ndarray:
-            return predicate_mask(schema, codes, sub)
-    if isinstance(predicate, SuperGroup):
-        result = np.zeros(len(codes), dtype=bool)
-        for member in predicate.members:
-            result |= resolve(member)
-        return result
-    if isinstance(predicate, Negation):
-        return ~resolve(predicate.inner)
-    raise InvalidParameterError(f"unsupported predicate type: {type(predicate)!r}")
 
 
 class LabeledDataset:

@@ -12,22 +12,36 @@ evicted LRU under a resident-shard cap, and a
 
 * **cross-shard totals** — one ``int64`` per shard per predicate
   (``totals[s]`` = members among shards ``[0, s)``), built in a single
-  streaming pass and from then on answering every *shard-aligned* run in
-  O(1) without touching a single chunk; and
-* **per-shard prefix tables** — built on demand only for the (at most
-  two) *partially* covered boundary shards of a run, and cached LRU
-  under their own entry-count budget (each entry is at most
-  ``8·(shard_size+1)`` bytes, so the byte footprint is bounded too).
+  **fused** streaming pass (:mod:`repro.data.kernels`) that evaluates
+  every requested predicate and its local prefix table off one chunk
+  touch, and from then on answering every *shard-aligned* run in O(1)
+  without touching a single chunk; and
+* **prefix tables** — when the cache budget covers a predicate's full
+  shard count, the fused build splices its per-shard tables into one
+  *pinned* global prefix table (the exact array the dense index uses,
+  at the same bytes) and every later query on that predicate answers
+  lock-free at dense-index speed; otherwise boundary tables build on
+  demand for the (at most two) *partially* covered shards of a run and
+  cache LRU under an entry-count budget shared with the pinned tier
+  (each entry is at most ``8·(shard_size+1)`` bytes, so the byte
+  footprint is bounded too).
 
 A contiguous-run query spanning many shards therefore splits at shard
 boundaries — interior shards answer from the totals, boundary shards
 from their local prefix tables — and the partial counts re-merge into
 the exact dense answer. Scattered index arrays group by owning shard and
-resolve shard-parallel through a :class:`ShardExecutor`.
+resolve shard-parallel through a :class:`ShardExecutor`, whose
+``processes`` mode runs the picklable kernels of
+:mod:`repro.data.kernels` on a :class:`~concurrent.futures.\
+ProcessPoolExecutor` — workers materialize chunks from the dataset's
+:class:`~repro.data.kernels.ChunkSource` (memory map or deterministic
+generator) on their own side, so chunk arrays never cross the pickle
+boundary.
 
 Everything is *exact*, so oracles answering through a sharded index are
 bit-identical to the dense path: same verdicts, same task counts, same
-rng streams (pinned by ``tests/crowd/test_sharded_equivalence.py``).
+rng streams (pinned by ``tests/crowd/test_sharded_equivalence.py``, and
+across executor modes by ``tests/data/test_kernel_equivalence.py``).
 Peak memory is structurally bounded by ``max_resident_shards`` chunks
 plus the prefix-table budget — ``benchmarks/bench_shards.py`` asserts it
 while auditing datasets 10× larger than the dense index could hold.
@@ -35,16 +49,27 @@ while auditing datasets 10× larger than the dense index could hold.
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.data.dataset import LabeledDataset, predicate_mask
+from repro.data.dataset import LabeledDataset
 from repro.data.groups import GroupPredicate
+from repro.data.kernels import (
+    CallableChunkSource,
+    ChunkSource,
+    MemmapChunkSource,
+    fused_prefix_tables,
+    fused_source_pass,
+    scattered_hits_pass,
+)
 from repro.data.membership import (
     as_run,
     check_object_indices,
@@ -52,7 +77,7 @@ from repro.data.membership import (
     segmented_any,
 )
 from repro.data.schema import Schema
-from repro.errors import InvalidParameterError, OracleError
+from repro.errors import InvalidParameterError, OracleError, ShardExecutionError
 
 __all__ = [
     "ShardStats",
@@ -63,6 +88,22 @@ __all__ = [
 ]
 
 
+def _run_fused_task(task: tuple) -> tuple[list[int], list[np.ndarray] | None]:
+    """Unpack one fused-build work item (module-level so it pickles)."""
+    return fused_source_pass(*task)
+
+
+def _run_scattered_task(task: tuple) -> np.ndarray:
+    """Unpack one scattered-gather work item (module-level so it pickles)."""
+    return scattered_hits_pass(*task)
+
+
+def _noop(item: int) -> int:
+    """Round-trip payload for ShardExecutor.warm (module-level so it
+    pickles into pool workers)."""
+    return item
+
+
 @dataclass
 class ShardStats:
     """Residency accounting of one :class:`ShardedDataset`.
@@ -71,7 +112,10 @@ class ShardStats:
     ``peak_resident_bytes`` can never exceed ``max_resident_shards ×
     bytes-per-chunk``, whatever the dataset size — the number
     ``benchmarks/bench_shards.py`` asserts against the dense index's
-    requirement.
+    requirement. Counters track the *calling* process only: pool workers
+    of a ``processes`` executor materialize their chunks on their own
+    side (bounded to one chunk per worker at a time) and never touch
+    this ledger.
 
     Examples
     --------
@@ -99,16 +143,28 @@ class ShardStats:
 
 
 class ShardExecutor:
-    """Maps a function over shards, serially or on a thread pool.
+    """Maps a function over shards: serially, on threads, or on processes.
 
-    The executor is the parallelism seam of the sharded path: cross-shard
-    totals builds and scattered-batch gathers hand it one callable per
-    shard. ``mode="serial"`` runs in the calling thread (the default —
-    exact answers need no concurrency); ``mode="threads"`` uses a
-    :class:`~concurrent.futures.ThreadPoolExecutor`, which pays off when
-    chunk loading is IO-bound or mask evaluation dominates (NumPy
-    releases the GIL for large chunks). Results always come back in
-    input order, so answers are identical in either mode.
+    The executor is the parallelism seam of the sharded path: fused
+    totals builds and scattered-batch gathers hand it one work item per
+    shard. Three modes, validated at construction:
+
+    * ``"serial"`` (default) — runs in the calling thread; exact answers
+      need no concurrency.
+    * ``"threads"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`;
+      pays off when chunk loading is IO-bound or mask evaluation
+      dominates (NumPy releases the GIL for large chunks).
+    * ``"processes"`` — a :class:`~concurrent.futures.\
+ProcessPoolExecutor` running the picklable kernels of
+      :mod:`repro.data.kernels`; sidesteps the GIL entirely. Work items
+      carry a :class:`~repro.data.kernels.ChunkSource` (never chunk
+      arrays), so each worker materializes rows from the shard file or
+      generator on its own side. A worker killed mid-map surfaces as
+      :class:`~repro.errors.ShardExecutionError` (the broken pool is
+      discarded); a retry on a fresh executor replays deterministically.
+
+    Results always come back in input order, so answers are identical in
+    every mode — pinned by ``tests/data/test_kernel_equivalence.py``.
 
     Examples
     --------
@@ -118,12 +174,15 @@ class ShardExecutor:
     [0, 1, 4, 9]
     """
 
+    _MODES = ("serial", "threads", "processes")
+
     def __init__(
         self, *, mode: str = "serial", max_workers: int | None = None
     ) -> None:
-        if mode not in ("serial", "threads"):
+        if mode not in self._MODES:
             raise InvalidParameterError(
-                f"executor mode must be 'serial' or 'threads', got {mode!r}"
+                f"executor mode must be one of {'/'.join(self._MODES)}, "
+                f"got {mode!r}"
             )
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
@@ -131,25 +190,76 @@ class ShardExecutor:
             )
         self.mode = mode
         self.max_workers = max_workers
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+
+    @property
+    def uses_processes(self) -> bool:
+        """``True`` for ``mode="processes"`` — work items must then be
+        picklable (module-level kernels + :class:`~repro.data.kernels.\
+ChunkSource` specs, no closures, no chunk arrays)."""
+        return self.mode == "processes"
+
+    @property
+    def effective_workers(self) -> int:
+        """How many pool workers may hold a chunk concurrently (0 in
+        serial mode) — the worker term of
+        :meth:`ShardedMembershipIndex.memory_report`'s structural cap."""
+        if self.mode == "serial":
+            return 0
+        return self.max_workers if self.max_workers else (os.cpu_count() or 1)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self.mode == "threads":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers, thread_name_prefix="shard"
+                    )
+                else:
+                    self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool
 
     def map(self, fn: Callable, items) -> list:
         """``[fn(item) for item in items]``, possibly shard-parallel;
-        result order always matches input order."""
+        result order always matches input order. Single-item (and
+        serial-mode) maps run in the calling thread."""
         items = list(items)
         if self.mode == "serial" or len(items) <= 1:
             return [fn(item) for item in items]
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers, thread_name_prefix="shard"
-                )
-            pool = self._pool
-        return list(pool.map(fn, items))
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool as error:
+            # A worker died (OOM killer, SIGKILL, hard crash). Discard
+            # the broken pool so this executor fails fast instead of
+            # hanging, and surface a library error callers can catch;
+            # rebuilding on a fresh executor is bit-identical because
+            # every kernel is deterministic.
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+            pool.shutdown(wait=False)
+            raise ShardExecutionError(
+                "a shard pool worker died mid-map; the broken pool was "
+                "discarded — retry on a fresh ShardExecutor to rebuild "
+                "(results are deterministic, so the retry is bit-identical)"
+            ) from error
+
+    def warm(self) -> None:
+        """Spin the pool up ahead of the first real map — in
+        ``processes`` mode this forks the workers and round-trips one
+        no-op through each, so build latency measurements (and
+        latency-sensitive callers) don't pay one-time pool construction.
+        No-op in serial mode; idempotent."""
+        if self.mode == "serial":
+            return
+        pool = self._ensure_pool()
+        width = self.effective_workers
+        list(pool.map(_noop, range(max(2, width))))
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent; serial mode is a no-op)."""
+        """Shut the pool down (idempotent; serial mode is a no-op)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -179,7 +289,16 @@ class ShardedDataset:
 LabeledDataset` — equivalence tests and small jobs),
     :meth:`from_generator` (compute chunks on demand — synthetic
     benchmarks at any N), and :meth:`from_memmap` (``.npy`` file via
-    ``numpy`` memory mapping — on-disk corpora).
+    ``numpy`` memory mapping — on-disk corpora). The latter two also
+    record a picklable :class:`~repro.data.kernels.ChunkSource`, which
+    is what a ``processes`` :class:`ShardExecutor` ships to its pool
+    workers; :meth:`from_dataset` holds its rows only in this process's
+    RAM, so it cannot drive a process pool (validated at construction).
+
+    ``executor`` selects how the shared membership index
+    (:meth:`ShardedMembershipIndex.for_dataset`, and through it every
+    oracle/session/service over this dataset) parallelizes its builds
+    and gathers; the default is serial.
 
     The class mirrors the read-only surface oracles need
     (``schema`` / ``__len__`` / ``value_row``) so
@@ -206,8 +325,10 @@ LabeledDataset` — equivalence tests and small jobs),
         schema: Schema,
         n_objects: int,
         shard_size: int,
-        loader: Callable[[int, int, int], np.ndarray],
+        loader: Callable[[int, int, int], np.ndarray] | None = None,
         *,
+        chunk_source: ChunkSource | None = None,
+        executor: ShardExecutor | None = None,
         max_resident_shards: int = 4,
         name: str = "sharded-dataset",
     ) -> None:
@@ -223,12 +344,36 @@ LabeledDataset` — equivalence tests and small jobs),
             raise InvalidParameterError(
                 f"max_resident_shards must be >= 1, got {max_resident_shards}"
             )
+        if loader is None and chunk_source is None:
+            raise InvalidParameterError(
+                "a ShardedDataset needs a loader or a chunk_source"
+            )
+        if executor is not None and executor.uses_processes:
+            if chunk_source is None:
+                raise InvalidParameterError(
+                    "a processes-mode ShardExecutor needs a picklable chunk "
+                    "source (use ShardedDataset.from_memmap or from_generator "
+                    "with a module-level generate function); from_dataset "
+                    "chunks live only in this process's RAM"
+                )
+            try:
+                pickle.dumps(chunk_source)
+            except Exception as error:
+                raise InvalidParameterError(
+                    f"chunk source {chunk_source!r} does not pickle "
+                    f"({error}); processes-mode workers re-create chunks on "
+                    "their own side, so the source must be picklable — use a "
+                    "module-level generate function or functools.partial "
+                    "over one"
+                ) from error
         self.schema = schema
         self.name = name
         self.shard_size = int(shard_size)
         self.max_resident_shards = int(max_resident_shards)
+        self.chunk_source = chunk_source
+        self.executor = executor
         self._n_objects = int(n_objects)
-        self._loader = loader
+        self._loader = loader if loader is not None else chunk_source.chunk
         self.stats = ShardStats()
         self._chunks: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
@@ -248,13 +393,15 @@ LabeledDataset` — equivalence tests and small jobs),
         dataset: LabeledDataset,
         shard_size: int,
         *,
+        executor: ShardExecutor | None = None,
         max_resident_shards: int = 4,
         name: str | None = None,
     ) -> "ShardedDataset":
         """Shard an in-RAM dense dataset (chunks are copies of its code
         slices, so residency accounting stays honest). The sharded view
         holds identical content — the substrate of every
-        dense-vs-sharded equivalence test.
+        dense-vs-sharded equivalence test. In-RAM rows cannot feed a
+        process pool, so a ``processes`` executor is rejected here.
 
         Examples
         --------
@@ -275,6 +422,7 @@ LabeledDataset` — equivalence tests and small jobs),
             len(dataset),
             shard_size,
             load,
+            executor=executor,
             max_resident_shards=max_resident_shards,
             name=name or f"{dataset.name}[sharded:{shard_size}]",
         )
@@ -287,6 +435,7 @@ LabeledDataset` — equivalence tests and small jobs),
         shard_size: int,
         generate: Callable[[int, int, int], np.ndarray],
         *,
+        executor: ShardExecutor | None = None,
         max_resident_shards: int = 4,
         name: str = "generated-sharded-dataset",
     ) -> "ShardedDataset":
@@ -297,6 +446,9 @@ LabeledDataset` — equivalence tests and small jobs),
         stop)`` — seed a per-shard rng from the shard index so a
         regenerated chunk is identical to the evicted one. This is how
         the benchmarks audit 10M-row datasets that never materialize.
+        With a ``processes`` executor the generator also runs inside
+        pool workers, so it must pickle (a module-level function or
+        :func:`functools.partial` over one — checked at construction).
 
         Examples
         --------
@@ -314,7 +466,8 @@ LabeledDataset` — equivalence tests and small jobs),
             schema,
             n_objects,
             shard_size,
-            generate,
+            chunk_source=CallableChunkSource(generate),
+            executor=executor,
             max_resident_shards=max_resident_shards,
             name=name,
         )
@@ -326,6 +479,7 @@ LabeledDataset` — equivalence tests and small jobs),
         path,
         shard_size: int,
         *,
+        executor: ShardExecutor | None = None,
         max_resident_shards: int = 4,
         name: str | None = None,
     ) -> "ShardedDataset":
@@ -334,7 +488,10 @@ LabeledDataset` — equivalence tests and small jobs),
         The file (written with ``np.save(path, codes)``) is opened with
         ``mmap_mode="r"``, so only the chunk slices a query touches are
         ever paged in and copied; evicted chunks fall back to the page
-        cache, not the Python heap.
+        cache, not the Python heap. With a ``processes`` executor only
+        the *path* crosses the pickle boundary — each pool worker opens
+        its own map and slices zero-copy chunk views from it, which is
+        the substrate of the benchmark's 100M-row tier.
 
         Examples
         --------
@@ -362,6 +519,8 @@ LabeledDataset` — equivalence tests and small jobs),
             mapped.shape[0],
             shard_size,
             load,
+            chunk_source=MemmapChunkSource(path=os.fspath(path)),
+            executor=executor,
             max_resident_shards=max_resident_shards,
             name=name or f"memmap({path})",
         )
@@ -484,15 +643,32 @@ LabeledDataset` — equivalence tests and small jobs),
 
 @dataclass
 class _PrefixCache:
-    """Entry-capped LRU of per-shard prefix tables (internal).
+    """Entry-capped store of prefix tables (internal).
 
-    Eviction triggers on entry count; since every entry is at most
-    ``8·(shard_size+1)`` bytes, the byte footprint is bounded by
-    ``max_entries`` times that — the ``prefix_cap`` term of
-    :meth:`ShardedMembershipIndex.memory_report`. Byte counters are
-    tracked for reporting, not for eviction."""
+    Two tiers sharing one ``max_entries`` budget (the unit is one
+    shard-sized ``int32`` table of at most ``4·(shard_size+1)`` bytes,
+    so the byte footprint is bounded by ``max_entries`` times that plus
+    a two-entry LRU floor — the ``prefix_cap`` term of
+    :meth:`ShardedMembershipIndex.memory_report`):
+
+    * ``pinned`` — whole-predicate **global** prefix tables (length
+      ``N + 1``, global cumulative counts) assembled by the fused build
+      when the predicate's full ``n_shards`` tables fit the remaining
+      budget. A pinned predicate charges ``n_shards`` entries — the same
+      bytes as its per-shard tables — and answers *every* run, scatter,
+      and point query in dense-index time, read lock-free on the hot
+      path (the dict is only ever grown, under the index lock).
+    * ``entries`` — the on-demand per-(predicate, shard) LRU for
+      boundary shards of predicates too large to pin. Eviction triggers
+      on total entry count (pinned cost + LRU), but the LRU always
+      keeps a floor of two live entries — a run touches at most two
+      boundary shards, so the floor stops fully-pinned budgets from
+      starving unpinned predicates into a rebuild per query. Byte
+      counters are tracked for reporting, not for eviction."""
 
     max_entries: int
+    pinned: "dict[GroupPredicate, np.ndarray]" = field(default_factory=dict)
+    pinned_entry_cost: int = 0
     entries: "OrderedDict[tuple[GroupPredicate, int], np.ndarray]" = field(
         default_factory=OrderedDict
     )
@@ -507,13 +683,40 @@ class _PrefixCache:
             self.entries.move_to_end(key)
         return cached
 
+    def can_pin(self, n_entries: int) -> bool:
+        """Whether ``n_entries`` more shard-table-equivalents of pinned
+        budget are available."""
+        return self.pinned_entry_cost + n_entries <= self.max_entries
+
+    def pin(self, predicate, global_prefix: np.ndarray, cost: int) -> None:
+        """Pin one predicate's global table (caller checked
+        :meth:`can_pin` with the same ``cost``)."""
+        if predicate in self.pinned:
+            return
+        self.builds += 1
+        self.pinned[predicate] = global_prefix
+        self.pinned_entry_cost += cost
+        self.resident_bytes += global_prefix.nbytes
+        self._shrink()
+
     def put(self, key, prefix: np.ndarray) -> None:
         if key in self.entries:
             return
         self.builds += 1
         self.entries[key] = prefix
         self.resident_bytes += prefix.nbytes
-        while len(self.entries) > self.max_entries:
+        self._shrink()
+
+    def _shrink(self) -> None:
+        # The LRU keeps a small floor of entries even when pinned tables
+        # consume the whole budget: a run has at most two boundary
+        # shards, so two live slots are what stops an unpinned
+        # predicate's boundary queries from rebuilding (chunk load +
+        # mask + cumsum) on every call. The floor is accounted for in
+        # ``memory_report``'s ``prefix_cap`` term.
+        floor = min(2, self.max_entries)
+        keep = max(self.max_entries - self.pinned_entry_cost, floor)
+        while len(self.entries) > keep:
             _, evicted = self.entries.popitem(last=False)
             self.evictions += 1
             self.resident_bytes -= evicted.nbytes
@@ -532,21 +735,26 @@ class ShardedMembershipIndex:
     identical (exact) answers, so every oracle, platform, session, and
     service runs unmodified over it. Internally a query splits at shard
     boundaries: interior shards answer from the cross-shard totals
-    (built once per predicate in a streaming pass), boundary shards from
-    their local prefix tables (built on demand, LRU-capped), and the
-    partial counts merge. Shard-aligned runs never load a chunk at all.
+    (built by one fused streaming pass per *set* of predicates — each
+    chunk is touched once however many predicates need totals), boundary
+    shards from their local prefix tables (pinned by the fused build
+    when they fit the cache budget, else built on demand and LRU-capped),
+    and the partial counts merge. Shard-aligned runs never load a chunk
+    at all.
 
     Parameters
     ----------
     dataset:
         The :class:`ShardedDataset` to answer over.
     executor:
-        The :class:`ShardExecutor` for totals builds and scattered-batch
-        gathers; defaults to a serial executor (answers are identical in
-        every mode).
+        The :class:`ShardExecutor` for fused builds and scattered-batch
+        gathers; defaults to the dataset's executor, else serial
+        (answers are identical in every mode). A ``processes`` executor
+        requires the dataset to carry a picklable
+        :class:`~repro.data.kernels.ChunkSource`.
     max_cached_prefixes:
-        LRU capacity of the per-shard prefix-table cache, in entries
-        (each ≤ ``8·(shard_size+1)`` bytes). Defaults to the dataset's
+        Entry budget shared by pinned and LRU prefix tables (each ≤
+        ``8·(shard_size+1)`` bytes). Defaults to the dataset's
         ``max_resident_shards``.
 
     Examples
@@ -577,6 +785,15 @@ class ShardedMembershipIndex:
             raise InvalidParameterError(
                 f"max_cached_prefixes must be >= 1, got {max_cached_prefixes}"
             )
+        if executor is None:
+            executor = dataset.executor
+        if executor is not None and executor.uses_processes:
+            if dataset.chunk_source is None:
+                raise InvalidParameterError(
+                    "a processes-mode ShardExecutor needs a dataset with a "
+                    "picklable chunk source (from_memmap / from_generator); "
+                    f"{dataset.name!r} has none"
+                )
         self.dataset = dataset
         self.executor = executor if executor is not None else ShardExecutor()
         self._totals: dict[GroupPredicate, np.ndarray] = {}
@@ -593,7 +810,10 @@ class ShardedMembershipIndex:
     def for_dataset(cls, dataset: ShardedDataset) -> "ShardedMembershipIndex":
         """The shared index of one sharded dataset (created on first
         use), mirroring ``GroupMembershipIndex.for_dataset`` so oracles
-        and platforms over the same dataset share totals and caches.
+        and platforms over the same dataset share totals and caches. The
+        index inherits the dataset's executor, which is how sessions and
+        services over a ``processes``-configured dataset parallelize
+        transparently.
 
         Examples
         --------
@@ -618,52 +838,144 @@ class ShardedMembershipIndex:
     # ------------------------------------------------------------------
     # the sharded substrate
     # ------------------------------------------------------------------
+    def build_totals(self, predicates: Sequence[GroupPredicate]) -> None:
+        """Build cross-shard totals for every listed predicate that
+        lacks them, in **one** fused streaming pass: each chunk is
+        materialized once (shard-parallel through the executor) and
+        every missing predicate's mask, member count, and local prefix
+        table come off that single touch. When the whole predicate's
+        table set fits the prefix budget the tables are pinned, so later
+        boundary queries answer lock-free without ever reloading a
+        chunk.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.data.groups import group
+        >>> from repro.data.sharded import ShardedDataset, ShardedMembershipIndex
+        >>> from repro.data.synthetic import binary_dataset
+        >>> ds = ShardedDataset.from_dataset(
+        ...     binary_dataset(100, 5, rng=np.random.default_rng(0)), shard_size=25)
+        >>> index = ShardedMembershipIndex(ds)
+        >>> index.build_totals([group(gender="female"), group(gender="male")])
+        >>> ds.stats.loads  # four shards, one fused pass for BOTH predicates
+        4
+        """
+        missing: list[GroupPredicate] = []
+        for predicate in predicates:
+            if predicate not in self._totals and predicate not in missing:
+                missing.append(predicate)
+        if not missing:
+            return
+        schema = self.dataset.schema
+        for predicate in missing:
+            predicate.validate(schema)
+        n_shards = self.dataset.n_shards
+        # Ship tables back only when they can all be pinned: otherwise
+        # most would be evicted on arrival (and, under a process pool,
+        # pickled across the boundary for nothing).
+        # Pinned global tables are int32 (counts are bounded by N), so
+        # pinning is only well-defined below the int32 ceiling — far
+        # beyond any dataset the sharded tier targets.
+        pinnable = len(self.dataset) < 2**31 - 1
+        with self._lock:
+            want_tables = pinnable and self._prefixes.can_pin(
+                len(missing) * n_shards
+            )
+
+        if self.executor.uses_processes and n_shards > 1:
+            source = self.dataset.chunk_source
+            if source is None:
+                raise InvalidParameterError(
+                    "processes-mode builds need a dataset chunk source "
+                    "(from_memmap / from_generator)"
+                )
+            tasks = [
+                (source, schema, s, *self.dataset.shard_bounds(s),
+                 tuple(missing), want_tables)
+                for s in range(n_shards)
+            ]
+            results = self.executor.map(_run_fused_task, tasks)
+        else:
+            def build_shard(shard_index: int):
+                # The hold slot bounds how many chunks threaded workers
+                # keep alive at once (load + mask evaluation) to the
+                # residency cap.
+                with self.dataset.hold_slots:
+                    chunk = self.dataset.chunk(shard_index)
+                    tables = fused_prefix_tables(schema, chunk, missing)
+                counts = [int(table[-1]) for table in tables]
+                return counts, (tables if want_tables else None)
+
+            results = self.executor.map(build_shard, range(n_shards))
+
+        counts = np.zeros((len(missing), n_shards), dtype=np.int64)
+        for shard_index, (shard_counts, _) in enumerate(results):
+            counts[:, shard_index] = shard_counts
+        with self._lock:
+            for row, predicate in enumerate(missing):
+                totals = np.zeros(n_shards + 1, dtype=np.int64)
+                np.cumsum(counts[row], out=totals[1:])
+                totals.setflags(write=False)
+                # A racing build produced identical content; keep the first.
+                self._totals.setdefault(predicate, totals)
+            tables_present = want_tables and n_shards > 0 and all(
+                tables is not None for _, tables in results
+            )
+            if tables_present:
+                for row, predicate in enumerate(missing):
+                    if predicate in self._prefixes.pinned:
+                        continue
+                    if not self._prefixes.can_pin(n_shards):
+                        break
+                    # Splice the per-shard tables into ONE global prefix
+                    # table (prefix[i] = members among rows [0, i)) —
+                    # the exact array the dense index uses, at the exact
+                    # bytes the per-shard tables would have cost, so
+                    # every later query on this predicate runs at
+                    # dense-index speed.
+                    totals = self._totals[predicate]
+                    global_prefix = np.empty(
+                        len(self.dataset) + 1, dtype=np.int32
+                    )
+                    global_prefix[0] = 0
+                    for shard_index in range(n_shards):
+                        start, stop = self.dataset.shard_bounds(shard_index)
+                        global_prefix[start + 1 : stop + 1] = (
+                            results[shard_index][1][row][1:] + totals[shard_index]
+                        )
+                    global_prefix.setflags(write=False)
+                    self._prefixes.pin(predicate, global_prefix, n_shards)
+
     def shard_totals(self, predicate: GroupPredicate) -> np.ndarray:
         """Cumulative member counts at shard boundaries: ``totals[s]`` =
-        members among shards ``[0, s)`` (length ``n_shards + 1``).
-
-        Built once per predicate by a streaming pass over every shard
-        (shard-parallel through the executor); afterwards any
-        shard-aligned range is answered in O(1) from this table alone.
-        """
-        with self._lock:
-            cached = self._totals.get(predicate)
+        members among shards ``[0, s)`` (length ``n_shards + 1``),
+        building through :meth:`build_totals` on first use; afterwards
+        any shard-aligned range is answered in O(1) from this table
+        alone."""
+        cached = self._totals.get(predicate)
         if cached is not None:
             return cached
-        predicate.validate(self.dataset.schema)
-        schema = self.dataset.schema
-
-        def count_shard(shard_index: int) -> int:
-            # The hold slot bounds how many chunks threaded workers keep
-            # alive at once (load + mask evaluation) to the residency cap.
-            with self.dataset.hold_slots:
-                chunk = self.dataset.chunk(shard_index)
-                return int(predicate_mask(schema, chunk, predicate).sum())
-
-        counts = self.executor.map(count_shard, range(self.dataset.n_shards))
-        totals = np.zeros(self.dataset.n_shards + 1, dtype=np.int64)
-        np.cumsum(np.asarray(counts, dtype=np.int64), out=totals[1:])
-        totals.setflags(write=False)
-        with self._lock:
-            # A racing build produced identical content; keep the first.
-            cached = self._totals.setdefault(predicate, totals)
-        return cached
+        self.build_totals((predicate,))
+        return self._totals[predicate]
 
     def _shard_prefix(
         self, predicate: GroupPredicate, shard_index: int
     ) -> np.ndarray:
-        """The shard's local prefix-count table (length ``rows + 1``),
-        built from its chunk on demand and cached LRU."""
+        """The shard's local prefix-count table (length ``rows + 1``):
+        sliced out of a pinned global table when one exists, otherwise
+        built from the chunk on demand and cached LRU."""
+        pinned = self._prefixes.pinned.get(predicate)
+        if pinned is not None:
+            start, stop = self.dataset.shard_bounds(shard_index)
+            return pinned[start : stop + 1] - pinned[start]
         key = (predicate, shard_index)
         with self._lock:
             cached = self._prefixes.get(key)
         if cached is not None:
             return cached
         chunk = self.dataset.chunk(shard_index)
-        mask = predicate_mask(self.dataset.schema, chunk, predicate)
-        prefix = np.zeros(len(mask) + 1, dtype=np.int64)
-        np.cumsum(mask, out=prefix[1:])
-        prefix.setflags(write=False)
+        prefix = fused_prefix_tables(self.dataset.schema, chunk, (predicate,))[0]
         with self._lock:
             raced = self._prefixes.get(key)
             if raced is not None:
@@ -681,8 +993,8 @@ class ShardedMembershipIndex:
         """Exact member count over the contiguous run ``[start, stop)``:
         totals for whole shards, local prefixes for the (at most two)
         partially covered boundary shards. ``totals`` lets batched
-        callers hoist the per-predicate lookup (and its lock) out of
-        their per-run loop."""
+        callers hoist the per-predicate lookup out of their per-run
+        loop."""
         if stop <= start:
             return 0
         if start < 0 or stop > len(self.dataset):
@@ -693,6 +1005,9 @@ class ShardedMembershipIndex:
                 f"query run [{start}, {stop}) outside dataset "
                 f"[0, {len(self.dataset)})"
             )
+        pinned = self._prefixes.pinned.get(predicate)
+        if pinned is not None:
+            return int(pinned[stop] - pinned[start])
         size = self.dataset.shard_size
         first = start // size
         last = (stop - 1) // size
@@ -715,12 +1030,39 @@ class ShardedMembershipIndex:
         self, predicate: GroupPredicate, indices: np.ndarray
     ) -> np.ndarray:
         """Per-index membership of an arbitrary (non-empty) index array,
-        resolved shard-by-shard through the executor."""
+        resolved shard-by-shard through the executor. In ``processes``
+        mode each shard's gather runs as a picklable kernel — only the
+        local index array and its boolean hits cross the boundary —
+        unless the predicate's global prefix table is already pinned, in
+        which case the parent answers lock-free without dispatching (or
+        touching a chunk) at all."""
         check_object_indices(indices, len(self.dataset))
+        pinned = self._prefixes.pinned.get(predicate)
+        if pinned is not None:
+            return np.asarray(pinned[indices + 1] > pinned[indices])
         size = self.dataset.shard_size
         shards = indices // size
         unique_shards = np.unique(shards)
         hits = np.zeros(len(indices), dtype=bool)
+
+        if self.executor.uses_processes and len(unique_shards) > 1:
+            source = self.dataset.chunk_source
+            predicate.validate(self.dataset.schema)
+            selectors = []
+            tasks = []
+            for shard_index in (int(s) for s in unique_shards):
+                selector = shards == shard_index
+                local = indices[selector] - shard_index * size
+                selectors.append(selector)
+                tasks.append(
+                    (source, self.dataset.schema, shard_index,
+                     *self.dataset.shard_bounds(shard_index), predicate, local)
+                )
+            for selector, shard_hits in zip(
+                selectors, self.executor.map(_run_scattered_task, tasks)
+            ):
+                hits[selector] = shard_hits
+            return hits
 
         def eval_shard(shard_index: int):
             selector = shards == shard_index
@@ -729,9 +1071,16 @@ class ShardedMembershipIndex:
                 prefix = self._shard_prefix(predicate, int(shard_index))
             return selector, prefix[local + 1] > prefix[local]
 
-        for selector, shard_hits in self.executor.map(
-            eval_shard, (int(s) for s in unique_shards)
-        ):
+        if self.executor.uses_processes:
+            # Single-shard gather with no chunk source advantage: build
+            # the boundary prefix in-parent (the closure would not
+            # pickle anyway).
+            results = [eval_shard(int(s)) for s in unique_shards]
+        else:
+            results = self.executor.map(
+                eval_shard, (int(s) for s in unique_shards)
+            )
+        for selector, shard_hits in results:
             hits[selector] = shard_hits
         return hits
 
@@ -787,6 +1136,9 @@ class ShardedMembershipIndex:
         """Ground-truth membership of a single object."""
         index = int(index)
         check_object_indices(np.asarray([index], dtype=np.int64), len(self.dataset))
+        pinned = self._prefixes.pinned.get(predicate)
+        if pinned is not None:
+            return bool(pinned[index + 1] > pinned[index])
         shard = self.dataset.shard_of(index)
         prefix = self._shard_prefix(predicate, shard)
         local = index - shard * self.dataset.shard_size
@@ -814,13 +1166,17 @@ class ShardedMembershipIndex:
         keys: "Sequence | None" = None,
     ) -> list[bool]:
         """Answer many set queries; same grouping semantics (and
-        identical answers) as the dense ``any_match_batch``. Run-shaped
-        queries split/merge at shard boundaries; scattered queries of
-        one predicate concatenate into a single shard-parallel gather."""
+        identical answers) as the dense ``any_match_batch``. Totals for
+        every predicate the batch needs are built in one fused streaming
+        pass first; then run-shaped queries split/merge at shard
+        boundaries and scattered queries of one predicate concatenate
+        into a single shard-parallel gather."""
         answers = [False] * len(queries)
         by_predicate: dict[GroupPredicate, list[int]] = {}
         for position, (_, predicate) in enumerate(queries):
             by_predicate.setdefault(predicate, []).append(position)
+        # One chunk touch builds totals for every predicate missing them.
+        self.build_totals(list(by_predicate))
         for predicate, positions in by_predicate.items():
             totals = self.shard_totals(predicate)
             scattered: list[int] = []
@@ -892,17 +1248,33 @@ class ShardedMembershipIndex:
         ``peak_tracked_bytes`` (resident chunks + prefix tables + totals,
         at their high-water marks) is what ``benchmarks/bench_shards.py``
         compares against :func:`dense_index_bytes`; ``cap_bytes`` is the
-        configuration-implied ceiling it can never exceed.
+        configuration-implied ceiling it can never exceed. Under a
+        ``processes`` executor each pool worker additionally holds at
+        most one chunk at a time in its own address space — that bound
+        is the ``worker_chunk_cap`` term of ``cap_bytes`` (it can never
+        appear in ``peak_tracked_bytes``, which ledgers this process
+        only).
         """
         stats = self.dataset.stats
         row_bytes = 2 * self.dataset.schema.n_attributes
+        chunk_bytes = self.dataset.shard_size * row_bytes
         # LRU-resident chunks plus the chunks shard-parallel workers may
         # hold outside the table (bounded by the dataset's hold_slots
         # semaphore to the same count): worst case 2 × the residency cap.
-        chunk_cap = 2 * self.dataset.max_resident_shards * (
-            self.dataset.shard_size * row_bytes
+        chunk_cap = 2 * self.dataset.max_resident_shards * chunk_bytes
+        # Pool workers of a processes executor each materialize at most
+        # one chunk at a time on their own side.
+        worker_chunk_cap = (
+            self.executor.effective_workers * chunk_bytes
+            if self.executor.uses_processes
+            else 0
         )
-        prefix_cap = self._prefixes.max_entries * 8 * (self.dataset.shard_size + 1)
+        # Prefix tables are int32 (4 bytes/entry); the +2 is the LRU's
+        # boundary-table floor, which survives even a fully-pinned
+        # budget (see _PrefixCache._shrink).
+        prefix_cap = (
+            (self._prefixes.max_entries + 2) * 4 * (self.dataset.shard_size + 1)
+        )
         totals_bytes = sum(t.nbytes for t in self._totals.values())
         return {
             "peak_chunk_bytes": stats.peak_resident_bytes,
@@ -913,13 +1285,16 @@ class ShardedMembershipIndex:
                 + self._prefixes.peak_resident_bytes
                 + totals_bytes
             ),
+            "worker_chunk_cap": worker_chunk_cap,
             "cap_bytes": chunk_cap
+            + worker_chunk_cap
             + prefix_cap
             + (self.dataset.n_shards + 1) * 8 * max(len(self._totals), 1),
             "chunk_loads": stats.loads,
             "chunk_evictions": stats.evictions,
             "prefix_builds": self._prefixes.builds,
             "prefix_evictions": self._prefixes.evictions,
+            "pinned_predicates": len(self._prefixes.pinned),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - repr sugar

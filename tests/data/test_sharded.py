@@ -289,8 +289,11 @@ def test_value_rows_match_dense_and_validate_bounds(dense):
 # executor and plumbing
 # ----------------------------------------------------------------------
 def test_shard_executor_modes_and_validation():
-    with pytest.raises(InvalidParameterError):
-        ShardExecutor(mode="processes")
+    # Invalid mode strings fail fast at construction, not at first use.
+    with pytest.raises(InvalidParameterError, match="mode"):
+        ShardExecutor(mode="gpu")
+    with pytest.raises(InvalidParameterError, match="mode"):
+        ShardExecutor(mode="thread")  # close-but-wrong singular form
     with pytest.raises(InvalidParameterError):
         ShardExecutor(max_workers=0)
     serial = ShardExecutor()

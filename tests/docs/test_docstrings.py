@@ -41,6 +41,7 @@ DOCTESTED_MODULES = (
     "repro.crowd.reliability.policy",
     "repro.crowd.reliability.serialization",
     "repro.data.dataset",
+    "repro.data.kernels",
     "repro.data.membership",
     "repro.data.sharded",
     "repro.serving.protocol",

@@ -264,6 +264,7 @@ DEFAULT = Config(
                     "repro.service",
                     "repro.crowd.backends",
                     "repro.crowd.reliability",
+                    "repro.data.kernels",
                     "repro.data.sharded",
                     "repro.serving",
                 ),
